@@ -1,0 +1,54 @@
+// Ablation (beyond the paper): RecNum vs attack budget. Sweeps the number
+// of attackers N and the trajectory length T for the best learned
+// PoisonRec strategy on Steam (first ranker of POISONREC_RANKERS;
+// ItemPop by default). Expected: near-zero until the budget crosses the
+// candidate-set popularity threshold, then steep growth with
+// diminishing returns — the cost/benefit curve a defender would study.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace poisonrec::bench {
+namespace {
+
+void Run() {
+  BenchConfig config = LoadBenchConfig();
+  const std::string ranker =
+      config.rankers.empty() ? "BPR" : config.rankers.front();
+  std::printf(
+      "== Ablation: RecNum vs attack budget (%s on Steam, scale=%.3g) "
+      "==\n\n",
+      ranker.c_str(), config.scale);
+
+  PrintTableHeader({"N", "T", "budget", "RecNum"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"attackers", "trajectory_length", "budget", "recnum"});
+  for (std::size_t n : {4, 8, 16}) {
+    for (std::size_t t : {6, 12, 24}) {
+      BenchConfig local = config;
+      local.num_attackers = n;
+      local.trajectory_length = t;
+      auto environment =
+          MakeEnvironment(local, data::DatasetPreset::kSteam, ranker);
+      core::PoisonRecAttacker attacker(
+          environment.get(),
+          MakePoisonRecConfig(local, core::ActionSpaceKind::kBcbtPopular,
+                              local.seed ^ (n * 131 + t)));
+      attacker.Train(local.training_steps);
+      const double rec_num = attacker.best_episode().reward;
+      PrintTableRow({std::to_string(n), std::to_string(t),
+                     std::to_string(n * t), FormatCount(rec_num)});
+      csv.push_back({std::to_string(n), std::to_string(t),
+                     std::to_string(n * t), FormatCount(rec_num)});
+    }
+  }
+  WriteCsvOutput(config, "ablation_budget.csv", csv);
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() {
+  poisonrec::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 4: attack performance (RecNum) vs training step for the four
+// action-space designs — Plain, BPlain, BCBT-Popular, BCBT-Random — when
+// attacking each recommender on Steam. Expected shape (paper §IV-B):
+// BCBT-Popular converges fastest/highest; BPlain benefits from the priori
+// knowledge but lacks the hierarchy; BCBT-Random trails BCBT-Popular
+// (Assumption 1); Plain is worst. On ItemPop/NeuMF, BPlain ~= BCBT-Popular
+// because target-only clicking is already optimal there.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace poisonrec::bench {
+namespace {
+
+constexpr core::ActionSpaceKind kDesigns[] = {
+    core::ActionSpaceKind::kPlain,
+    core::ActionSpaceKind::kBPlain,
+    core::ActionSpaceKind::kBcbtPopular,
+    core::ActionSpaceKind::kBcbtRandom,
+    // Our ablation beyond the paper: hierarchy without the root bias.
+    core::ActionSpaceKind::kCbtUnbiased,
+};
+
+void Run() {
+  BenchConfig config = LoadBenchConfig();
+  std::printf(
+      "== Figure 4: RecNum vs training step, 4 action-space designs "
+      "(Steam, scale=%.3g, steps=%zu) ==\n",
+      config.scale, config.training_steps);
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"ranker", "design", "step", "mean_recnum", "best_recnum"});
+
+  for (const std::string& ranker : config.rankers) {
+    auto environment =
+        MakeEnvironment(config, data::DatasetPreset::kSteam, ranker);
+    std::printf("\n-- %s (baseline RecNum %.0f) --\n", ranker.c_str(),
+                environment->BaselineRecNum());
+    PrintTableHeader({"Design", "first", "mid", "final", "best"});
+    for (core::ActionSpaceKind kind : kDesigns) {
+      core::PoisonRecAttacker attacker(
+          environment.get(),
+          MakePoisonRecConfig(config, kind, config.seed ^ 0xf19u));
+      std::vector<core::TrainStepStats> stats =
+          attacker.Train(config.training_steps);
+      for (const auto& s : stats) {
+        csv.push_back({ranker, core::ActionSpaceKindName(kind),
+                       std::to_string(s.step), FormatCount(s.mean_reward),
+                       FormatCount(s.best_reward_so_far)});
+      }
+      PrintTableRow({core::ActionSpaceKindName(kind),
+                     FormatCount(stats.front().mean_reward),
+                     FormatCount(stats[stats.size() / 2].mean_reward),
+                     FormatCount(stats.back().mean_reward),
+                     FormatCount(stats.back().best_reward_so_far)});
+    }
+  }
+  WriteCsvOutput(config, "fig4_convergence.csv", csv);
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() {
+  poisonrec::bench::Run();
+  return 0;
+}

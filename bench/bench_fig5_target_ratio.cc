@@ -1,0 +1,64 @@
+// Figure 5: the fraction of clicks that the learned PoisonRec strategy
+// (BCBT-Popular) spends on target items I_t, per recommendation
+// algorithm, on Steam. Expected shape (paper §IV-B): ratio ~1.0 on
+// ItemPop and NeuMF (clicking targets only is optimal there), and >0.2
+// but well below 1.0 on the algorithms where pairing targets with
+// original items matters (CoVisitation, GRU4Rec, NGCF, ...).
+#include <cstdio>
+#include <set>
+
+#include "bench/common.h"
+
+namespace poisonrec::bench {
+namespace {
+
+void Run() {
+  BenchConfig config = LoadBenchConfig();
+  std::printf(
+      "== Figure 5: target-click ratio of learned strategies (Steam, "
+      "scale=%.3g) ==\n\n",
+      config.scale);
+  PrintTableHeader({"Ranker", "ratio", "targets", "RecNum"});
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back(
+      {"ranker", "target_click_ratio", "distinct_targets", "best_recnum"});
+  for (const std::string& ranker : config.rankers) {
+    auto environment =
+        MakeEnvironment(config, data::DatasetPreset::kSteam, ranker);
+    core::PoisonRecAttacker attacker(
+        environment.get(),
+        MakePoisonRecConfig(config, core::ActionSpaceKind::kBcbtPopular,
+                            config.seed ^ 0x5f1u));
+    attacker.Train(config.training_steps);
+    // Ratio of the best (learned) episode, as the paper visualizes the
+    // final strategies.
+    const double ratio = core::TargetClickRatio(
+        attacker.best_episode(), environment->num_original_items());
+    // Distinct targets the strategy invests in (paper §IV-D notes
+    // PoisonRec promotes several targets simultaneously).
+    std::set<data::ItemId> promoted;
+    for (const auto& traj : attacker.BestAttack()) {
+      for (data::ItemId item : traj.items) {
+        if (item >= environment->num_original_items()) {
+          promoted.insert(item);
+        }
+      }
+    }
+    PrintTableRow({ranker, FormatCount(ratio * 100.0) + "%",
+                   std::to_string(promoted.size()),
+                   FormatCount(attacker.best_episode().reward)});
+    csv.push_back({ranker, std::to_string(ratio),
+                   std::to_string(promoted.size()),
+                   FormatCount(attacker.best_episode().reward)});
+  }
+  WriteCsvOutput(config, "fig5_target_ratio.csv", csv);
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() {
+  poisonrec::bench::Run();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Figure 6: 2-D t-SNE maps of the learned item embeddings per
+// recommendation algorithm, with the items clicked by the learned
+// PoisonRec strategy marked. Emits one CSV per ranker with columns
+// (item, x, y, popularity, is_target, clicks) — the plotting-ready data
+// behind the figure. For ItemPop, CoVisitation and AutoRec the paper uses
+// the PMF embeddings (those models have no item id embedding); we do the
+// same.
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "rec/bpr.h"
+#include "rec/gru4rec.h"
+#include "rec/neumf.h"
+#include "rec/ngcf.h"
+#include "rec/pmf.h"
+#include "viz/tsne.h"
+
+namespace poisonrec::bench {
+namespace {
+
+// Row-major item embedding matrix (num_total_items x dim) for the fitted
+// ranker; falls back to PMF when the algorithm has no item embedding.
+std::vector<double> ItemEmbeddingMatrix(
+    const env::AttackEnvironment& environment, const BenchConfig& config,
+    std::size_t* dim_out) {
+  const rec::Recommender& ranker = environment.pretrained_ranker();
+  const std::size_t n = environment.num_total_items();
+
+  auto from_tensor = [&](const nn::Tensor& table, std::size_t offset) {
+    const std::size_t dim = table.cols();
+    *dim_out = dim;
+    std::vector<double> out(n * dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < dim; ++k) {
+        out[i * dim + k] = table.at(offset + i, k);
+      }
+    }
+    return out;
+  };
+  auto from_factors = [&](const rec::FactorTables& factors) {
+    const std::size_t dim = factors.dim;
+    *dim_out = dim;
+    std::vector<double> out(n * dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = factors.ItemRow(i);
+      for (std::size_t k = 0; k < dim; ++k) out[i * dim + k] = row[k];
+    }
+    return out;
+  };
+
+  if (const auto* pmf = dynamic_cast<const rec::Pmf*>(&ranker)) {
+    return from_factors(pmf->factors());
+  }
+  if (const auto* bpr = dynamic_cast<const rec::Bpr*>(&ranker)) {
+    return from_factors(bpr->factors());
+  }
+  if (const auto* neumf = dynamic_cast<const rec::NeuMf*>(&ranker)) {
+    return from_tensor(neumf->ItemEmbeddings(), 0);
+  }
+  if (const auto* gru = dynamic_cast<const rec::Gru4Rec*>(&ranker)) {
+    return from_tensor(gru->ItemEmbeddings(), 0);
+  }
+  if (const auto* ngcf = dynamic_cast<const rec::Ngcf*>(&ranker)) {
+    return from_tensor(ngcf->NodeEmbeddings(), ngcf->item_offset());
+  }
+  // ItemPop / CoVisitation / AutoRec: learn PMF embeddings on the same
+  // log (the paper's convention for Figure 6).
+  rec::FitConfig fit;
+  fit.embedding_dim = config.embedding_dim;
+  fit.epochs = 6;
+  fit.seed = config.seed ^ 0x41u;
+  rec::Pmf pmf(fit);
+  pmf.Fit(environment.dataset());
+  return from_factors(pmf.factors());
+}
+
+void Run() {
+  BenchConfig config = LoadBenchConfig();
+  std::printf(
+      "== Figure 6: t-SNE of item embeddings + learned attack strategies "
+      "(Steam, scale=%.3g) ==\n\n",
+      config.scale);
+
+  for (const std::string& ranker : config.rankers) {
+    auto environment =
+        MakeEnvironment(config, data::DatasetPreset::kSteam, ranker);
+    core::PoisonRecAttacker attacker(
+        environment.get(),
+        MakePoisonRecConfig(config, core::ActionSpaceKind::kBcbtPopular,
+                            config.seed ^ 0x6f2u));
+    attacker.Train(config.training_steps);
+
+    // Click histogram of the learned strategy (click order ignored, as in
+    // the figure).
+    std::map<data::ItemId, std::size_t> clicks;
+    for (const auto& traj : attacker.BestAttack()) {
+      for (data::ItemId item : traj.items) ++clicks[item];
+    }
+
+    std::size_t dim = 0;
+    std::vector<double> emb =
+        ItemEmbeddingMatrix(*environment, config, &dim);
+    viz::TsneConfig tsne;
+    tsne.iterations = 250;
+    tsne.seed = config.seed ^ 0x31u;
+    std::vector<double> xy =
+        viz::TsneEmbed(emb, environment->num_total_items(), dim, tsne);
+
+    std::vector<std::vector<std::string>> csv;
+    csv.push_back({"item", "x", "y", "popularity", "is_target", "clicks"});
+    std::size_t clicked_items = 0;
+    for (data::ItemId i = 0; i < environment->num_total_items(); ++i) {
+      const bool is_target = i >= environment->num_original_items();
+      const auto it = clicks.find(i);
+      const std::size_t c = it == clicks.end() ? 0 : it->second;
+      if (c > 0) ++clicked_items;
+      csv.push_back({std::to_string(i), std::to_string(xy[i * 2]),
+                     std::to_string(xy[i * 2 + 1]),
+                     std::to_string(environment->item_popularity()[i]),
+                     is_target ? "1" : "0", std::to_string(c)});
+    }
+    std::printf("%-14s distinct clicked items: %zu, RecNum %.0f\n",
+                ranker.c_str(), clicked_items,
+                attacker.best_episode().reward);
+    WriteCsvOutput(config, "fig6_tsne_" + ranker + ".csv", csv);
+  }
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() {
+  poisonrec::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Appendix harness: testbed validity. Before attacking the 8 rankers,
+// verify that each one, trained with the bench FitConfig, beats the
+// random-scorer floor on leave-one-out held-out items (HR@10 / NDCG@10).
+// An attack result on a ranker that cannot rank is meaningless; this
+// harness documents the quality of every testbed the other benches use.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "rec/metrics.h"
+
+namespace poisonrec::bench {
+namespace {
+
+void Run() {
+  BenchConfig config = LoadBenchConfig();
+  std::printf(
+      "== Appendix: ranker quality on leave-one-out splits (scale=%.3g) "
+      "==\n\n",
+      config.scale);
+
+  rec::EvalProtocol protocol;
+  protocol.top_k = 10;
+  protocol.num_negatives = 50;
+  std::printf("random floor: HR@10 = %.3f\n\n",
+              rec::RandomHitRate(protocol));
+
+  std::vector<data::DatasetPreset> datasets = {
+      data::DatasetPreset::kSteam, data::DatasetPreset::kPhone};
+  if (!config.datasets.empty()) {
+    datasets.clear();
+    for (const std::string& name : config.datasets) {
+      datasets.push_back(data::ParseDatasetPreset(name).value());
+    }
+  }
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"dataset", "ranker", "hr10", "ndcg10"});
+  for (data::DatasetPreset preset : datasets) {
+    std::printf("-- %s --\n", data::DatasetPresetName(preset));
+    PrintTableHeader({"Ranker", "HR@10", "NDCG@10", "vs-floor"});
+    data::Dataset full = MakeDataset(config, preset);
+    data::LeaveOneOutSplit split = data::SplitLeaveOneOut(full);
+    for (const std::string& name : config.rankers) {
+      rec::FitConfig fit;
+      fit.embedding_dim = config.embedding_dim;
+      fit.epochs = 6;
+      fit.seed = config.seed ^ 0x99u;
+      auto ranker = rec::MakeRecommender(name, fit).value();
+      ranker->Fit(split.train);
+      rec::RankingQuality q =
+          rec::EvaluateRanking(*ranker, full, split.test, protocol);
+      char hr[16];
+      char ndcg[16];
+      char lift[16];
+      std::snprintf(hr, sizeof(hr), "%.3f", q.hit_rate);
+      std::snprintf(ndcg, sizeof(ndcg), "%.3f", q.ndcg);
+      std::snprintf(lift, sizeof(lift), "%.1fx",
+                    q.hit_rate / rec::RandomHitRate(protocol));
+      PrintTableRow({name, hr, ndcg, lift});
+      csv.push_back({data::DatasetPresetName(preset), name, hr, ndcg});
+    }
+    std::printf("\n");
+  }
+  WriteCsvOutput(config, "ranker_quality.csv", csv);
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() {
+  poisonrec::bench::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end PoisonRec run.
+//
+// 1. Generate an implicit-feedback log (a synthetic stand-in for Steam).
+// 2. Stand up the black-box system: an ItemPop ranker pretrained on the
+//    log, wrapped in an AttackEnvironment that only exposes RecNum.
+//    (Swap the name for any of the 8 algorithms: BPR, NeuMF, GRU4Rec, ...)
+// 3. Train the PoisonRec agent (LSTM policy + PPO + BCBT) against it.
+// 4. Inject the best learned attack and report the damage.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/poisonrec.h"
+
+using namespace poisonrec;
+
+int main() {
+  // -- 1. The platform's interaction log ------------------------------------
+  data::SyntheticConfig data_config;
+  data_config.num_users = 300;
+  data_config.num_items = 200;
+  data_config.num_interactions = 6000;
+  data_config.seed = 42;
+  data::Dataset log = data::GenerateSynthetic(data_config);
+  std::printf("log: %zu users, %zu items, %zu interactions\n",
+              log.num_users(), log.num_items(), log.num_interactions());
+
+  // -- 2. The black-box recommender system ----------------------------------
+  rec::FitConfig fit;
+  fit.embedding_dim = 16;
+  auto ranker = rec::MakeRecommender("ItemPop", fit).value();
+
+  env::EnvironmentConfig env_config;
+  env_config.num_attackers = 12;       // N fake accounts
+  env_config.trajectory_length = 15;   // T clicks each
+  env_config.num_target_items = 4;     // |I_t| new items to promote
+  env_config.num_candidate_originals = 40;
+  env_config.top_k = 10;
+  env_config.seed = 7;
+  env::AttackEnvironment system(log, std::move(ranker), env_config);
+  std::printf("baseline RecNum (no attack): %.0f\n",
+              system.BaselineRecNum());
+
+  // -- 3. Train PoisonRec ----------------------------------------------------
+  core::PoisonRecConfig attack_config;
+  attack_config.samples_per_step = 8;   // M
+  attack_config.batch_size = 8;         // B
+  attack_config.update_epochs = 3;      // K
+  attack_config.policy.embedding_dim = 16;
+  attack_config.policy.action_space = core::ActionSpaceKind::kBcbtPopular;
+  attack_config.seed = 99;
+  core::PoisonRecAttacker attacker(&system, attack_config);
+
+  for (int step = 0; step < 15; ++step) {
+    core::TrainStepStats stats = attacker.TrainStep();
+    std::printf(
+        "step %2zu  mean RecNum %6.1f  best %6.0f  target-click ratio "
+        "%.2f\n",
+        stats.step, stats.mean_reward, stats.best_reward_so_far,
+        stats.target_click_ratio);
+  }
+
+  // -- 4. The learned attack -------------------------------------------------
+  const std::vector<env::Trajectory> best_attack = attacker.BestAttack();
+  const double poisoned = system.Evaluate(best_attack);
+  std::printf("\nRecNum after injecting the best learned attack: %.0f\n",
+              poisoned);
+  std::printf("first attacker's trajectory:");
+  for (data::ItemId item : best_attack.front().items) {
+    std::printf(" %zu%s", item,
+                item >= system.num_original_items() ? "*" : "");
+  }
+  std::printf("   (* = target item)\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "attack/appgrad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace poisonrec::attack {
+
+namespace {
+
+/// Clamps to >= 0 and rescales each row to sum to `budget`.
+void ProjectRows(std::vector<std::vector<double>>* m, double budget) {
+  for (std::vector<double>& row : *m) {
+    double sum = 0.0;
+    for (double& v : row) {
+      if (v < 0.0) v = 0.0;
+      sum += v;
+    }
+    if (sum <= 0.0) continue;  // degenerate; re-seeded by caller
+    const double scale = budget / sum;
+    for (double& v : row) v *= scale;
+  }
+}
+
+}  // namespace
+
+AppGradAttack::AppGradAttack(const AppGradConfig& config)
+    : config_(config) {}
+
+std::vector<data::ItemId> AppGradAttack::RowToClicks(
+    const std::vector<double>& row, std::size_t budget, Rng* rng) {
+  // Largest-remainder rounding to integers summing to `budget`.
+  std::vector<std::size_t> counts(row.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const double floor_v = std::floor(row[j]);
+    counts[j] = static_cast<std::size_t>(std::max(0.0, floor_v));
+    assigned += counts[j];
+    remainders.emplace_back(row[j] - floor_v, j);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t r = 0; assigned < budget && r < remainders.size(); ++r) {
+    ++counts[remainders[r].second];
+    ++assigned;
+  }
+  // Over-assignment (all-floor sums above budget cannot happen; equality
+  // handled) — trim from the largest counts if rounding overshot.
+  while (assigned > budget) {
+    auto it = std::max_element(counts.begin(), counts.end());
+    POISONREC_CHECK_GT(*it, 0u);
+    --(*it);
+    --assigned;
+  }
+  std::vector<data::ItemId> clicks;
+  clicks.reserve(budget);
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    for (std::size_t c = 0; c < counts[j]; ++c) {
+      clicks.push_back(static_cast<data::ItemId>(j));
+    }
+  }
+  // AppGrad does not model order; randomize it (paper's third change).
+  rng->Shuffle(&clicks);
+  return clicks;
+}
+
+std::vector<env::Trajectory> AppGradAttack::ToTrajectories(
+    const std::vector<std::vector<double>>& m, std::size_t budget,
+    Rng* rng) {
+  std::vector<env::Trajectory> out;
+  out.reserve(m.size());
+  for (std::size_t n = 0; n < m.size(); ++n) {
+    env::Trajectory traj;
+    traj.attacker_index = n;
+    traj.items = RowToClicks(m[n], budget, rng);
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+std::vector<env::Trajectory> AppGradAttack::GenerateAttack(
+    const env::AttackEnvironment& environment, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = environment.num_attackers();
+  const std::size_t t = environment.trajectory_length();
+  const std::size_t items = environment.num_total_items();
+  const std::vector<data::ItemId>& targets = environment.target_items();
+
+  // Priori-knowledge initialization: ~half of the clicks on targets.
+  std::vector<std::vector<double>> m(n, std::vector<double>(items, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < t; ++c) {
+      if (rng.Bernoulli(0.5)) {
+        m[i][targets[rng.Index(targets.size())]] += 1.0;
+      } else {
+        m[i][rng.Index(environment.num_original_items())] += 1.0;
+      }
+    }
+  }
+
+  auto evaluate = [&](const std::vector<std::vector<double>>& matrix,
+                      std::uint64_t eval_seed) {
+    Rng eval_rng(eval_seed);
+    return environment.Evaluate(ToTrajectories(matrix, t, &eval_rng));
+  };
+
+  std::vector<std::vector<double>> best = m;
+  double best_reward = evaluate(m, rng.Fork());
+
+  const double c = config_.perturbation;
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    // SPSA direction.
+    std::vector<std::vector<double>> delta(
+        n, std::vector<double>(items, 0.0));
+    for (auto& row : delta) {
+      for (double& v : row) v = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    }
+    std::vector<std::vector<double>> plus = m;
+    std::vector<std::vector<double>> minus = m;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < items; ++j) {
+        plus[i][j] += c * delta[i][j];
+        minus[i][j] -= c * delta[i][j];
+      }
+    }
+    ProjectRows(&plus, static_cast<double>(t));
+    ProjectRows(&minus, static_cast<double>(t));
+    const std::uint64_t pair_seed = rng.Fork();
+    const double r_plus = evaluate(plus, pair_seed);
+    const double r_minus = evaluate(minus, pair_seed);
+    if (r_plus == r_minus) continue;
+    const double direction = r_plus > r_minus ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < items; ++j) {
+        m[i][j] += config_.step_size * direction * delta[i][j];
+      }
+    }
+    ProjectRows(&m, static_cast<double>(t));
+    const double reward = evaluate(m, rng.Fork());
+    if (reward > best_reward) {
+      best_reward = reward;
+      best = m;
+    }
+  }
+  Rng final_rng(seed ^ 0xf00dull);
+  return ToTrajectories(best, t, &final_rng);
+}
+
+}  // namespace poisonrec::attack

@@ -1,0 +1,52 @@
+// AppGrad (Christakopoulou & Banerjee, RecSys'19), adapted per the paper's
+// three changes for the implicit-feedback black-box setting: (1) the fake
+// interaction matrix M (attackers x items, M_ij = #clicks of attacker i on
+// item j) is initialized by sampling discrete behaviors with the priori
+// knowledge (about half the clicks on targets); (2) each attacker keeps a
+// budget of exactly T clicks; (3) click order is randomized (the method is
+// order-agnostic). The approximate gradient of f(M) = -RecNum is estimated
+// with SPSA (simultaneous-perturbation), a zeroth-order scheme matching
+// the original's query model, and M is projected back to the integer
+// budget simplex after every step.
+#ifndef POISONREC_ATTACK_APPGRAD_H_
+#define POISONREC_ATTACK_APPGRAD_H_
+
+#include "attack/attack.h"
+
+namespace poisonrec::attack {
+
+struct AppGradConfig {
+  /// Optimization iterations (each costs 2 reward queries).
+  std::size_t iterations = 25;
+  /// SPSA perturbation magnitude (clicks).
+  double perturbation = 1.0;
+  /// Step size applied to the gradient estimate.
+  double step_size = 0.5;
+};
+
+class AppGradAttack : public AttackMethod {
+ public:
+  explicit AppGradAttack(const AppGradConfig& config = AppGradConfig());
+
+  std::string Name() const override { return "AppGrad"; }
+  std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment,
+      std::uint64_t seed) override;
+
+ private:
+  /// Rounds a continuous allocation row to non-negative integers summing
+  /// to T (largest-remainder), then expands to a shuffled click list.
+  static std::vector<data::ItemId> RowToClicks(
+      const std::vector<double>& row, std::size_t budget, Rng* rng);
+
+  /// Materializes M into environment trajectories.
+  static std::vector<env::Trajectory> ToTrajectories(
+      const std::vector<std::vector<double>>& m, std::size_t budget,
+      Rng* rng);
+
+  AppGradConfig config_;
+};
+
+}  // namespace poisonrec::attack
+
+#endif  // POISONREC_ATTACK_APPGRAD_H_

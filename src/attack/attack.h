@@ -1,0 +1,33 @@
+// Common interface for attack methods (the paper's 6 baselines plus a
+// PoisonRec adapter). An attack produces the N fake trajectories of T
+// clicks to inject. Heuristic methods use only attacker-visible knowledge
+// (item popularity); PowerItem and ConsLOP additionally read the system
+// log (the paper includes them as stronger-knowledge competitors); the
+// learning-based methods query the environment's reward.
+#ifndef POISONREC_ATTACK_ATTACK_H_
+#define POISONREC_ATTACK_ATTACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/environment.h"
+
+namespace poisonrec::attack {
+
+class AttackMethod {
+ public:
+  virtual ~AttackMethod() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Generates the full attack (N trajectories x T clicks) against the
+  /// environment. Deterministic given the seed.
+  virtual std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment, std::uint64_t seed) = 0;
+};
+
+}  // namespace poisonrec::attack
+
+#endif  // POISONREC_ATTACK_ATTACK_H_

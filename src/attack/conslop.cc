@@ -1,0 +1,119 @@
+#include "attack/conslop.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace poisonrec::attack {
+
+ConsLopAttack::ConsLopAttack(std::size_t top_k) : top_k_(top_k) {}
+
+std::vector<ConsLopAttack::PlanEntry> ConsLopAttack::Solve(
+    const env::AttackEnvironment& environment) const {
+  const data::Dataset& log = environment.dataset();
+  const std::size_t num_original = environment.num_original_items();
+  const std::size_t k =
+      top_k_ > 0 ? top_k_ : environment.config().top_k;
+
+  // Co-visitation counts from the log (symmetric adjacent pairs).
+  std::vector<std::unordered_map<data::ItemId, std::size_t>> covis(
+      num_original + environment.target_items().size());
+  for (data::UserId u = 0; u < log.num_users(); ++u) {
+    const std::vector<data::ItemId>& seq = log.Sequence(u);
+    for (std::size_t p = 0; p + 1 < seq.size(); ++p) {
+      if (seq[p] == seq[p + 1]) continue;
+      ++covis[seq[p]][seq[p + 1]];
+      ++covis[seq[p + 1]][seq[p]];
+    }
+  }
+
+  // θ_i: co-visits needed for the target to enter item i's top-k
+  // co-visited list (k-th largest count; 0 when the list is not full).
+  const std::vector<std::size_t>& popularity =
+      environment.item_popularity();
+  struct Option {
+    data::ItemId item;
+    std::size_t cost;   // θ_i + 1
+    double gain;        // audience of i
+  };
+  std::vector<Option> options;
+  options.reserve(num_original);
+  for (data::ItemId i = 0; i < num_original; ++i) {
+    std::vector<std::size_t> counts;
+    counts.reserve(covis[i].size());
+    for (const auto& [j, c] : covis[i]) counts.push_back(c);
+    std::size_t theta = 0;
+    if (counts.size() >= k) {
+      std::nth_element(counts.begin(),
+                       counts.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       counts.end(), std::greater<std::size_t>());
+      theta = counts[k - 1];
+    }
+    options.push_back(
+        {i, theta + 1, static_cast<double>(popularity[i])});
+  }
+  std::sort(options.begin(), options.end(),
+            [](const Option& a, const Option& b) {
+              const double ra = a.gain / static_cast<double>(a.cost);
+              const double rb = b.gain / static_cast<double>(b.cost);
+              if (ra != rb) return ra > rb;
+              return a.item < b.item;
+            });
+
+  std::size_t budget = environment.num_attackers() *
+                       environment.trajectory_length() / 2;
+  std::vector<PlanEntry> plan;
+  for (const Option& opt : options) {
+    if (budget == 0) break;
+    if (opt.cost > budget) continue;
+    plan.push_back({opt.item, opt.cost});
+    budget -= opt.cost;
+  }
+  // Leftover budget reinforces the best entry (more co-visits than the
+  // threshold can only help).
+  if (budget > 0 && !plan.empty()) {
+    plan.front().covisit_count += budget;
+  }
+  return plan;
+}
+
+std::vector<env::Trajectory> ConsLopAttack::GenerateAttack(
+    const env::AttackEnvironment& environment, std::uint64_t seed) {
+  Rng rng(seed);
+  // Single-item promotion: one target carries the whole attack.
+  const data::ItemId target = environment.target_items().front();
+  const std::vector<PlanEntry> plan = Solve(environment);
+
+  // Flatten the plan into (target, item) click pairs.
+  std::vector<data::ItemId> clicks;
+  clicks.reserve(environment.num_attackers() *
+                 environment.trajectory_length());
+  for (const PlanEntry& entry : plan) {
+    for (std::size_t c = 0; c < entry.covisit_count; ++c) {
+      clicks.push_back(target);
+      clicks.push_back(entry.item);
+    }
+  }
+  // Pad with pure target clicks if the plan under-spends.
+  const std::size_t total = environment.num_attackers() *
+                            environment.trajectory_length();
+  while (clicks.size() < total) clicks.push_back(target);
+  clicks.resize(total);
+
+  std::vector<env::Trajectory> out;
+  out.reserve(environment.num_attackers());
+  std::size_t cursor = 0;
+  for (std::size_t n = 0; n < environment.num_attackers(); ++n) {
+    env::Trajectory traj;
+    traj.attacker_index = n;
+    for (std::size_t t = 0; t < environment.trajectory_length(); ++t) {
+      traj.items.push_back(clicks[cursor++]);
+    }
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+}  // namespace poisonrec::attack

@@ -1,0 +1,43 @@
+// ConsLOP (Yang et al., NDSS'17): single-target co-visitation injection
+// modeled as a constrained linear optimization. Our solver is the greedy
+// gain/cost relaxation: for every original item i, entering i's top-k
+// co-visited list requires pushing covis(i, t*) past the k-th largest
+// co-visitation count of i (threshold θ_i); the payoff is i's audience
+// (its popularity). With a budget of N·T/2 co-visits, greedily buy the
+// best gain-per-cost items. The resulting plan is emitted as alternating
+// (t*, i) click pairs, the paper's redefinition of co-visits as click
+// sequences.
+#ifndef POISONREC_ATTACK_CONSLOP_H_
+#define POISONREC_ATTACK_CONSLOP_H_
+
+#include "attack/attack.h"
+
+namespace poisonrec::attack {
+
+class ConsLopAttack : public AttackMethod {
+ public:
+  /// `top_k`: size of the co-visitation recommendation list to break into
+  /// (defaults to the environment's top_k at attack time when 0).
+  explicit ConsLopAttack(std::size_t top_k = 0);
+
+  std::string Name() const override { return "ConsLOP"; }
+  std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment,
+      std::uint64_t seed) override;
+
+  /// The per-item injection plan: how many (target, item) co-visits to
+  /// inject into each original item (exposed for tests).
+  struct PlanEntry {
+    data::ItemId item;
+    std::size_t covisit_count;
+  };
+  std::vector<PlanEntry> Solve(const env::AttackEnvironment& environment)
+      const;
+
+ private:
+  std::size_t top_k_;
+};
+
+}  // namespace poisonrec::attack
+
+#endif  // POISONREC_ATTACK_CONSLOP_H_

@@ -1,0 +1,162 @@
+#include "attack/heuristics.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/topk.h"
+
+namespace poisonrec::attack {
+
+namespace {
+
+/// Top `fraction` of original items by popularity (at least 1 item).
+std::vector<data::ItemId> PopularPool(const env::AttackEnvironment& env,
+                                      double fraction) {
+  const std::vector<std::size_t>& pop = env.item_popularity();
+  std::vector<double> scores(env.num_original_items());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<double>(pop[i]);
+  }
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(scores.size() * fraction));
+  return TopKByScore(
+      [&] {
+        std::vector<data::ItemId> ids(scores.size());
+        for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+        return ids;
+      }(),
+      scores, k);
+}
+
+/// Builds N trajectories where each step alternates: even steps click a
+/// target item, odd steps click an item drawn by `pick_other`.
+template <typename PickOther>
+std::vector<env::Trajectory> AlternatingAttack(
+    const env::AttackEnvironment& env, Rng* rng, PickOther pick_other) {
+  const std::vector<data::ItemId>& targets = env.target_items();
+  std::vector<env::Trajectory> out;
+  out.reserve(env.num_attackers());
+  for (std::size_t n = 0; n < env.num_attackers(); ++n) {
+    env::Trajectory traj;
+    traj.attacker_index = n;
+    for (std::size_t t = 0; t < env.trajectory_length(); ++t) {
+      if (t % 2 == 0) {
+        traj.items.push_back(targets[rng->Index(targets.size())]);
+      } else {
+        traj.items.push_back(pick_other());
+      }
+    }
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<env::Trajectory> RandomAttack::GenerateAttack(
+    const env::AttackEnvironment& environment, std::uint64_t seed) {
+  Rng rng(seed);
+  return AlternatingAttack(environment, &rng, [&]() {
+    return static_cast<data::ItemId>(
+        rng.Index(environment.num_original_items()));
+  });
+}
+
+PopularAttack::PopularAttack(double top_fraction)
+    : top_fraction_(top_fraction) {}
+
+std::vector<env::Trajectory> PopularAttack::GenerateAttack(
+    const env::AttackEnvironment& environment, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<data::ItemId> pool =
+      PopularPool(environment, top_fraction_);
+  return AlternatingAttack(environment, &rng, [&]() {
+    return pool[rng.Index(pool.size())];
+  });
+}
+
+MiddleAttack::MiddleAttack(double top_fraction)
+    : top_fraction_(top_fraction) {}
+
+std::vector<env::Trajectory> MiddleAttack::GenerateAttack(
+    const env::AttackEnvironment& environment, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<data::ItemId> popular =
+      PopularPool(environment, top_fraction_);
+  const std::unordered_set<data::ItemId> popular_set(popular.begin(),
+                                                     popular.end());
+  std::vector<data::ItemId> tail;
+  for (data::ItemId i = 0; i < environment.num_original_items(); ++i) {
+    if (popular_set.find(i) == popular_set.end()) tail.push_back(i);
+  }
+  if (tail.empty()) tail = popular;  // degenerate tiny catalogs
+  const std::vector<data::ItemId>& targets = environment.target_items();
+
+  std::vector<env::Trajectory> out;
+  out.reserve(environment.num_attackers());
+  for (std::size_t n = 0; n < environment.num_attackers(); ++n) {
+    env::Trajectory traj;
+    traj.attacker_index = n;
+    for (std::size_t t = 0; t < environment.trajectory_length(); ++t) {
+      switch (rng.Index(3)) {
+        case 0:
+          traj.items.push_back(targets[rng.Index(targets.size())]);
+          break;
+        case 1:
+          traj.items.push_back(popular[rng.Index(popular.size())]);
+          break;
+        default:
+          traj.items.push_back(tail[rng.Index(tail.size())]);
+          break;
+      }
+    }
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+PowerItemAttack::PowerItemAttack(double top_fraction)
+    : top_fraction_(top_fraction) {}
+
+std::vector<std::size_t> PowerItemAttack::InDegreeCentrality(
+    const data::Dataset& dataset) {
+  // Directed edge a -> b per consecutive click pair; in-degree counts
+  // distinct predecessors.
+  std::vector<std::set<data::ItemId>> predecessors(dataset.num_items());
+  for (data::UserId u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<data::ItemId>& seq = dataset.Sequence(u);
+    for (std::size_t p = 0; p + 1 < seq.size(); ++p) {
+      if (seq[p] != seq[p + 1]) predecessors[seq[p + 1]].insert(seq[p]);
+    }
+  }
+  std::vector<std::size_t> in_degree(dataset.num_items());
+  for (std::size_t i = 0; i < in_degree.size(); ++i) {
+    in_degree[i] = predecessors[i].size();
+  }
+  return in_degree;
+}
+
+std::vector<env::Trajectory> PowerItemAttack::GenerateAttack(
+    const env::AttackEnvironment& environment, std::uint64_t seed) {
+  Rng rng(seed);
+  // Requires the system log (stronger knowledge, per the paper).
+  const std::vector<std::size_t> centrality =
+      InDegreeCentrality(environment.dataset());
+  std::vector<double> scores(environment.num_original_items());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<double>(centrality[i]);
+  }
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(scores.size() * top_fraction_));
+  std::vector<data::ItemId> ids(scores.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const std::vector<data::ItemId> power = TopKByScore(ids, scores, k);
+  return AlternatingAttack(environment, &rng, [&]() {
+    return power[rng.Index(power.size())];
+  });
+}
+
+}  // namespace poisonrec::attack

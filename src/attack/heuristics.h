@@ -1,0 +1,72 @@
+// The four heuristic baselines (paper §IV-A):
+//   Random  — alternate a random original item and a random target item
+//   Popular — alternate a top-k% popular item and a target item
+//   Middle  — at each step pick a set among {I_t, I_p, I \ I_p}, then an
+//             item inside it (can click several targets in a row)
+//   PowerItem — alternate an influential "power item" (by in-degree
+//             centrality on the item transition graph; requires the log)
+//             and a target item
+#ifndef POISONREC_ATTACK_HEURISTICS_H_
+#define POISONREC_ATTACK_HEURISTICS_H_
+
+#include "attack/attack.h"
+
+namespace poisonrec::attack {
+
+class RandomAttack : public AttackMethod {
+ public:
+  std::string Name() const override { return "Random"; }
+  std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment,
+      std::uint64_t seed) override;
+};
+
+class PopularAttack : public AttackMethod {
+ public:
+  /// `top_fraction`: size of the popular pool I_p (paper: k% = 10%).
+  explicit PopularAttack(double top_fraction = 0.1);
+
+  std::string Name() const override { return "Popular"; }
+  std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment,
+      std::uint64_t seed) override;
+
+ private:
+  double top_fraction_;
+};
+
+class MiddleAttack : public AttackMethod {
+ public:
+  explicit MiddleAttack(double top_fraction = 0.1);
+
+  std::string Name() const override { return "Middle"; }
+  std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment,
+      std::uint64_t seed) override;
+
+ private:
+  double top_fraction_;
+};
+
+class PowerItemAttack : public AttackMethod {
+ public:
+  /// `top_fraction`: size of the power-item pool.
+  explicit PowerItemAttack(double top_fraction = 0.1);
+
+  std::string Name() const override { return "PowerItem"; }
+  std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment,
+      std::uint64_t seed) override;
+
+  /// In-degree centrality of every item on the directed item transition
+  /// graph built from consecutive clicks (exposed for tests).
+  static std::vector<std::size_t> InDegreeCentrality(
+      const data::Dataset& dataset);
+
+ private:
+  double top_fraction_;
+};
+
+}  // namespace poisonrec::attack
+
+#endif  // POISONREC_ATTACK_HEURISTICS_H_

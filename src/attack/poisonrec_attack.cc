@@ -1,0 +1,19 @@
+#include "attack/poisonrec_attack.h"
+
+namespace poisonrec::attack {
+
+PoisonRecAttack::PoisonRecAttack(const core::PoisonRecConfig& config,
+                                 std::size_t training_steps)
+    : config_(config), training_steps_(training_steps) {}
+
+std::vector<env::Trajectory> PoisonRecAttack::GenerateAttack(
+    const env::AttackEnvironment& environment, std::uint64_t seed) {
+  core::PoisonRecConfig config = config_;
+  config.seed = seed;
+  config.policy.seed = seed ^ 0x6b43a9b5ull;
+  core::PoisonRecAttacker attacker(&environment, config);
+  last_stats_ = attacker.Train(training_steps_);
+  return attacker.BestAttack();
+}
+
+}  // namespace poisonrec::attack

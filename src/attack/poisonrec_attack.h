@@ -1,0 +1,36 @@
+// Adapter presenting PoisonRec through the AttackMethod interface so the
+// comparison harnesses (Table III) can treat all 7 methods uniformly.
+#ifndef POISONREC_ATTACK_POISONREC_ATTACK_H_
+#define POISONREC_ATTACK_POISONREC_ATTACK_H_
+
+#include "attack/attack.h"
+#include "core/ppo.h"
+
+namespace poisonrec::attack {
+
+class PoisonRecAttack : public AttackMethod {
+ public:
+  /// Trains for `training_steps` iterations of Algorithm 1 and returns
+  /// the best attack found.
+  PoisonRecAttack(const core::PoisonRecConfig& config,
+                  std::size_t training_steps);
+
+  std::string Name() const override { return "PoisonRec"; }
+  std::vector<env::Trajectory> GenerateAttack(
+      const env::AttackEnvironment& environment,
+      std::uint64_t seed) override;
+
+  /// Training curve from the most recent GenerateAttack call.
+  const std::vector<core::TrainStepStats>& last_training_stats() const {
+    return last_stats_;
+  }
+
+ private:
+  core::PoisonRecConfig config_;
+  std::size_t training_steps_;
+  std::vector<core::TrainStepStats> last_stats_;
+};
+
+}  // namespace poisonrec::attack
+
+#endif  // POISONREC_ATTACK_POISONREC_ATTACK_H_

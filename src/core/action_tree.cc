@@ -1,0 +1,129 @@
+#include "core/action_tree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace poisonrec::core {
+
+namespace {
+
+// Leaf count of the left child in a complete binary tree with `n` leaves
+// whose deepest level is left-aligned.
+std::size_t LeftSplit(std::size_t n) {
+  POISONREC_CHECK_GE(n, 2u);
+  std::size_t cap = 1;
+  while (cap < n) cap <<= 1;  // cap = 2^ceil(log2 n)
+  const std::size_t bottom = 2 * n - cap;  // leaves on the deepest level
+  const std::size_t half = cap / 2;
+  if (bottom >= half) return half;
+  return (bottom + half) / 2;
+}
+
+}  // namespace
+
+ActionTree::ActionTree(const std::vector<data::ItemId>& target_leaves,
+                       const std::vector<data::ItemId>& original_leaves) {
+  POISONREC_CHECK(!target_leaves.empty());
+  POISONREC_CHECK(!original_leaves.empty());
+  nodes_.reserve(2 * (target_leaves.size() + original_leaves.size()) + 1);
+  const int target_root =
+      BuildComplete(target_leaves, 0, target_leaves.size());
+  const int original_root =
+      BuildComplete(original_leaves, 0, original_leaves.size());
+  // Merged root: left = target subtree (priori knowledge), right = I.
+  root_ = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{target_root, original_root, -1, -1});
+  nodes_[static_cast<std::size_t>(target_root)].parent = root_;
+  nodes_[static_cast<std::size_t>(original_root)].parent = root_;
+
+  data::ItemId max_item = 0;
+  for (const Node& n : nodes_) {
+    if (n.item >= 0) {
+      max_item = std::max(max_item, static_cast<data::ItemId>(n.item));
+    }
+  }
+  leaf_of_item_.assign(max_item + 1, -1);
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].item >= 0) {
+      leaf_of_item_[static_cast<std::size_t>(nodes_[id].item)] =
+          static_cast<int>(id);
+    }
+  }
+  max_depth_ = ComputeDepth(root_);
+}
+
+ActionTree::ActionTree(const std::vector<data::ItemId>& leaves) {
+  POISONREC_CHECK_GE(leaves.size(), 2u);
+  nodes_.reserve(2 * leaves.size());
+  root_ = BuildComplete(leaves, 0, leaves.size());
+
+  data::ItemId max_item = 0;
+  for (const Node& n : nodes_) {
+    if (n.item >= 0) {
+      max_item = std::max(max_item, static_cast<data::ItemId>(n.item));
+    }
+  }
+  leaf_of_item_.assign(max_item + 1, -1);
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].item >= 0) {
+      leaf_of_item_[static_cast<std::size_t>(nodes_[id].item)] =
+          static_cast<int>(id);
+    }
+  }
+  max_depth_ = ComputeDepth(root_);
+}
+
+int ActionTree::BuildComplete(const std::vector<data::ItemId>& leaves,
+                              std::size_t begin, std::size_t count) {
+  if (count == 1) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{-1, -1, -1, static_cast<long>(leaves[begin])});
+    return id;
+  }
+  const std::size_t left_count = LeftSplit(count);
+  const int left = BuildComplete(leaves, begin, left_count);
+  const int right =
+      BuildComplete(leaves, begin + left_count, count - left_count);
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{left, right, -1, -1});
+  nodes_[static_cast<std::size_t>(left)].parent = id;
+  nodes_[static_cast<std::size_t>(right)].parent = id;
+  return id;
+}
+
+int ActionTree::Sibling(int id) const {
+  const int parent = node(id).parent;
+  if (parent < 0) return -1;
+  const Node& p = node(parent);
+  return p.left == id ? p.right : p.left;
+}
+
+int ActionTree::LeafOf(data::ItemId item) const {
+  if (item >= leaf_of_item_.size()) return -1;
+  return leaf_of_item_[item];
+}
+
+void ActionTree::CollectLeaves(int id, std::vector<data::ItemId>* out) const {
+  const Node& n = node(id);
+  if (n.item >= 0) {
+    out->push_back(static_cast<data::ItemId>(n.item));
+    return;
+  }
+  CollectLeaves(n.left, out);
+  CollectLeaves(n.right, out);
+}
+
+std::vector<data::ItemId> ActionTree::LeavesInOrder() const {
+  std::vector<data::ItemId> out;
+  CollectLeaves(root_, &out);
+  return out;
+}
+
+std::size_t ActionTree::ComputeDepth(int id) const {
+  const Node& n = node(id);
+  if (n.item >= 0) return 1;
+  return 1 + std::max(ComputeDepth(n.left), ComputeDepth(n.right));
+}
+
+}  // namespace poisonrec::core

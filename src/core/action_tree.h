@@ -1,0 +1,74 @@
+// Biased Complete Binary Tree (paper §III-E). Two complete binary trees —
+// one over the target items I_t, one over the original items I — merged
+// under a fresh root. The root decision encodes the priori knowledge
+// (~0.5 probability of entering the target subtree at initialization);
+// the complete-binary-tree shape gives O(log |I|) sampling and the
+// popularity-ordered leaf assignment implements Assumption 1 (items with
+// close popularity share ancestors).
+#ifndef POISONREC_CORE_ACTION_TREE_H_
+#define POISONREC_CORE_ACTION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace poisonrec::core {
+
+/// Static tree structure. Node features live in the Policy (internal
+/// nodes have trainable embeddings; leaves reuse item embeddings).
+class ActionTree {
+ public:
+  struct Node {
+    int left = -1;
+    int right = -1;
+    int parent = -1;
+    /// >= 0 for leaves: the real item id.
+    long item = -1;
+  };
+
+  /// `target_leaves` / `original_leaves`: items assigned to the leaves of
+  /// each subtree in left-to-right order. Both must be non-empty.
+  ActionTree(const std::vector<data::ItemId>& target_leaves,
+             const std::vector<data::ItemId>& original_leaves);
+
+  /// Unbiased variant (ablation): one complete binary tree over all
+  /// items, without the target/original root split.
+  explicit ActionTree(const std::vector<data::ItemId>& leaves);
+
+  int root() const { return root_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  bool IsLeaf(int id) const { return node(id).item >= 0; }
+  data::ItemId LeafItem(int id) const {
+    return static_cast<data::ItemId>(node(id).item);
+  }
+  /// The sibling of `id` (its parent's other child). Root has none.
+  int Sibling(int id) const;
+
+  /// Longest root-to-leaf node count (#decisions = MaxDepth()-1).
+  std::size_t MaxDepth() const { return max_depth_; }
+
+  /// Leaf node id holding `item`, or -1 when absent.
+  int LeafOf(data::ItemId item) const;
+
+  /// Items in left-to-right leaf order (testing aid).
+  std::vector<data::ItemId> LeavesInOrder() const;
+
+ private:
+  /// Builds a complete binary tree over leaves [begin, begin+count) of
+  /// `leaves`; returns the subtree root id.
+  int BuildComplete(const std::vector<data::ItemId>& leaves,
+                    std::size_t begin, std::size_t count);
+  void CollectLeaves(int id, std::vector<data::ItemId>* out) const;
+  std::size_t ComputeDepth(int id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<int> leaf_of_item_;
+  int root_ = -1;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace poisonrec::core
+
+#endif  // POISONREC_CORE_ACTION_TREE_H_

@@ -1,0 +1,23 @@
+// Umbrella header: the public API of the PoisonRec library.
+//
+//   #include "core/poisonrec.h"
+//
+//   data::Dataset log = data::GenerateSynthetic(...);
+//   auto ranker = rec::MakeRecommender("BPR").value();
+//   env::AttackEnvironment system(log, std::move(ranker), env_config);
+//   core::PoisonRecAttacker attacker(&system, poisonrec_config);
+//   attacker.Train(100);
+//   double rec_num = system.Evaluate(attacker.BestAttack());
+#ifndef POISONREC_CORE_POISONREC_H_
+#define POISONREC_CORE_POISONREC_H_
+
+#include "core/action_tree.h"
+#include "core/policy.h"
+#include "core/ppo.h"
+#include "core/trajectory.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "env/environment.h"
+#include "rec/registry.h"
+
+#endif  // POISONREC_CORE_POISONREC_H_

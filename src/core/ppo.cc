@@ -1,0 +1,192 @@
+#include "core/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace poisonrec::core {
+
+PoisonRecAttacker::PoisonRecAttacker(const env::AttackEnvironment* environment,
+                                     const PoisonRecConfig& config)
+    : env_(environment), config_(config), rng_(config.seed) {
+  POISONREC_CHECK(env_ != nullptr);
+  POISONREC_CHECK_GE(config_.samples_per_step, config_.batch_size);
+  POISONREC_CHECK_GE(config_.batch_size, 2u)
+      << "reward normalization (Eq. 8) needs at least 2 samples";
+
+  // Attacker knowledge: item count + popularity (crawlable), target ids.
+  std::vector<data::ItemId> originals;
+  {
+    const std::vector<std::size_t>& pop = env_->item_popularity();
+    originals.reserve(env_->num_original_items());
+    for (data::ItemId i = 0; i < env_->num_original_items(); ++i) {
+      originals.push_back(i);
+    }
+    std::sort(originals.begin(), originals.end(),
+              [&pop](data::ItemId a, data::ItemId b) {
+                if (pop[a] != pop[b]) return pop[a] < pop[b];
+                return a < b;
+              });
+  }
+  policy_ = std::make_unique<Policy>(env_->num_attackers(),
+                                     env_->num_total_items(), originals,
+                                     env_->target_items(), config_.policy);
+  optimizer_ = std::make_unique<nn::Adam>(policy_->Parameters(),
+                                          config_.learning_rate);
+}
+
+Episode PoisonRecAttacker::SampleAndEvaluate() {
+  Episode episode;
+  episode.trajectories =
+      policy_->SampleEpisode(env_->trajectory_length(), &rng_);
+  episode.reward = env_->Evaluate(ToEnvTrajectories(episode.trajectories));
+  return episode;
+}
+
+nn::Tensor PoisonRecAttacker::PpoLoss(
+    const std::vector<const Episode*>& batch, double* loss_value) {
+  // Eq. 8: normalize rewards within the batch.
+  std::vector<double> advantages(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    advantages[i] = batch[i]->reward;
+  }
+  NormalizeRewards(&advantages);
+
+  // Flatten trajectories; every decision inherits its episode's advantage.
+  std::vector<const SampledTrajectory*> trajs;
+  std::vector<double> traj_advantage;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (const SampledTrajectory& t : batch[i]->trajectories) {
+      trajs.push_back(&t);
+      traj_advantage.push_back(advantages[i]);
+    }
+  }
+
+  std::vector<DecisionBatch> decisions = policy_->RecomputeLogProbs(trajs);
+
+  // Clipped surrogate (Eq. 7/9): obj = min(r*A, clip(r,1±ε)*A). The min
+  // either selects the ratio term (gradient flows) or a clipped constant
+  // (gradient zero); we encode that with a forward-computed mask.
+  const float eps = config_.clip_epsilon;
+  nn::Tensor total;  // scalar accumulator of sum(obj)
+  std::size_t n_decisions = 0;
+  double const_part = 0.0;  // sum of clipped (constant) objective terms
+  for (const DecisionBatch& batch_k : decisions) {
+    const std::size_t k = batch_k.new_log_probs.rows();
+    n_decisions += k;
+    std::vector<float> old_vals(k);
+    std::vector<float> adv_mask(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      old_vals[i] = static_cast<float>(batch_k.old_log_probs[i]);
+      const double adv = traj_advantage[batch_k.traj_index[i]];
+      const double r = std::exp(
+          static_cast<double>(batch_k.new_log_probs.at(i, 0)) -
+          batch_k.old_log_probs[i]);
+      bool unclipped;
+      if (adv >= 0.0) {
+        unclipped = r <= 1.0 + eps;
+      } else {
+        unclipped = r >= 1.0 - eps;
+      }
+      if (unclipped) {
+        adv_mask[i] = static_cast<float>(adv);
+      } else {
+        adv_mask[i] = 0.0f;
+        const double clipped_r =
+            std::clamp(r, 1.0 - static_cast<double>(eps),
+                       1.0 + static_cast<double>(eps));
+        const_part += clipped_r * adv;
+      }
+    }
+    nn::Tensor old_t = nn::Tensor::FromData(k, 1, std::move(old_vals));
+    nn::Tensor am_t = nn::Tensor::FromData(k, 1, std::move(adv_mask));
+    nn::Tensor ratio = nn::Exp(nn::Sub(batch_k.new_log_probs, old_t));
+    nn::Tensor obj = nn::Sum(nn::Mul(ratio, am_t));
+    total = total.defined() ? nn::Add(total, obj) : obj;
+  }
+  POISONREC_CHECK_GT(n_decisions, 0u);
+  // loss = -(1/D) * (sum_masked + const_part)
+  nn::Tensor loss =
+      nn::Scale(total, -1.0f / static_cast<float>(n_decisions));
+  if (loss_value != nullptr) {
+    *loss_value = loss.item() -
+                  const_part / static_cast<double>(n_decisions);
+  }
+  return loss;
+}
+
+TrainStepStats PoisonRecAttacker::TrainStep() {
+  Timer timer;
+  TrainStepStats stats;
+  stats.step = ++steps_taken_;
+
+  // -- Sample M training examples -------------------------------------------
+  // Sampling is sequential (it advances the shared RNG); the black-box
+  // reward queries are independent and may run concurrently.
+  std::vector<Episode> episodes(config_.samples_per_step);
+  for (Episode& ep : episodes) {
+    ep.trajectories =
+        policy_->SampleEpisode(env_->trajectory_length(), &rng_);
+  }
+  ParallelFor(episodes.size(),
+              config_.parallel_rewards ? config_.num_threads : 1,
+              [this, &episodes](std::size_t m) {
+                episodes[m].reward = env_->Evaluate(
+                    ToEnvTrajectories(episodes[m].trajectories));
+              });
+  RunningStats reward_stats;
+  double click_ratio_sum = 0.0;
+  for (const Episode& ep : episodes) {
+    reward_stats.AddTracked(ep.reward);
+    click_ratio_sum +=
+        TargetClickRatio(ep, env_->num_original_items());
+    if (best_episode_.trajectories.empty() ||
+        ep.reward > best_episode_.reward) {
+      best_episode_ = ep;
+    }
+  }
+  stats.mean_reward = reward_stats.mean();
+  stats.max_reward = reward_stats.max();
+  stats.min_reward = reward_stats.min();
+  stats.best_reward_so_far = best_episode_.reward;
+  stats.target_click_ratio =
+      click_ratio_sum / static_cast<double>(config_.samples_per_step);
+
+  // -- K epochs of PPO updates ----------------------------------------------
+  double loss_sum = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    std::vector<const Episode*> batch;
+    if (config_.batch_size >= episodes.size()) {
+      for (const Episode& ep : episodes) batch.push_back(&ep);
+    } else {
+      std::vector<std::size_t> picks = rng_.SampleWithoutReplacement(
+          episodes.size(), config_.batch_size);
+      for (std::size_t p : picks) batch.push_back(&episodes[p]);
+    }
+    double loss_value = 0.0;
+    nn::Tensor loss = PpoLoss(batch, &loss_value);
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    nn::ClipGradNorm(optimizer_->parameters(), 5.0f);
+    optimizer_->Step();
+    loss_sum += loss_value;
+  }
+  stats.loss = loss_sum / static_cast<double>(config_.update_epochs);
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+std::vector<TrainStepStats> PoisonRecAttacker::Train(std::size_t steps) {
+  std::vector<TrainStepStats> all;
+  all.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    all.push_back(TrainStep());
+  }
+  return all;
+}
+
+}  // namespace poisonrec::core

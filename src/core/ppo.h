@@ -1,0 +1,101 @@
+// PoisonRec training loop (paper Algorithm 1). Each training step samples
+// M episodes (N trajectories each) from the current policy, injects them
+// into the black-box environment for RecNum rewards, then runs K epochs of
+// PPO updates with the clipped surrogate objective (Eq. 7/9) on
+// batch-normalized rewards (Eq. 8).
+#ifndef POISONREC_CORE_PPO_H_
+#define POISONREC_CORE_PPO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/trajectory.h"
+#include "env/environment.h"
+#include "nn/optimizer.h"
+
+namespace poisonrec::core {
+
+struct PoisonRecConfig {
+  /// M: episodes sampled per training step (paper: 32).
+  std::size_t samples_per_step = 32;
+  /// B: update batch size, B <= M (paper: 32).
+  std::size_t batch_size = 32;
+  /// K: PPO epochs per training step (paper: 3).
+  std::size_t update_epochs = 3;
+  /// Adam learning rate (paper: 2e-3).
+  float learning_rate = 2e-3f;
+  /// PPO clip ratio ε (paper: 0.1).
+  float clip_epsilon = 0.1f;
+  /// Evaluate the M independent reward queries of each step concurrently.
+  /// Sampling stays sequential, so results are identical either way.
+  bool parallel_rewards = false;
+  /// Worker threads for parallel evaluation (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  PolicyConfig policy;
+  std::uint64_t seed = 99;
+};
+
+/// Per-training-step telemetry (drives Figure 4/5 and the timing study).
+struct TrainStepStats {
+  std::size_t step = 0;
+  double mean_reward = 0.0;
+  double max_reward = 0.0;
+  double min_reward = 0.0;
+  double best_reward_so_far = 0.0;
+  /// Mean clipped-surrogate loss over the K update epochs.
+  double loss = 0.0;
+  /// Wall-clock seconds for the full training step.
+  double seconds = 0.0;
+  /// Fraction of sampled clicks on target items (Figure 5 statistic).
+  double target_click_ratio = 0.0;
+};
+
+/// The PoisonRec attack agent: ties a Policy to an AttackEnvironment and
+/// runs Algorithm 1.
+class PoisonRecAttacker {
+ public:
+  /// The environment must outlive the attacker.
+  PoisonRecAttacker(const env::AttackEnvironment* environment,
+                    const PoisonRecConfig& config);
+
+  /// One outer iteration of Algorithm 1 (sample M episodes, K PPO epochs).
+  TrainStepStats TrainStep();
+
+  /// Runs `steps` iterations; returns per-step stats.
+  std::vector<TrainStepStats> Train(std::size_t steps);
+
+  /// Highest-reward episode observed so far.
+  const Episode& best_episode() const { return best_episode_; }
+
+  /// The best attack found, as environment trajectories.
+  std::vector<env::Trajectory> BestAttack() const {
+    return ToEnvTrajectories(best_episode_.trajectories);
+  }
+
+  /// Samples a fresh episode from the current policy and evaluates it.
+  Episode SampleAndEvaluate();
+
+  Policy& policy() { return *policy_; }
+  const Policy& policy() const { return *policy_; }
+  const PoisonRecConfig& config() const { return config_; }
+  std::size_t steps_taken() const { return steps_taken_; }
+
+ private:
+  /// PPO surrogate loss over one batch of episodes; differentiable.
+  nn::Tensor PpoLoss(const std::vector<const Episode*>& batch,
+                     double* loss_value);
+
+  const env::AttackEnvironment* env_;
+  PoisonRecConfig config_;
+  std::unique_ptr<Policy> policy_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  Rng rng_;
+  Episode best_episode_;
+  std::size_t steps_taken_ = 0;
+};
+
+}  // namespace poisonrec::core
+
+#endif  // POISONREC_CORE_PPO_H_

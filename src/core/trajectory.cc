@@ -1,0 +1,36 @@
+#include "core/trajectory.h"
+
+namespace poisonrec::core {
+
+std::vector<env::Trajectory> ToEnvTrajectories(
+    const std::vector<SampledTrajectory>& trajectories) {
+  std::vector<env::Trajectory> out;
+  out.reserve(trajectories.size());
+  for (const SampledTrajectory& traj : trajectories) {
+    env::Trajectory t;
+    t.attacker_index = traj.attacker_index;
+    t.items.reserve(traj.steps.size());
+    for (const SampledStep& step : traj.steps) {
+      t.items.push_back(step.item);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+double TargetClickRatio(const Episode& episode,
+                        data::ItemId first_target_item) {
+  std::size_t total = 0;
+  std::size_t on_target = 0;
+  for (const SampledTrajectory& traj : episode.trajectories) {
+    for (const SampledStep& step : traj.steps) {
+      ++total;
+      if (step.item >= first_target_item) ++on_target;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(on_target) /
+                          static_cast<double>(total);
+}
+
+}  // namespace poisonrec::core

@@ -1,0 +1,52 @@
+// Sampled attack trajectories with the bookkeeping PPO needs: every
+// decision's old-policy log-probability and, for tree-structured action
+// spaces, the node path that produced each item.
+#ifndef POISONREC_CORE_TRAJECTORY_H_
+#define POISONREC_CORE_TRAJECTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "env/environment.h"
+
+namespace poisonrec::core {
+
+/// One item selection. Depending on the action space, a step is one
+/// categorical draw (Plain), a set draw + in-set draw (BPlain), or a
+/// root-to-leaf walk (BCBT).
+struct SampledStep {
+  data::ItemId item = 0;
+  /// BCBT: node ids visited, root first, leaf last (decisions =
+  /// path.size()-1). BPlain: {chosen_set} with 0 = targets, 1 = originals.
+  /// Plain: empty.
+  std::vector<int> path;
+  /// Old-policy log-prob of each decision in order.
+  std::vector<double> old_log_probs;
+};
+
+/// One attacker's T-step trajectory.
+struct SampledTrajectory {
+  std::size_t attacker_index = 0;
+  std::vector<SampledStep> steps;
+};
+
+/// One training example m of Algorithm 1: the N trajectories injected
+/// together plus the resulting RecNum.
+struct Episode {
+  std::vector<SampledTrajectory> trajectories;
+  double reward = 0.0;
+};
+
+/// Strips the RL bookkeeping for injection into the environment.
+std::vector<env::Trajectory> ToEnvTrajectories(
+    const std::vector<SampledTrajectory>& trajectories);
+
+/// Fraction of clicks that land on target items (>= `first_target_item`)
+/// across all trajectories of an episode — the Figure 5 statistic.
+double TargetClickRatio(const Episode& episode,
+                        data::ItemId first_target_item);
+
+}  // namespace poisonrec::core
+
+#endif  // POISONREC_CORE_TRAJECTORY_H_

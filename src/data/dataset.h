@@ -1,0 +1,98 @@
+// Implicit-feedback interaction log. This is the substrate every
+// recommender trains on and every attack poisons: an ordered sequence of
+// item interactions per user, with dense user/item id spaces.
+#ifndef POISONREC_DATA_DATASET_H_
+#define POISONREC_DATA_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace poisonrec::data {
+
+using UserId = std::size_t;
+using ItemId = std::size_t;
+
+/// One (user, item) event. `position` is the index within the user's
+/// behavior sequence (the log is implicit feedback; there are no ratings).
+struct Interaction {
+  UserId user;
+  ItemId item;
+  std::size_t position;
+};
+
+/// Mutable interaction log with dense id spaces.
+///
+/// Capacities (`num_users`, `num_items`) are fixed at construction and may
+/// exceed the ids actually present — the attack setting requires reserving
+/// slots for N fake attacker users and for the 8 new target items, which
+/// start with zero interactions ("cold").
+class Dataset {
+ public:
+  Dataset(std::size_t num_users, std::size_t num_items);
+
+  /// Appends an interaction at the end of `user`'s sequence.
+  void Add(UserId user, ItemId item);
+  /// Appends a whole item sequence for `user`.
+  void AddSequence(UserId user, const std::vector<ItemId>& items);
+
+  std::size_t num_users() const { return sequences_.size(); }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_interactions() const { return num_interactions_; }
+
+  /// The user's behavior sequence in temporal order.
+  const std::vector<ItemId>& Sequence(UserId user) const;
+
+  /// Interaction count per item ("popularity" / sales volume — the public
+  /// statistic the paper allows attackers to crawl).
+  const std::vector<std::size_t>& ItemPopularity() const {
+    return popularity_;
+  }
+
+  /// Item ids sorted by ascending popularity (ties by id). This ordering
+  /// drives BCBT-Popular leaf assignment.
+  std::vector<ItemId> ItemsByPopularity() const;
+
+  /// Users with at least `min_len` interactions.
+  std::vector<UserId> UsersWithMinLength(std::size_t min_len) const;
+
+  /// Flat copy of all interactions (ordered by user, then position).
+  std::vector<Interaction> AllInteractions() const;
+
+  /// Deep copy.
+  Dataset Clone() const { return *this; }
+
+ private:
+  std::size_t num_items_;
+  std::size_t num_interactions_ = 0;
+  std::vector<std::vector<ItemId>> sequences_;  // per user
+  std::vector<std::size_t> popularity_;         // per item
+};
+
+/// Leave-one-out split (paper §IV-A): for each user with k >= 3 events,
+/// b_k goes to test, b_{k-1} to validation, the rest to train. Users with
+/// fewer than 3 events stay entirely in train.
+struct LeaveOneOutSplit {
+  Dataset train;
+  std::vector<Interaction> validation;
+  std::vector<Interaction> test;
+};
+
+LeaveOneOutSplit SplitLeaveOneOut(const Dataset& dataset);
+
+/// Reads a dataset from CSV rows "user,item" (dense non-negative ids; rows
+/// in temporal order per user). `num_users`/`num_items` are inferred as
+/// max id + 1 unless larger capacities are given.
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path,
+                                 std::size_t min_users = 0,
+                                 std::size_t min_items = 0);
+
+/// Writes "user,item" rows, ordered by user then position.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace poisonrec::data
+
+#endif  // POISONREC_DATA_DATASET_H_

@@ -1,0 +1,180 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace poisonrec::data {
+
+const char* DatasetPresetName(DatasetPreset preset) {
+  switch (preset) {
+    case DatasetPreset::kSteam:
+      return "Steam";
+    case DatasetPreset::kMovieLens:
+      return "MovieLens";
+    case DatasetPreset::kPhone:
+      return "Phone";
+    case DatasetPreset::kClothing:
+      return "Clothing";
+  }
+  return "?";
+}
+
+StatusOr<DatasetPreset> ParseDatasetPreset(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "steam") return DatasetPreset::kSteam;
+  if (lower == "movielens" || lower == "movielens-1m" || lower == "ml-1m") {
+    return DatasetPreset::kMovieLens;
+  }
+  if (lower == "phone") return DatasetPreset::kPhone;
+  if (lower == "clothing") return DatasetPreset::kClothing;
+  return Status::InvalidArgument("unknown dataset preset '" + name + "'");
+}
+
+SyntheticConfig PresetConfig(DatasetPreset preset, double scale,
+                             std::uint64_t seed) {
+  POISONREC_CHECK_GT(scale, 0.0);
+  SyntheticConfig config;
+  config.seed = seed;
+  // Table II of the paper.
+  switch (preset) {
+    case DatasetPreset::kSteam:
+      config.num_users = 6506;
+      config.num_items = 5134;
+      config.num_interactions = 180721;
+      config.popularity_exponent = 1.0;
+      config.cluster_affinity = 0.6;
+      break;
+    case DatasetPreset::kMovieLens:
+      // MovieLens is dense: ~254 events per item on average, which the
+      // paper calls out as making fake popularity hard to build.
+      config.num_users = 5999;
+      config.num_items = 3706;
+      config.num_interactions = 943317;
+      config.popularity_exponent = 0.8;
+      config.cluster_affinity = 0.5;
+      break;
+    case DatasetPreset::kPhone:
+      config.num_users = 27879;
+      config.num_items = 10429;
+      config.num_interactions = 166560;
+      config.popularity_exponent = 1.1;
+      config.cluster_affinity = 0.65;
+      break;
+    case DatasetPreset::kClothing:
+      config.num_users = 39387;
+      config.num_items = 23033;
+      config.num_interactions = 239290;
+      config.popularity_exponent = 1.1;
+      config.cluster_affinity = 0.65;
+      break;
+  }
+  auto scaled = [scale](std::size_t v) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(v * scale)));
+  };
+  config.num_users = scaled(config.num_users);
+  config.num_items = scaled(config.num_items);
+  config.num_interactions = scaled(config.num_interactions);
+  config.num_clusters =
+      std::max<std::size_t>(2, config.num_items / 64);
+  return config;
+}
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  POISONREC_CHECK_GE(config.num_users, 1u);
+  POISONREC_CHECK_GE(config.num_items, 1u);
+  POISONREC_CHECK_GE(
+      config.num_interactions,
+      config.num_users * config.min_user_length)
+      << "not enough interactions to give every user min_user_length";
+
+  Rng rng(config.seed);
+  const std::size_t n_items = config.num_items;
+  const std::size_t n_clusters = std::min(config.num_clusters, n_items);
+
+  // Global popularity: item ids shuffled, then ranked by a Zipf law so
+  // that popularity is independent of id order.
+  std::vector<ItemId> rank_to_item(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) rank_to_item[i] = i;
+  rng.Shuffle(&rank_to_item);
+  ZipfTable global_zipf(n_items, config.popularity_exponent);
+
+  // Cluster assignment: contiguous popularity ranks spread across clusters
+  // round-robin so every cluster mixes popular and long-tail items.
+  std::vector<std::vector<ItemId>> cluster_items(n_clusters);
+  std::vector<std::size_t> item_cluster(n_items);
+  for (std::size_t r = 0; r < n_items; ++r) {
+    const std::size_t c = r % n_clusters;
+    cluster_items[c].push_back(rank_to_item[r]);
+    item_cluster[rank_to_item[r]] = c;
+  }
+  // Per-cluster Zipf over that cluster's items (by their within-cluster
+  // order, which follows global rank).
+  std::vector<ZipfTable> cluster_zipf;
+  cluster_zipf.reserve(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    cluster_zipf.emplace_back(cluster_items[c].size(),
+                              config.popularity_exponent);
+  }
+
+  // User activity: heterogenous lengths via a Zipf over users, floored at
+  // min_user_length, rescaled to hit the interaction budget.
+  const std::size_t n_users = config.num_users;
+  std::vector<double> raw_len(n_users);
+  double raw_total = 0.0;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    raw_len[u] = 1.0 / std::pow(static_cast<double>(u + 1), 0.7);
+    raw_total += raw_len[u];
+  }
+  const double extra_budget = static_cast<double>(
+      config.num_interactions - n_users * config.min_user_length);
+  std::vector<std::size_t> user_len(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    user_len[u] = config.min_user_length +
+                  static_cast<std::size_t>(
+                      std::floor(extra_budget * raw_len[u] / raw_total));
+  }
+
+  Dataset dataset(n_users, n_items);
+  // Randomize which user gets which length so user id carries no signal.
+  std::vector<UserId> user_order(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) user_order[u] = u;
+  rng.Shuffle(&user_order);
+
+  for (std::size_t slot = 0; slot < n_users; ++slot) {
+    const UserId user = user_order[slot];
+    const std::size_t len = user_len[slot];
+    // Each user prefers 1-3 clusters.
+    const std::size_t n_pref = 1 + rng.Index(3);
+    std::vector<std::size_t> preferred(n_pref);
+    for (std::size_t i = 0; i < n_pref; ++i) {
+      preferred[i] = rng.Index(n_clusters);
+    }
+    std::size_t current_cluster = preferred[0];
+    for (std::size_t t = 0; t < len; ++t) {
+      ItemId item;
+      if (rng.Uniform() < config.cluster_affinity) {
+        // Stay coherent: sample within the current cluster; occasionally
+        // hop to another preferred cluster.
+        if (rng.Uniform() < 0.15) {
+          current_cluster = preferred[rng.Index(n_pref)];
+        }
+        const auto& members = cluster_items[current_cluster];
+        item = members[cluster_zipf[current_cluster].Sample(&rng)];
+      } else {
+        const std::size_t rank = global_zipf.Sample(&rng);
+        item = rank_to_item[rank];
+        current_cluster = item_cluster[item];
+      }
+      dataset.Add(user, item);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace poisonrec::data

@@ -1,0 +1,50 @@
+#include "nn/loss.h"
+
+namespace poisonrec::nn {
+
+Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
+  POISONREC_CHECK_EQ(logits.rows(), targets.rows());
+  POISONREC_CHECK_EQ(logits.cols(), targets.cols());
+  // loss = mean( log(1 + e^x) - x*t ), with the softplus computed stably.
+  return Mean(Sub(Softplus(logits), Mul(logits, targets)));
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  POISONREC_CHECK_EQ(pred.rows(), target.rows());
+  POISONREC_CHECK_EQ(pred.cols(), target.cols());
+  return Mean(Square(Sub(pred, target)));
+}
+
+Tensor MaskedMseLoss(const Tensor& pred, const Tensor& target,
+                     const Tensor& mask) {
+  POISONREC_CHECK_EQ(pred.rows(), mask.rows());
+  POISONREC_CHECK_EQ(pred.cols(), mask.cols());
+  float mask_sum = 0.0f;
+  for (float m : mask.data()) mask_sum += m;
+  POISONREC_CHECK_GT(mask_sum, 0.0f) << "empty mask";
+  Tensor masked = Mul(Square(Sub(pred, target)), mask);
+  return Scale(Sum(masked), 1.0f / mask_sum);
+}
+
+Tensor BprLoss(const Tensor& pos, const Tensor& neg) {
+  POISONREC_CHECK_EQ(pos.rows(), neg.rows());
+  POISONREC_CHECK_EQ(pos.cols(), 1u);
+  POISONREC_CHECK_EQ(neg.cols(), 1u);
+  // -log sigmoid(pos - neg) == softplus(neg - pos)
+  return Mean(Softplus(Sub(neg, pos)));
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<std::size_t>& targets) {
+  POISONREC_CHECK_EQ(logits.rows(), targets.size());
+  Tensor logp = LogSoftmax(logits);
+  Tensor onehot = Tensor::Zeros(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < targets.size(); ++r) {
+    POISONREC_CHECK_LT(targets[r], logits.cols());
+    onehot.set(r, targets[r], 1.0f);
+  }
+  // RowSum picks the target log-prob per row; negate the mean for NLL.
+  return Scale(Mean(RowSum(Mul(logp, onehot))), -1.0f);
+}
+
+}  // namespace poisonrec::nn

@@ -1,0 +1,142 @@
+// Neural-net building blocks: Linear, Embedding, MLP, LSTMCell, GRUCell.
+// Each module owns parameter Tensors and exposes them via Parameters() so
+// optimizers can update them and models can clone/serialize.
+#ifndef POISONREC_NN_MODULE_H_
+#define POISONREC_NN_MODULE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/random.h"
+
+namespace poisonrec::nn {
+
+/// Base class for parameterized modules.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters (aliases; mutating them updates the module).
+  virtual std::vector<Tensor> Parameters() const = 0;
+
+  /// Total scalar parameter count.
+  std::size_t NumParameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Copies parameter values from `other` (must have identical topology).
+  void CopyParametersFrom(const Module& other);
+};
+
+/// Affine map y = x W + b with W: (in x out), b: (1 x out).
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+  std::vector<Tensor> Parameters() const override;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// Embedding table (n x dim); lookup by index list.
+class Embedding : public Module {
+ public:
+  Embedding(std::size_t count, std::size_t dim, Rng* rng,
+            float stddev = 0.1f);
+
+  /// Rows of the table for the given ids -> (|ids| x dim).
+  Tensor Forward(const std::vector<std::size_t>& ids) const;
+  std::vector<Tensor> Parameters() const override;
+
+  const Tensor& table() const { return table_; }
+  Tensor& mutable_table() { return table_; }
+  std::size_t count() const { return table_.rows(); }
+  std::size_t dim() const { return table_.cols(); }
+
+ private:
+  Tensor table_;
+};
+
+/// Multi-layer perceptron with ReLU between layers (none after the last).
+class Mlp : public Module {
+ public:
+  /// `sizes` = {in, hidden..., out}; at least 2 entries.
+  Mlp(const std::vector<std::size_t>& sizes, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+  std::vector<Tensor> Parameters() const override;
+
+  const std::vector<Linear>& layers() const { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+/// Single LSTM cell. Gate order in the fused weight matrices: input,
+/// forget, cell (g), output. Weights: W_x (in x 4h), W_h (h x 4h),
+/// bias (1 x 4h) with forget-gate bias initialized to 1.
+class LstmCell : public Module {
+ public:
+  LstmCell(std::size_t input_size, std::size_t hidden_size, Rng* rng);
+
+  struct State {
+    Tensor h;  // (batch x hidden)
+    Tensor c;  // (batch x hidden)
+  };
+
+  /// Zero initial state for a batch.
+  State InitialState(std::size_t batch) const;
+
+  /// One step: consumes x (batch x in) and the previous state.
+  State Step(const Tensor& x, const State& state) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  std::size_t hidden_size() const { return hidden_size_; }
+  std::size_t input_size() const { return input_size_; }
+
+ private:
+  std::size_t input_size_;
+  std::size_t hidden_size_;
+  Tensor w_x_;
+  Tensor w_h_;
+  Tensor bias_;
+};
+
+/// Single GRU cell (update z, reset r, candidate n). Weights: W_x
+/// (in x 3h), W_h (h x 3h), biases b_x, b_h (1 x 3h).
+class GruCell : public Module {
+ public:
+  GruCell(std::size_t input_size, std::size_t hidden_size, Rng* rng);
+
+  Tensor InitialState(std::size_t batch) const;
+
+  /// One step: h' = (1-z)*n + z*h.
+  Tensor Step(const Tensor& x, const Tensor& h) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  std::size_t hidden_size() const { return hidden_size_; }
+  std::size_t input_size() const { return input_size_; }
+
+ private:
+  std::size_t input_size_;
+  std::size_t hidden_size_;
+  Tensor w_x_;
+  Tensor w_h_;
+  Tensor b_x_;
+  Tensor b_h_;
+};
+
+}  // namespace poisonrec::nn
+
+#endif  // POISONREC_NN_MODULE_H_

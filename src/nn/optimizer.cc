@@ -1,0 +1,90 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace poisonrec::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    POISONREC_CHECK(p.requires_grad())
+        << "optimizer parameter does not require grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    if (p.grad().empty()) continue;
+    std::vector<float>& data = p.mutable_data();
+    const std::vector<float>& grad = p.grad();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] -= lr_ * (grad[i] + weight_decay_ * data[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;
+    std::vector<float>& data = p.mutable_data();
+    const std::vector<float>& grad = p.grad();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      const float g = grad[j] + weight_decay_ * data[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Tensor& p : params) {
+      // grad buffers are mutable through the shared impl
+      auto& grad = const_cast<Tensor&>(p).mutable_grad();
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace poisonrec::nn

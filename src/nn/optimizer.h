@@ -1,0 +1,77 @@
+// First-order optimizers over Tensor parameters: SGD and Adam. Parameters
+// are registered once; Step() reads their gradient buffers and updates the
+// values in place. Callers zero gradients between steps.
+#ifndef POISONREC_NN_OPTIMIZER_H_
+#define POISONREC_NN_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace poisonrec::nn {
+
+/// Base optimizer interface.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently-accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes the gradients of every registered parameter.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& parameters() const { return params_; }
+
+ protected:
+  explicit Optimizer(std::vector<Tensor> params);
+
+  std::vector<Tensor> params_;
+};
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  std::size_t step_count() const { return step_count_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::size_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Global-norm gradient clipping across a parameter set; returns the norm
+/// observed before clipping.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace poisonrec::nn
+
+#endif  // POISONREC_NN_OPTIMIZER_H_

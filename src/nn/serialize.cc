@@ -1,0 +1,107 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace poisonrec::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x505a4e31;  // "PZN1"
+constexpr std::uint32_t kVersion = 1;
+
+void WriteU64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Tensor>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const std::uint32_t header[2] = {kMagic, kVersion};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  WriteU64(out, params.size());
+  for (const Tensor& p : params) {
+    if (!p.defined()) {
+      return Status::InvalidArgument("undefined tensor in parameter list");
+    }
+    WriteU64(out, p.rows());
+    WriteU64(out, p.cols());
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(p.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path, std::vector<Tensor> params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::uint32_t header[2] = {0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kMagic) {
+    return Status::InvalidArgument(path + " is not a PoisonRec checkpoint");
+  }
+  if (header[1] != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(header[1]));
+  }
+  std::uint64_t count = 0;
+  if (!ReadU64(in, &count)) return Status::IoError("truncated checkpoint");
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  for (Tensor& p : params) {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    if (!ReadU64(in, &rows) || !ReadU64(in, &cols)) {
+      return Status::IoError("truncated checkpoint");
+    }
+    if (rows != p.rows() || cols != p.cols()) {
+      return Status::InvalidArgument(
+          "shape mismatch: checkpoint " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " vs model " + p.ShapeString());
+    }
+    in.read(reinterpret_cast<char*>(p.mutable_data().data()),
+            static_cast<std::streamsize>(p.size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated checkpoint payload");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::pair<std::size_t, std::size_t>>>
+PeekCheckpointShapes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::uint32_t header[2] = {0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kMagic) {
+    return Status::InvalidArgument(path + " is not a PoisonRec checkpoint");
+  }
+  std::uint64_t count = 0;
+  if (!ReadU64(in, &count)) return Status::IoError("truncated checkpoint");
+  std::vector<std::pair<std::size_t, std::size_t>> shapes;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    if (!ReadU64(in, &rows) || !ReadU64(in, &cols)) {
+      return Status::IoError("truncated checkpoint");
+    }
+    shapes.emplace_back(rows, cols);
+    in.seekg(static_cast<std::streamoff>(rows * cols * sizeof(float)),
+             std::ios::cur);
+  }
+  return shapes;
+}
+
+}  // namespace poisonrec::nn

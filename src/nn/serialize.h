@@ -1,0 +1,32 @@
+// Binary (de)serialization of parameter sets. Modules expose their
+// parameters as an ordered Tensor list; saving/loading that list
+// checkpoints any model in the library (policy networks, neural rankers).
+// Format: magic, version, tensor count, then per tensor rows/cols +
+// little-endian float32 payload.
+#ifndef POISONREC_NN_SERIALIZE_H_
+#define POISONREC_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace poisonrec::nn {
+
+/// Writes the parameter tensors to `path`.
+Status SaveParameters(const std::vector<Tensor>& params,
+                      const std::string& path);
+
+/// Loads a checkpoint into existing tensors. Count and shapes must match
+/// the checkpoint exactly (the caller constructs the model first, then
+/// restores into it).
+Status LoadParameters(const std::string& path, std::vector<Tensor> params);
+
+/// Reads just the shapes stored in a checkpoint (for diagnostics).
+StatusOr<std::vector<std::pair<std::size_t, std::size_t>>>
+PeekCheckpointShapes(const std::string& path);
+
+}  // namespace poisonrec::nn
+
+#endif  // POISONREC_NN_SERIALIZE_H_

@@ -1,0 +1,73 @@
+#include "nn/sparse.h"
+
+#include <algorithm>
+#include <map>
+
+namespace poisonrec::nn {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  // Coalesce duplicates, then sort by (row, col).
+  std::map<std::pair<std::size_t, std::size_t>, float> coalesced;
+  for (const Triplet& t : triplets) {
+    POISONREC_CHECK_LT(t.row, rows);
+    POISONREC_CHECK_LT(t.col, cols);
+    coalesced[{t.row, t.col}] += t.value;
+  }
+  row_offsets_.assign(rows + 1, 0);
+  col_indices_.reserve(coalesced.size());
+  values_.reserve(coalesced.size());
+  for (const auto& [rc, v] : coalesced) {
+    ++row_offsets_[rc.first + 1];
+    col_indices_.push_back(rc.second);
+    values_.push_back(v);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_offsets_[r + 1] += row_offsets_[r];
+  }
+}
+
+Tensor SparseMatMul(const CsrMatrix& a, const Tensor& x) {
+  POISONREC_CHECK_EQ(a.cols(), x.rows());
+  const std::size_t n = x.cols();
+  Tensor out = Tensor::Zeros(a.rows(), n);
+  {
+    float* od = out.mutable_data().data();
+    const float* xd = x.data().data();
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      float* orow = od + r * n;
+      for (std::size_t p = a.row_offsets()[r]; p < a.row_offsets()[r + 1];
+           ++p) {
+        const float v = a.values()[p];
+        const float* xrow = xd + a.col_indices()[p] * n;
+        for (std::size_t c = 0; c < n; ++c) orow[c] += v * xrow[c];
+      }
+    }
+  }
+  if (GradEnabled() && x.requires_grad()) {
+    auto oi = out.impl();
+    oi->requires_grad = true;
+    oi->EnsureGrad();
+    oi->parents.push_back(x.impl());
+    x.impl()->EnsureGrad();
+    internal::TensorImpl* xi = x.impl().get();
+    internal::TensorImpl* oraw = oi.get();
+    const CsrMatrix* am = &a;  // caller must keep the matrix alive
+    oi->backward_fn = [am, xi, oraw, n]() {
+      // dx = A^T * dout: scatter each sparse entry.
+      for (std::size_t r = 0; r < am->rows(); ++r) {
+        const float* grow = oraw->grad.data() + r * n;
+        for (std::size_t p = am->row_offsets()[r];
+             p < am->row_offsets()[r + 1]; ++p) {
+          const float v = am->values()[p];
+          float* xgrow = xi->grad.data() + am->col_indices()[p] * n;
+          for (std::size_t c = 0; c < n; ++c) xgrow[c] += v * grow[c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace poisonrec::nn

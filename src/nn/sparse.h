@@ -1,0 +1,49 @@
+// CSR sparse matrix + sparse-dense product with autograd. Used by NGCF to
+// propagate embeddings over the normalized user-item adjacency.
+#ifndef POISONREC_NN_SPARSE_H_
+#define POISONREC_NN_SPARSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace poisonrec::nn {
+
+/// Immutable CSR matrix built from COO triplets. Duplicate entries are
+/// summed.
+class CsrMatrix {
+ public:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    float value;
+  };
+
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A * x for a dense vector-like accessor; used internally.
+  const std::vector<std::size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<std::size_t>& col_indices() const { return col_indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_offsets_;  // size rows_+1
+  std::vector<std::size_t> col_indices_;
+  std::vector<float> values_;
+};
+
+/// Dense product A (sparse, m x k) * x (dense, k x n) -> (m x n).
+/// Backward: dx += A^T * dout. A itself is constant (no gradient).
+Tensor SparseMatMul(const CsrMatrix& a, const Tensor& x);
+
+}  // namespace poisonrec::nn
+
+#endif  // POISONREC_NN_SPARSE_H_

@@ -1,0 +1,789 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace poisonrec::nn {
+
+using internal::TensorImpl;
+
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+std::shared_ptr<TensorImpl> NewNode(std::size_t rows, std::size_t cols) {
+  auto node = std::make_shared<TensorImpl>();
+  node->rows = rows;
+  node->cols = cols;
+  node->data.assign(rows * cols, 0.0f);
+  return node;
+}
+
+bool TrackGrad(std::initializer_list<const Tensor*> inputs) {
+  if (!g_grad_enabled) return false;
+  for (const Tensor* t : inputs) {
+    if (t->requires_grad()) return true;
+  }
+  return false;
+}
+
+// Registers parents + backward closure on `out` when tracking is on.
+void Attach(const std::shared_ptr<TensorImpl>& out,
+            std::initializer_list<const Tensor*> inputs,
+            std::function<void()> backward_fn) {
+  out->requires_grad = true;
+  out->EnsureGrad();
+  for (const Tensor* t : inputs) {
+    out->parents.push_back(t->impl());
+    if (t->requires_grad()) t->impl()->EnsureGrad();
+  }
+  out->backward_fn = std::move(backward_fn);
+}
+
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+Tensor Tensor::Zeros(std::size_t rows, std::size_t cols, bool requires_grad) {
+  auto node = NewNode(rows, cols);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->EnsureGrad();
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Ones(std::size_t rows, std::size_t cols, bool requires_grad) {
+  return Full(rows, cols, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::size_t rows, std::size_t cols, float value,
+                    bool requires_grad) {
+  auto node = NewNode(rows, cols);
+  std::fill(node->data.begin(), node->data.end(), value);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->EnsureGrad();
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::FromData(std::size_t rows, std::size_t cols,
+                        std::vector<float> data, bool requires_grad) {
+  POISONREC_CHECK_EQ(rows * cols, data.size());
+  auto node = std::make_shared<TensorImpl>();
+  node->rows = rows;
+  node->cols = cols;
+  node->data = std::move(data);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->EnsureGrad();
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Randn(std::size_t rows, std::size_t cols, float stddev,
+                     Rng* rng, bool requires_grad) {
+  POISONREC_CHECK(rng != nullptr);
+  auto node = NewNode(rows, cols);
+  for (float& v : node->data) {
+    v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->EnsureGrad();
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Rand(std::size_t rows, std::size_t cols, float lo, float hi,
+                    Rng* rng, bool requires_grad) {
+  POISONREC_CHECK(rng != nullptr);
+  auto node = NewNode(rows, cols);
+  for (float& v : node->data) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->EnsureGrad();
+  return Tensor(std::move(node));
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+float Tensor::item() const {
+  POISONREC_CHECK(is_scalar()) << "item() on tensor of shape "
+                               << ShapeString();
+  return impl_->data[0];
+}
+
+void Tensor::ZeroGrad() {
+  if (defined() && !impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::DeepCopy(bool requires_grad) const {
+  POISONREC_CHECK(defined());
+  return FromData(rows(), cols(), impl_->data, requires_grad);
+}
+
+void Tensor::CopyDataFrom(const Tensor& other) {
+  POISONREC_CHECK(defined() && other.defined());
+  POISONREC_CHECK_EQ(rows(), other.rows());
+  POISONREC_CHECK_EQ(cols(), other.cols());
+  impl_->data = other.impl_->data;
+}
+
+std::string Tensor::ShapeString() const {
+  if (!defined()) return "(undefined)";
+  return "(" + std::to_string(rows()) + "x" + std::to_string(cols()) + ")";
+}
+
+void Tensor::Backward() {
+  POISONREC_CHECK(defined());
+  POISONREC_CHECK(is_scalar()) << "Backward() requires a scalar loss, got "
+                               << ShapeString();
+  POISONREC_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor that does not require grad";
+
+  // Iterative post-order DFS to build reverse topological order.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ops
+// ---------------------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  POISONREC_CHECK_EQ(a.cols(), b.rows())
+      << "MatMul shape mismatch " << a.ShapeString() << " * "
+      << b.ShapeString();
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  auto out = NewNode(m, n);
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* od = out->data.data();
+  // i-k-j loop order for cache-friendly access to b.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = ad[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = bd + kk * n;
+      float* orow = od + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a, &b})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* bi = b.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a, &b}, [ai, bi, oi, m, k, n]() {
+      if (ai->requires_grad) {
+        // dA = dC * B^T
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            float acc = 0.0f;
+            const float* grow = oi->grad.data() + i * n;
+            const float* brow = bi->data.data() + kk * n;
+            for (std::size_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            ai->grad[i * k + kk] += acc;
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        // dB = A^T * dC
+        for (std::size_t i = 0; i < m; ++i) {
+          const float* arow = ai->data.data() + i * k;
+          const float* grow = oi->grad.data() + i * n;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            float* bgrow = bi->grad.data() + kk * n;
+            for (std::size_t j = 0; j < n; ++j) bgrow[j] += av * grow[j];
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+namespace {
+
+enum class AddKind { kSame, kBroadcastRow };
+
+AddKind CheckAddShapes(const Tensor& a, const Tensor& b) {
+  if (a.rows() == b.rows() && a.cols() == b.cols()) return AddKind::kSame;
+  POISONREC_CHECK(b.rows() == 1 && b.cols() == a.cols())
+      << "Add/Sub shape mismatch " << a.ShapeString() << " vs "
+      << b.ShapeString();
+  return AddKind::kBroadcastRow;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const AddKind kind = CheckAddShapes(a, b);
+  auto out = NewNode(a.rows(), a.cols());
+  const std::size_t n = a.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const float bv =
+          kind == AddKind::kSame ? b.at(r, c) : b.at(0, c);
+      out->at(r, c) = a.at(r, c) + bv;
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a, &b})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* bi = b.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a, &b}, [ai, bi, oi, kind]() {
+      if (ai->requires_grad) {
+        for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+          ai->grad[i] += oi->grad[i];
+        }
+      }
+      if (bi->requires_grad) {
+        if (kind == AddKind::kSame) {
+          for (std::size_t i = 0; i < bi->grad.size(); ++i) {
+            bi->grad[i] += oi->grad[i];
+          }
+        } else {
+          for (std::size_t r = 0; r < oi->rows; ++r) {
+            for (std::size_t c = 0; c < oi->cols; ++c) {
+              bi->grad[c] += oi->gat(r, c);
+            }
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  const AddKind kind = CheckAddShapes(a, b);
+  auto out = NewNode(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const float bv =
+          kind == AddKind::kSame ? b.at(r, c) : b.at(0, c);
+      out->at(r, c) = a.at(r, c) - bv;
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a, &b})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* bi = b.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a, &b}, [ai, bi, oi, kind]() {
+      if (ai->requires_grad) {
+        for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+          ai->grad[i] += oi->grad[i];
+        }
+      }
+      if (bi->requires_grad) {
+        if (kind == AddKind::kSame) {
+          for (std::size_t i = 0; i < bi->grad.size(); ++i) {
+            bi->grad[i] -= oi->grad[i];
+          }
+        } else {
+          for (std::size_t r = 0; r < oi->rows; ++r) {
+            for (std::size_t c = 0; c < oi->cols; ++c) {
+              bi->grad[c] -= oi->gat(r, c);
+            }
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const bool broadcast_col = (b.cols() == 1 && b.rows() == a.rows() &&
+                              a.cols() != 1);
+  if (!broadcast_col) {
+    POISONREC_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
+        << "Mul shape mismatch " << a.ShapeString() << " vs "
+        << b.ShapeString();
+  }
+  auto out = NewNode(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const float bv = broadcast_col ? b.at(r, 0) : b.at(r, c);
+      out->at(r, c) = a.at(r, c) * bv;
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a, &b})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* bi = b.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a, &b}, [ai, bi, oi, broadcast_col]() {
+      for (std::size_t r = 0; r < oi->rows; ++r) {
+        for (std::size_t c = 0; c < oi->cols; ++c) {
+          const float g = oi->gat(r, c);
+          const float bv =
+              broadcast_col ? bi->data[r] : bi->at(r, c);
+          if (ai->requires_grad) ai->gat(r, c) += g * bv;
+          if (bi->requires_grad) {
+            if (broadcast_col) {
+              bi->grad[r] += g * ai->at(r, c);
+            } else {
+              bi->gat(r, c) += g * ai->at(r, c);
+            }
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+namespace {
+
+// Shared scaffolding for elementwise unary ops:
+// out = fwd(x), dx += dout * dfn(x, y).
+template <typename Fwd, typename Dfn>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn) {
+  auto out = NewNode(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out->data[i] = fwd(a.data()[i]);
+  }
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a}, [ai, oi, dfn]() {
+      if (!ai->requires_grad) return;
+      for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+        ai->grad[i] += oi->grad[i] * dfn(ai->data[i], oi->data[i]);
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Stable logistic.
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryOp(
+      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        POISONREC_CHECK_GT(x, 0.0f) << "Log of non-positive value";
+        return std::log(x);
+      },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        return x > 0.0f ? x + std::log1p(std::exp(-x))
+                        : std::log1p(std::exp(x));
+      },
+      [](float x, float) {
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Softmax(const Tensor& a) {
+  auto out = NewNode(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    float maxv = a.at(r, 0);
+    for (std::size_t c = 1; c < a.cols(); ++c) {
+      maxv = std::max(maxv, a.at(r, c));
+    }
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const float e = std::exp(a.at(r, c) - maxv);
+      out->at(r, c) = e;
+      denom += e;
+    }
+    for (std::size_t c = 0; c < a.cols(); ++c) out->at(r, c) /= denom;
+  }
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a}, [ai, oi]() {
+      if (!ai->requires_grad) return;
+      for (std::size_t r = 0; r < oi->rows; ++r) {
+        float dot = 0.0f;
+        for (std::size_t c = 0; c < oi->cols; ++c) {
+          dot += oi->gat(r, c) * oi->at(r, c);
+        }
+        for (std::size_t c = 0; c < oi->cols; ++c) {
+          ai->gat(r, c) += oi->at(r, c) * (oi->gat(r, c) - dot);
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  auto out = NewNode(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    float maxv = a.at(r, 0);
+    for (std::size_t c = 1; c < a.cols(); ++c) {
+      maxv = std::max(maxv, a.at(r, c));
+    }
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      denom += std::exp(a.at(r, c) - maxv);
+    }
+    const float lse = maxv + std::log(denom);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out->at(r, c) = a.at(r, c) - lse;
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a}, [ai, oi]() {
+      if (!ai->requires_grad) return;
+      for (std::size_t r = 0; r < oi->rows; ++r) {
+        float gsum = 0.0f;
+        for (std::size_t c = 0; c < oi->cols; ++c) gsum += oi->gat(r, c);
+        for (std::size_t c = 0; c < oi->cols; ++c) {
+          ai->gat(r, c) +=
+              oi->gat(r, c) - std::exp(oi->at(r, c)) * gsum;
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor Sum(const Tensor& a) {
+  auto out = NewNode(1, 1);
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v;
+  out->data[0] = acc;
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a}, [ai, oi]() {
+      if (!ai->requires_grad) return;
+      const float g = oi->grad[0];
+      for (float& gv : ai->grad) gv += g;
+    });
+  }
+  return result;
+}
+
+Tensor Mean(const Tensor& a) {
+  POISONREC_CHECK_GT(a.size(), 0u);
+  auto out = NewNode(1, 1);
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v;
+  out->data[0] = acc / static_cast<float>(a.size());
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    const float inv = 1.0f / static_cast<float>(a.size());
+    Attach(out, {&a}, [ai, oi, inv]() {
+      if (!ai->requires_grad) return;
+      const float g = oi->grad[0] * inv;
+      for (float& gv : ai->grad) gv += g;
+    });
+  }
+  return result;
+}
+
+Tensor RowSum(const Tensor& a) {
+  auto out = NewNode(a.rows(), 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += a.at(r, c);
+    out->data[r] = acc;
+  }
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a}, [ai, oi]() {
+      if (!ai->requires_grad) return;
+      for (std::size_t r = 0; r < ai->rows; ++r) {
+        const float g = oi->grad[r];
+        for (std::size_t c = 0; c < ai->cols; ++c) ai->gat(r, c) += g;
+      }
+    });
+  }
+  return result;
+}
+
+Tensor Transpose(const Tensor& a) {
+  auto out = NewNode(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out->at(c, r) = a.at(r, c);
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a}, [ai, oi]() {
+      if (!ai->requires_grad) return;
+      for (std::size_t r = 0; r < ai->rows; ++r) {
+        for (std::size_t c = 0; c < ai->cols; ++c) {
+          ai->gat(r, c) += oi->gat(c, r);
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  POISONREC_CHECK_EQ(a.rows(), b.rows());
+  auto out = NewNode(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out->at(r, c) = a.at(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      out->at(r, a.cols() + c) = b.at(r, c);
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a, &b})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* bi = b.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a, &b}, [ai, bi, oi]() {
+      for (std::size_t r = 0; r < oi->rows; ++r) {
+        if (ai->requires_grad) {
+          for (std::size_t c = 0; c < ai->cols; ++c) {
+            ai->gat(r, c) += oi->gat(r, c);
+          }
+        }
+        if (bi->requires_grad) {
+          for (std::size_t c = 0; c < bi->cols; ++c) {
+            bi->gat(r, c) += oi->gat(r, ai->cols + c);
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  POISONREC_CHECK_EQ(a.cols(), b.cols());
+  auto out = NewNode(a.rows() + b.rows(), a.cols());
+  std::copy(a.data().begin(), a.data().end(), out->data.begin());
+  std::copy(b.data().begin(), b.data().end(),
+            out->data.begin() + static_cast<std::ptrdiff_t>(a.size()));
+  Tensor result(out);
+  if (TrackGrad({&a, &b})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* bi = b.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a, &b}, [ai, bi, oi]() {
+      if (ai->requires_grad) {
+        for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+          ai->grad[i] += oi->grad[i];
+        }
+      }
+      if (bi->requires_grad) {
+        const std::size_t offset = ai->data.size();
+        for (std::size_t i = 0; i < bi->grad.size(); ++i) {
+          bi->grad[i] += oi->grad[offset + i];
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor Cols(const Tensor& a, std::size_t start, std::size_t len) {
+  POISONREC_CHECK_LE(start + len, a.cols());
+  auto out = NewNode(a.rows(), len);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < len; ++c) {
+      out->at(r, c) = a.at(r, start + c);
+    }
+  }
+  Tensor result(out);
+  if (TrackGrad({&a})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a}, [ai, oi, start, len]() {
+      if (!ai->requires_grad) return;
+      for (std::size_t r = 0; r < ai->rows; ++r) {
+        for (std::size_t c = 0; c < len; ++c) {
+          ai->gat(r, start + c) += oi->gat(r, c);
+        }
+      }
+    });
+  }
+  return result;
+}
+
+Tensor Rows(const Tensor& table, const std::vector<std::size_t>& indices) {
+  const std::size_t dim = table.cols();
+  auto out = NewNode(indices.size(), dim);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    POISONREC_CHECK_LT(indices[i], table.rows());
+    std::copy(table.data().begin() +
+                  static_cast<std::ptrdiff_t>(indices[i] * dim),
+              table.data().begin() +
+                  static_cast<std::ptrdiff_t>((indices[i] + 1) * dim),
+              out->data.begin() + static_cast<std::ptrdiff_t>(i * dim));
+  }
+  Tensor result(out);
+  if (TrackGrad({&table})) {
+    TensorImpl* ti = table.impl().get();
+    TensorImpl* oi = out.get();
+    std::vector<std::size_t> idx = indices;
+    Attach(out, {&table}, [ti, oi, idx = std::move(idx), dim]() {
+      if (!ti->requires_grad) return;
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        float* dst = ti->grad.data() + idx[i] * dim;
+        const float* src = oi->grad.data() + i * dim;
+        for (std::size_t c = 0; c < dim; ++c) dst[c] += src[c];
+      }
+    });
+  }
+  return result;
+}
+
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  POISONREC_CHECK_EQ(a.rows(), b.rows());
+  POISONREC_CHECK_EQ(a.cols(), b.cols());
+  auto out = NewNode(a.rows(), 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      acc += a.at(r, c) * b.at(r, c);
+    }
+    out->data[r] = acc;
+  }
+  Tensor result(out);
+  if (TrackGrad({&a, &b})) {
+    TensorImpl* ai = a.impl().get();
+    TensorImpl* bi = b.impl().get();
+    TensorImpl* oi = out.get();
+    Attach(out, {&a, &b}, [ai, bi, oi]() {
+      for (std::size_t r = 0; r < ai->rows; ++r) {
+        const float g = oi->grad[r];
+        for (std::size_t c = 0; c < ai->cols; ++c) {
+          if (ai->requires_grad) ai->gat(r, c) += g * bi->at(r, c);
+          if (bi->requires_grad) bi->gat(r, c) += g * ai->at(r, c);
+        }
+      }
+    });
+  }
+  return result;
+}
+
+std::vector<float> NumericalGradient(
+    const std::function<float(const Tensor&)>& f, Tensor x, float eps) {
+  std::vector<float> grad(x.size());
+  std::vector<float>& data = x.mutable_data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float saved = data[i];
+    data[i] = saved + eps;
+    const float fp = f(x);
+    data[i] = saved - eps;
+    const float fm = f(x);
+    data[i] = saved;
+    grad[i] = (fp - fm) / (2.0f * eps);
+  }
+  return grad;
+}
+
+}  // namespace poisonrec::nn

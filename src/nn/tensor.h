@@ -1,0 +1,199 @@
+// Dense 2-D tensor with reverse-mode automatic differentiation.
+//
+// This is the neural-network substrate for the whole library: the PoisonRec
+// policy network (LSTM + DNN head) and the neural rankers (NeuMF, AutoRec,
+// GRU4Rec, NGCF) are all built from these ops. The design is a dynamic tape:
+// every op allocates a node that remembers its parents and a backward
+// closure; Tensor::Backward() runs the tape in reverse topological order.
+//
+// Tensors are row-major float matrices. A "vector" is a 1xN or Nx1 tensor.
+// Gradients are accumulated into per-node grad buffers; optimizers read
+// them and the caller zeroes them between steps.
+#ifndef POISONREC_NN_TENSOR_H_
+#define POISONREC_NN_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace poisonrec::nn {
+
+namespace internal {
+
+/// Shared node in the autograd graph. Users interact through Tensor.
+struct TensorImpl {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily when requires_grad
+  bool requires_grad = false;
+  // Parents are held by shared_ptr so the graph stays alive until the
+  // output handle is dropped; backward closures capture raw pointers only
+  // (no ownership cycles).
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  float& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  float at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+  float& gat(std::size_t r, std::size_t c) { return grad[r * cols + c]; }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// True when ops should record the autograd tape (default). Toggle with
+/// NoGradGuard in inference/sampling paths to skip bookkeeping.
+bool GradEnabled();
+
+/// RAII scope that disables gradient recording.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Value-semantics handle to an autograd node. Copying a Tensor aliases the
+/// underlying buffer (like a shared_ptr); use DeepCopy for a detached copy.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // -- Factories ----------------------------------------------------------
+  static Tensor Zeros(std::size_t rows, std::size_t cols,
+                      bool requires_grad = false);
+  static Tensor Ones(std::size_t rows, std::size_t cols,
+                     bool requires_grad = false);
+  static Tensor Full(std::size_t rows, std::size_t cols, float value,
+                     bool requires_grad = false);
+  static Tensor FromData(std::size_t rows, std::size_t cols,
+                         std::vector<float> data, bool requires_grad = false);
+  /// Gaussian init N(0, stddev^2).
+  static Tensor Randn(std::size_t rows, std::size_t cols, float stddev,
+                      Rng* rng, bool requires_grad = false);
+  /// Uniform init in [lo, hi).
+  static Tensor Rand(std::size_t rows, std::size_t cols, float lo, float hi,
+                     Rng* rng, bool requires_grad = false);
+
+  // -- Shape / element access ---------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  std::size_t rows() const { return impl_->rows; }
+  std::size_t cols() const { return impl_->cols; }
+  std::size_t size() const { return impl_->data.size(); }
+  bool is_scalar() const { return defined() && size() == 1; }
+
+  float at(std::size_t r, std::size_t c) const { return impl_->at(r, c); }
+  void set(std::size_t r, std::size_t c, float v) { impl_->at(r, c) = v; }
+  /// Value of a 1x1 tensor.
+  float item() const;
+
+  const std::vector<float>& data() const { return impl_->data; }
+  std::vector<float>& mutable_data() { return impl_->data; }
+  /// Gradient buffer (empty until backward touches this node).
+  const std::vector<float>& grad() const { return impl_->grad; }
+  std::vector<float>& mutable_grad() { return impl_->grad; }
+
+  bool requires_grad() const { return defined() && impl_->requires_grad; }
+  /// Clears this tensor's gradient buffer (keeps allocation).
+  void ZeroGrad();
+
+  /// Runs backpropagation from this (scalar) tensor: seeds d(self)/d(self)
+  /// = 1 and applies the tape in reverse topological order.
+  void Backward();
+
+  /// Detached deep copy (new leaf; same data; requires_grad as given).
+  Tensor DeepCopy(bool requires_grad = false) const;
+  /// Overwrites this tensor's values with `other`'s (shapes must match).
+  void CopyDataFrom(const Tensor& other);
+
+  std::string ShapeString() const;
+
+  // Internal: op implementations need the node.
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+// -- Ops --------------------------------------------------------------------
+// All ops allocate a fresh output node; inputs are unmodified.
+
+/// Matrix product: (m x k) * (k x n) -> (m x n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Elementwise sum. Shapes must match, or b may be (1 x n) and broadcast
+/// across a's rows (bias add).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise difference (same broadcast rule as Add).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product; shapes must match, or b may be (m x 1)
+/// and broadcast across a's columns.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Scalar multiple.
+Tensor Scale(const Tensor& a, float s);
+/// Adds a scalar to every element.
+Tensor AddScalar(const Tensor& a, float s);
+
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// max(x, slope*x) with slope in (0,1).
+Tensor LeakyRelu(const Tensor& a, float slope = 0.2f);
+Tensor Exp(const Tensor& a);
+/// Natural log; input must be positive.
+Tensor Log(const Tensor& a);
+/// log(1 + exp(x)), numerically stable.
+Tensor Softplus(const Tensor& a);
+/// Elementwise square.
+Tensor Square(const Tensor& a);
+
+/// Row-wise softmax.
+Tensor Softmax(const Tensor& a);
+/// Row-wise log-softmax (numerically stable).
+Tensor LogSoftmax(const Tensor& a);
+
+/// Sum of all elements -> 1x1.
+Tensor Sum(const Tensor& a);
+/// Mean of all elements -> 1x1.
+Tensor Mean(const Tensor& a);
+/// Row sums -> (m x 1).
+Tensor RowSum(const Tensor& a);
+
+Tensor Transpose(const Tensor& a);
+/// Horizontal concatenation: (m x a) ++ (m x b) -> (m x (a+b)).
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+/// Vertical concatenation: (a x n) ++ (b x n) -> ((a+b) x n).
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+
+/// Contiguous column slice: columns [start, start+len) -> (m x len).
+Tensor Cols(const Tensor& a, std::size_t start, std::size_t len);
+
+/// Gather: selects rows of `table` by index -> (|indices| x cols).
+/// Backward scatter-adds into the table (this is the embedding lookup).
+Tensor Rows(const Tensor& table, const std::vector<std::size_t>& indices);
+
+/// Row-wise dot product of equal-shaped matrices -> (m x 1).
+Tensor RowDot(const Tensor& a, const Tensor& b);
+
+// -- Utilities ----------------------------------------------------------
+
+/// Numerical gradient of f at `x` via central differences (testing aid).
+std::vector<float> NumericalGradient(
+    const std::function<float(const Tensor&)>& f, Tensor x,
+    float eps = 1e-3f);
+
+}  // namespace poisonrec::nn
+
+#endif  // POISONREC_NN_TENSOR_H_

@@ -1,0 +1,96 @@
+#include "rec/candidates.h"
+
+#include <algorithm>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/topk.h"
+
+namespace poisonrec::rec {
+
+RandomCandidateGenerator::RandomCandidateGenerator(
+    std::size_t num_original_items, std::vector<data::ItemId> target_items,
+    std::size_t num_original, std::uint64_t seed)
+    : num_original_items_(num_original_items),
+      targets_(std::move(target_items)),
+      num_original_(std::min(num_original, num_original_items)),
+      seed_(seed) {
+  POISONREC_CHECK_GT(num_original_items_, 0u);
+}
+
+std::vector<data::ItemId> RandomCandidateGenerator::Candidates(
+    data::UserId user) const {
+  // Per-user deterministic draw: hash the seed with the user id.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ull * (user + 1)));
+  std::vector<std::size_t> picks =
+      rng.SampleWithoutReplacement(num_original_items_, num_original_);
+  std::vector<data::ItemId> candidates(picks.begin(), picks.end());
+  candidates.insert(candidates.end(), targets_.begin(), targets_.end());
+  return candidates;
+}
+
+PersonalizedCandidateGenerator::PersonalizedCandidateGenerator(
+    const data::Dataset& clean_log, std::size_t num_original_items,
+    std::vector<data::ItemId> target_items, std::size_t num_original)
+    : targets_(std::move(target_items)) {
+  POISONREC_CHECK_LE(num_original_items, clean_log.num_items());
+  num_original = std::min(num_original, num_original_items);
+
+  // Item-item co-occurrence from adjacent clicks in the clean log.
+  std::vector<std::unordered_map<data::ItemId, double>> covis(
+      num_original_items);
+  for (data::UserId u = 0; u < clean_log.num_users(); ++u) {
+    const std::vector<data::ItemId>& seq = clean_log.Sequence(u);
+    for (std::size_t p = 0; p + 1 < seq.size(); ++p) {
+      const data::ItemId a = seq[p];
+      const data::ItemId b = seq[p + 1];
+      if (a == b || a >= num_original_items || b >= num_original_items) {
+        continue;
+      }
+      covis[a][b] += 1.0;
+      covis[b][a] += 1.0;
+    }
+  }
+  // Popularity backfill order (most popular first).
+  std::vector<data::ItemId> by_pop = clean_log.ItemsByPopularity();
+  std::reverse(by_pop.begin(), by_pop.end());
+
+  per_user_.resize(clean_log.num_users());
+  for (data::UserId u = 0; u < clean_log.num_users(); ++u) {
+    std::unordered_map<data::ItemId, double> scores;
+    for (data::ItemId i : clean_log.Sequence(u)) {
+      if (i >= num_original_items) continue;
+      for (const auto& [j, c] : covis[i]) scores[j] += c;
+    }
+    std::vector<data::ItemId> ids;
+    ids.reserve(scores.size());
+    std::vector<double> vals;
+    vals.reserve(scores.size());
+    for (const auto& [j, c] : scores) {
+      ids.push_back(j);
+      vals.push_back(c);
+    }
+    std::vector<data::ItemId> picked = TopKByScore(ids, vals, num_original);
+    // Backfill thin histories with globally popular items.
+    std::unordered_set<data::ItemId> have(picked.begin(), picked.end());
+    for (data::ItemId p : by_pop) {
+      if (picked.size() >= num_original) break;
+      if (p >= num_original_items || have.count(p) > 0) continue;
+      picked.push_back(p);
+      have.insert(p);
+    }
+    per_user_[u] = std::move(picked);
+  }
+}
+
+std::vector<data::ItemId> PersonalizedCandidateGenerator::Candidates(
+    data::UserId user) const {
+  std::vector<data::ItemId> out;
+  if (user < per_user_.size()) out = per_user_[user];
+  out.insert(out.end(), targets_.begin(), targets_.end());
+  return out;
+}
+
+}  // namespace poisonrec::rec

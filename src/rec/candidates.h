@@ -1,0 +1,77 @@
+// Candidate Generation (paper §III-A1 / §IV-A). The paper uses a random
+// candidate generator for evaluation efficiency: each user's candidate set
+// is 92 randomly-selected original items plus the 8 target items; the
+// Ranker then picks the top-10.
+#ifndef POISONREC_REC_CANDIDATES_H_
+#define POISONREC_REC_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace poisonrec::rec {
+
+/// Candidate Generation component (paper §III-A1): selects the per-user
+/// candidate set the Ranker scores. Every generator appends the target
+/// items so RecNum measures how well the Ranker promotes them (§IV-A).
+class CandidateGenerator {
+ public:
+  virtual ~CandidateGenerator() = default;
+
+  /// The candidate set for one user. Must be deterministic per user so
+  /// the RecNum reward is a stable function of the model.
+  virtual std::vector<data::ItemId> Candidates(data::UserId user) const = 0;
+};
+
+/// Produces per-user candidate sets of `num_original` random items drawn
+/// from [0, num_original_items) plus every target item — the paper's
+/// evaluation protocol ("we use randomly-selected 92 original items and
+/// the 8 target items").
+class RandomCandidateGenerator : public CandidateGenerator {
+ public:
+  RandomCandidateGenerator(std::size_t num_original_items,
+                           std::vector<data::ItemId> target_items,
+                           std::size_t num_original, std::uint64_t seed);
+
+  /// Deterministic per (seed, user): the same user always receives the
+  /// same random candidates, which removes candidate-sampling noise from
+  /// the RecNum reward signal.
+  std::vector<data::ItemId> Candidates(data::UserId user) const override;
+
+  std::size_t candidate_size() const {
+    return num_original_ + targets_.size();
+  }
+
+ private:
+  std::size_t num_original_items_;
+  std::vector<data::ItemId> targets_;
+  std::size_t num_original_;
+  std::uint64_t seed_;
+};
+
+/// Personalized Candidate Generation (ablation of the paper's random
+/// protocol): each user's original candidates are the items most
+/// co-occurring with their history in the clean log (popularity-backed
+/// when history is thin), precomputed at construction. Targets are still
+/// appended, per the evaluation protocol. A harder surface for the
+/// attacker: the original candidates are the user's strongest items
+/// rather than a random (mostly long-tail) draw.
+class PersonalizedCandidateGenerator : public CandidateGenerator {
+ public:
+  PersonalizedCandidateGenerator(const data::Dataset& clean_log,
+                                 std::size_t num_original_items,
+                                 std::vector<data::ItemId> target_items,
+                                 std::size_t num_original);
+
+  std::vector<data::ItemId> Candidates(data::UserId user) const override;
+
+ private:
+  std::vector<std::vector<data::ItemId>> per_user_;
+  std::vector<data::ItemId> targets_;
+};
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_CANDIDATES_H_

@@ -1,0 +1,46 @@
+// CoVisitation: item-based CF over an item-to-item co-visitation graph
+// (Yang et al., NDSS'17 — the system their injection attack targets).
+// Consecutive items in a user's behavior sequence add a co-visitation edge
+// in both directions; a user's score for item j aggregates the
+// co-visitation strength between j and the user's recent history.
+#ifndef POISONREC_REC_COVISITATION_H_
+#define POISONREC_REC_COVISITATION_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace poisonrec::rec {
+
+class CoVisitation : public Recommender {
+ public:
+  explicit CoVisitation(const FitConfig& config = FitConfig());
+
+  std::string Name() const override { return "CoVisitation"; }
+  void Fit(const data::Dataset& dataset) override;
+  void Update(const data::Dataset& poison) override;
+  std::vector<double> Score(
+      data::UserId user,
+      const std::vector<data::ItemId>& candidates) const override;
+  std::unique_ptr<Recommender> Clone() const override;
+
+  /// Co-visitation count between two items (0 when no edge).
+  double CoVisits(data::ItemId a, data::ItemId b) const;
+
+  /// Number of history items aggregated at scoring time.
+  static constexpr std::size_t kHistoryWindow = 10;
+
+ private:
+  void Accumulate(const data::Dataset& dataset, bool record_history);
+
+  // covisits_[i][j] = number of adjacent (i, j) visits (symmetric).
+  std::vector<std::unordered_map<data::ItemId, double>> covisits_;
+  std::vector<double> item_count_;               // visit counts, for damping
+  std::vector<std::vector<data::ItemId>> history_;  // per real user
+};
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_COVISITATION_H_

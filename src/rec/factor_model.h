@@ -1,0 +1,72 @@
+// Shared plumbing for the hand-rolled latent-factor rankers (PMF, BPR):
+// flat row-major user/item factor tables with fast dot products. The
+// neural rankers use the autograd substrate instead; these two models have
+// closed-form SGD updates, so plain buffers are simpler and faster.
+#ifndef POISONREC_REC_FACTOR_MODEL_H_
+#define POISONREC_REC_FACTOR_MODEL_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace poisonrec::rec {
+
+/// User/item latent factor tables (row-major, `dim` columns).
+struct FactorTables {
+  std::size_t dim = 0;
+  std::vector<float> user;  // num_users x dim
+  std::vector<float> item;  // num_items x dim
+
+  void Init(std::size_t num_users, std::size_t num_items, std::size_t d,
+            float stddev, Rng* rng) {
+    dim = d;
+    user.resize(num_users * d);
+    item.resize(num_items * d);
+    for (float& v : user) v = static_cast<float>(rng->Normal(0.0, stddev));
+    for (float& v : item) v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+
+  float* UserRow(data::UserId u) { return user.data() + u * dim; }
+  const float* UserRow(data::UserId u) const { return user.data() + u * dim; }
+  float* ItemRow(data::ItemId i) { return item.data() + i * dim; }
+  const float* ItemRow(data::ItemId i) const { return item.data() + i * dim; }
+
+  double Dot(data::UserId u, data::ItemId i) const {
+    const float* pu = UserRow(u);
+    const float* qi = ItemRow(i);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) acc += pu[k] * qi[k];
+    return acc;
+  }
+
+  std::size_t num_users() const { return dim == 0 ? 0 : user.size() / dim; }
+  std::size_t num_items() const { return dim == 0 ? 0 : item.size() / dim; }
+};
+
+/// Per-user positive-item sets (for negative sampling).
+std::vector<std::unordered_set<data::ItemId>> BuildPositiveSets(
+    const data::Dataset& dataset);
+
+/// Merges `extra`'s positives into `sets` (resizing for new users).
+void MergePositiveSets(const data::Dataset& extra,
+                       std::vector<std::unordered_set<data::ItemId>>* sets);
+
+/// Samples an item not in `positives`; falls back to any item after a few
+/// rejections (dense users).
+data::ItemId SampleNegative(std::size_t num_items,
+                            const std::unordered_set<data::ItemId>& positives,
+                            Rng* rng);
+
+/// Update-replay mix (see FitConfig::update_replay_ratio): returns the
+/// poison events plus `ratio * |poison|` interactions sampled uniformly
+/// with replacement from the clean log.
+std::vector<data::Interaction> MixWithReplay(
+    std::vector<data::Interaction> poison_events,
+    const std::vector<data::Interaction>& clean, double ratio, Rng* rng);
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_FACTOR_MODEL_H_

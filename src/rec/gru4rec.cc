@@ -1,0 +1,170 @@
+#include "rec/gru4rec.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace poisonrec::rec {
+
+Gru4Rec::Net::Net(std::size_t num_items, std::size_t dim, Rng* rng)
+    : items(num_items, dim, rng), gru(dim, dim, rng) {}
+
+std::vector<nn::Tensor> Gru4Rec::Net::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Tensor& p : items.Parameters()) params.push_back(p);
+  for (const nn::Tensor& p : gru.Parameters()) params.push_back(p);
+  return params;
+}
+
+Gru4Rec::Gru4Rec(const FitConfig& config) : config_(config) {}
+
+Gru4Rec::Gru4Rec(const Gru4Rec& other)
+    : config_(other.config_),
+      num_items_(other.num_items_),
+      history_(other.history_),
+      clean_sequences_(other.clean_sequences_),
+      update_seed_(other.update_seed_) {
+  if (other.net_ != nullptr) {
+    Rng rng(0x6a09e667ull);
+    net_ = std::make_unique<Net>(num_items_, config_.embedding_dim, &rng);
+    std::vector<nn::Tensor> dst = net_->Parameters();
+    std::vector<nn::Tensor> src = other.net_->Parameters();
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i].CopyDataFrom(src[i]);
+    }
+  }
+}
+
+const nn::Tensor& Gru4Rec::ItemEmbeddings() const {
+  POISONREC_CHECK(net_ != nullptr) << "GRU4Rec not fitted";
+  return net_->items.table();
+}
+
+nn::Tensor Gru4Rec::Encode(const std::vector<data::ItemId>& sequence) const {
+  nn::Tensor h = net_->gru.InitialState(1);
+  const std::size_t start =
+      sequence.size() > config_.max_sequence_length
+          ? sequence.size() - config_.max_sequence_length
+          : 0;
+  for (std::size_t p = start; p < sequence.size(); ++p) {
+    nn::Tensor x = net_->items.Forward({sequence[p]});
+    h = net_->gru.Step(x, h);
+  }
+  return h;
+}
+
+void Gru4Rec::TrainEpochs(
+    const std::vector<std::vector<data::ItemId>>& sequences,
+    std::size_t epochs, Rng* rng) {
+  nn::Adam optimizer(net_->Parameters(), config_.learning_rate, 0.9f, 0.999f,
+                     1e-8f, config_.weight_decay);
+  std::vector<std::size_t> order;
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    if (sequences[s].size() >= 2) order.push_back(s);
+  }
+  const std::size_t n_neg = std::max<std::size_t>(
+      4, config_.negatives_per_positive * 4);
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (std::size_t s : order) {
+      const std::vector<data::ItemId>& full = sequences[s];
+      const std::size_t start =
+          full.size() > config_.max_sequence_length
+              ? full.size() - config_.max_sequence_length
+              : 0;
+      nn::Tensor h = net_->gru.InitialState(1);
+      nn::Tensor loss;  // accumulated across steps
+      std::size_t steps = 0;
+      for (std::size_t p = start; p + 1 < full.size(); ++p) {
+        nn::Tensor x = net_->items.Forward({full[p]});
+        h = net_->gru.Step(x, h);
+        // Sampled softmax: positive first, then negatives.
+        std::vector<std::size_t> cands;
+        cands.push_back(full[p + 1]);
+        for (std::size_t n = 0; n < n_neg; ++n) {
+          cands.push_back(rng->Index(num_items_));
+        }
+        nn::Tensor cand_emb = net_->items.Forward(cands);
+        nn::Tensor logits = nn::MatMul(h, nn::Transpose(cand_emb));
+        nn::Tensor step_loss = nn::SoftmaxCrossEntropy(logits, {0});
+        loss = steps == 0 ? step_loss : nn::Add(loss, step_loss);
+        ++steps;
+      }
+      if (steps == 0) continue;
+      loss = nn::Scale(loss, 1.0f / static_cast<float>(steps));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+void Gru4Rec::Fit(const data::Dataset& dataset) {
+  Rng rng(config_.seed);
+  num_items_ = dataset.num_items();
+  net_ = std::make_unique<Net>(num_items_, config_.embedding_dim, &rng);
+  history_.assign(dataset.num_users(), {});
+  std::vector<std::vector<data::ItemId>> sequences;
+  sequences.reserve(dataset.num_users());
+  for (data::UserId u = 0; u < dataset.num_users(); ++u) {
+    history_[u] = dataset.Sequence(u);
+    sequences.push_back(dataset.Sequence(u));
+  }
+  clean_sequences_ = sequences;
+  TrainEpochs(sequences, config_.epochs, &rng);
+  update_seed_ = rng.Fork();
+}
+
+void Gru4Rec::Update(const data::Dataset& poison) {
+  POISONREC_CHECK(net_ != nullptr) << "Update before Fit";
+  POISONREC_CHECK_EQ(poison.num_items(), num_items_);
+  Rng rng(update_seed_ ^ 0xbb67ae8584caa73bull);
+  if (poison.num_users() > history_.size()) {
+    history_.resize(poison.num_users());
+  }
+  std::vector<std::vector<data::ItemId>> sequences;
+  for (data::UserId u = 0; u < poison.num_users(); ++u) {
+    const std::vector<data::ItemId>& seq = poison.Sequence(u);
+    if (seq.empty()) continue;
+    history_[u].insert(history_[u].end(), seq.begin(), seq.end());
+    sequences.push_back(seq);
+  }
+  // Replay: mix in clean sequences so the model does not collapse onto
+  // the poison sessions (see FitConfig::update_replay_ratio).
+  if (!clean_sequences_.empty()) {
+    const std::size_t extra = static_cast<std::size_t>(
+        config_.update_replay_ratio *
+        static_cast<double>(sequences.size()));
+    for (std::size_t i = 0; i < extra; ++i) {
+      sequences.push_back(
+          clean_sequences_[rng.Index(clean_sequences_.size())]);
+    }
+  }
+  TrainEpochs(sequences, config_.update_epochs, &rng);
+}
+
+std::vector<double> Gru4Rec::Score(
+    data::UserId user, const std::vector<data::ItemId>& candidates) const {
+  POISONREC_CHECK(net_ != nullptr) << "Score before Fit";
+  nn::NoGradGuard no_grad;
+  std::vector<data::ItemId> seq;
+  if (user < history_.size()) seq = history_[user];
+  nn::Tensor h = Encode(seq);
+  std::vector<std::size_t> cands(candidates.begin(), candidates.end());
+  nn::Tensor cand_emb = net_->items.Forward(cands);
+  nn::Tensor logits = nn::MatMul(h, nn::Transpose(cand_emb));
+  std::vector<double> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = logits.at(0, i);
+  }
+  return scores;
+}
+
+std::unique_ptr<Recommender> Gru4Rec::Clone() const {
+  return std::unique_ptr<Recommender>(new Gru4Rec(*this));
+}
+
+}  // namespace poisonrec::rec

@@ -1,0 +1,52 @@
+// ItemKNN (Sarwar et al., WWW'01): classic item-based collaborative
+// filtering, cited by the paper as the historical baseline family
+// (§II-A). Items are similar when the same users interact with both;
+// similarity is cosine over the user-incidence vectors, and a user's
+// score for item j aggregates the similarity between j and the user's
+// history. Unlike CoVisitation it uses set co-occurrence (any two items
+// of the same user), not adjacency, so click *order* is irrelevant.
+#ifndef POISONREC_REC_ITEMKNN_H_
+#define POISONREC_REC_ITEMKNN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace poisonrec::rec {
+
+class ItemKnn : public Recommender {
+ public:
+  explicit ItemKnn(const FitConfig& config = FitConfig());
+
+  std::string Name() const override { return "ItemKNN"; }
+  void Fit(const data::Dataset& dataset) override;
+  void Update(const data::Dataset& poison) override;
+  std::vector<double> Score(
+      data::UserId user,
+      const std::vector<data::ItemId>& candidates) const override;
+  std::unique_ptr<Recommender> Clone() const override;
+
+  /// Raw co-occurrence count (number of users having interacted with
+  /// both items); exposed for tests.
+  double CoOccurrences(data::ItemId a, data::ItemId b) const;
+
+  /// Pairs per user are capped to bound the quadratic blowup of heavy
+  /// users (the cap samples the user's distinct items).
+  static constexpr std::size_t kMaxItemsPerUser = 64;
+
+ private:
+  void AccumulateUser(data::UserId user,
+                      const std::vector<data::ItemId>& seq);
+
+  FitConfig config_;
+  // cooccur_[i][j] = #users with both i and j.
+  std::vector<std::unordered_map<data::ItemId, double>> cooccur_;
+  std::vector<double> item_users_;  // #users per item (cosine norm)
+  std::vector<std::vector<data::ItemId>> history_;
+};
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_ITEMKNN_H_

@@ -1,0 +1,41 @@
+#include "rec/itempop.h"
+
+#include "util/logging.h"
+
+namespace poisonrec::rec {
+
+ItemPop::ItemPop(const FitConfig& config) { (void)config; }
+
+void ItemPop::Fit(const data::Dataset& dataset) {
+  counts_.assign(dataset.num_items(), 0.0);
+  const std::vector<std::size_t>& pop = dataset.ItemPopularity();
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    counts_[i] = static_cast<double>(pop[i]);
+  }
+}
+
+void ItemPop::Update(const data::Dataset& poison) {
+  POISONREC_CHECK_EQ(poison.num_items(), counts_.size())
+      << "poison log capacity mismatch";
+  const std::vector<std::size_t>& pop = poison.ItemPopularity();
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    counts_[i] += static_cast<double>(pop[i]);
+  }
+}
+
+std::vector<double> ItemPop::Score(
+    data::UserId /*user*/, const std::vector<data::ItemId>& candidates) const {
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (data::ItemId item : candidates) {
+    POISONREC_CHECK_LT(item, counts_.size());
+    scores.push_back(counts_[item]);
+  }
+  return scores;
+}
+
+std::unique_ptr<Recommender> ItemPop::Clone() const {
+  return std::make_unique<ItemPop>(*this);
+}
+
+}  // namespace poisonrec::rec

@@ -1,0 +1,32 @@
+// ItemPop: non-personalized popularity ranker (paper baseline testbed).
+// Items are scored by their interaction count; a poisoning attack raises a
+// target item's count by repeatedly clicking it.
+#ifndef POISONREC_REC_ITEMPOP_H_
+#define POISONREC_REC_ITEMPOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace poisonrec::rec {
+
+class ItemPop : public Recommender {
+ public:
+  explicit ItemPop(const FitConfig& config = FitConfig());
+
+  std::string Name() const override { return "ItemPop"; }
+  void Fit(const data::Dataset& dataset) override;
+  void Update(const data::Dataset& poison) override;
+  std::vector<double> Score(
+      data::UserId user,
+      const std::vector<data::ItemId>& candidates) const override;
+  std::unique_ptr<Recommender> Clone() const override;
+
+ private:
+  std::vector<double> counts_;
+};
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_ITEMPOP_H_

@@ -1,0 +1,160 @@
+#include "rec/neumf.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace poisonrec::rec {
+
+namespace {
+constexpr std::uint64_t kCloneRngSeed = 0xabcdef12345ull;
+}  // namespace
+
+NeuMf::Net::Net(std::size_t num_users, std::size_t num_items,
+                std::size_t dim, Rng* rng)
+    : gmf_user(num_users, dim, rng),
+      gmf_item(num_items, dim, rng),
+      mlp_user(num_users, dim, rng),
+      mlp_item(num_items, dim, rng),
+      mlp({2 * dim, dim, std::max<std::size_t>(1, dim / 2)}, rng),
+      fuse(dim + std::max<std::size_t>(1, dim / 2), 1, rng) {}
+
+std::vector<nn::Tensor> NeuMf::Net::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(&gmf_user),
+        static_cast<const nn::Module*>(&gmf_item),
+        static_cast<const nn::Module*>(&mlp_user),
+        static_cast<const nn::Module*>(&mlp_item),
+        static_cast<const nn::Module*>(&mlp),
+        static_cast<const nn::Module*>(&fuse)}) {
+    for (const nn::Tensor& p : m->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+NeuMf::NeuMf(const FitConfig& config) : config_(config) {}
+
+NeuMf::NeuMf(const NeuMf& other)
+    : config_(other.config_),
+      num_users_(other.num_users_),
+      num_items_(other.num_items_),
+      positives_(other.positives_),
+      clean_(other.clean_),
+      update_seed_(other.update_seed_) {
+  if (other.net_ != nullptr) {
+    Rng rng(kCloneRngSeed);
+    net_ = std::make_unique<Net>(num_users_, num_items_,
+                                 config_.embedding_dim, &rng);
+    std::vector<nn::Tensor> dst = net_->Parameters();
+    std::vector<nn::Tensor> src = other.net_->Parameters();
+    POISONREC_CHECK_EQ(dst.size(), src.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i].CopyDataFrom(src[i]);
+    }
+  }
+}
+
+const nn::Tensor& NeuMf::ItemEmbeddings() const {
+  POISONREC_CHECK(net_ != nullptr) << "NeuMF not fitted";
+  return net_->gmf_item.table();
+}
+
+nn::Tensor NeuMf::ForwardLogits(const std::vector<std::size_t>& users,
+                                const std::vector<std::size_t>& items) const {
+  nn::Tensor eu_g = net_->gmf_user.Forward(users);
+  nn::Tensor ei_g = net_->gmf_item.Forward(items);
+  nn::Tensor gmf = nn::Mul(eu_g, ei_g);  // (B x dim)
+  nn::Tensor eu_m = net_->mlp_user.Forward(users);
+  nn::Tensor ei_m = net_->mlp_item.Forward(items);
+  nn::Tensor mlp_out = net_->mlp.Forward(nn::ConcatCols(eu_m, ei_m));
+  mlp_out = nn::Relu(mlp_out);
+  return net_->fuse.Forward(nn::ConcatCols(gmf, mlp_out));  // (B x 1)
+}
+
+void NeuMf::TrainEpochs(const std::vector<data::Interaction>& interactions,
+                        std::size_t epochs, Rng* rng) {
+  nn::Adam optimizer(net_->Parameters(), config_.learning_rate, 0.9f, 0.999f,
+                     1e-8f, config_.weight_decay);
+  std::vector<std::size_t> order(interactions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t batch_positives = std::max<std::size_t>(
+      1, config_.batch_size / (1 + config_.negatives_per_positive));
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (std::size_t start = 0; start < order.size();
+         start += batch_positives) {
+      const std::size_t end =
+          std::min(order.size(), start + batch_positives);
+      std::vector<std::size_t> users;
+      std::vector<std::size_t> items;
+      std::vector<float> labels;
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const data::Interaction& ev = interactions[order[idx]];
+        users.push_back(ev.user);
+        items.push_back(ev.item);
+        labels.push_back(1.0f);
+        for (std::size_t n = 0; n < config_.negatives_per_positive; ++n) {
+          users.push_back(ev.user);
+          items.push_back(
+              SampleNegative(num_items_, positives_[ev.user], rng));
+          labels.push_back(0.0f);
+        }
+      }
+      nn::Tensor logits = ForwardLogits(users, items);
+      const std::size_t n_examples = labels.size();
+      nn::Tensor targets =
+          nn::Tensor::FromData(n_examples, 1, std::move(labels));
+      nn::Tensor loss = nn::BceWithLogits(logits, targets);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+void NeuMf::Fit(const data::Dataset& dataset) {
+  Rng rng(config_.seed);
+  num_users_ = dataset.num_users();
+  num_items_ = dataset.num_items();
+  net_ = std::make_unique<Net>(num_users_, num_items_,
+                               config_.embedding_dim, &rng);
+  positives_ = BuildPositiveSets(dataset);
+  clean_ = dataset.AllInteractions();
+  TrainEpochs(clean_, config_.epochs, &rng);
+  update_seed_ = rng.Fork();
+}
+
+void NeuMf::Update(const data::Dataset& poison) {
+  POISONREC_CHECK(net_ != nullptr) << "Update before Fit";
+  POISONREC_CHECK_EQ(poison.num_items(), num_items_);
+  POISONREC_CHECK_LE(poison.num_users(), num_users_);
+  Rng rng(update_seed_ ^ 0x5bd1e9955bd1e995ull);
+  MergePositiveSets(poison, &positives_);
+  TrainEpochs(MixWithReplay(poison.AllInteractions(), clean_,
+                            config_.update_replay_ratio, &rng),
+              config_.update_epochs, &rng);
+}
+
+std::vector<double> NeuMf::Score(
+    data::UserId user, const std::vector<data::ItemId>& candidates) const {
+  POISONREC_CHECK(net_ != nullptr) << "Score before Fit";
+  nn::NoGradGuard no_grad;
+  std::vector<std::size_t> users(candidates.size(), user);
+  std::vector<std::size_t> items(candidates.begin(), candidates.end());
+  nn::Tensor logits = ForwardLogits(users, items);
+  std::vector<double> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = logits.at(i, 0);
+  }
+  return scores;
+}
+
+std::unique_ptr<Recommender> NeuMf::Clone() const {
+  return std::unique_ptr<Recommender>(new NeuMf(*this));
+}
+
+}  // namespace poisonrec::rec

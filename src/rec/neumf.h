@@ -1,0 +1,67 @@
+// NeuMF: Neural Collaborative Filtering (He et al., WWW'17). Fuses a GMF
+// branch (elementwise product of user/item embeddings) with an MLP branch
+// (concatenated embeddings through ReLU layers); a final linear layer maps
+// the fused representation to a preference logit. Trained with binary
+// cross-entropy over observed positives and sampled negatives.
+#ifndef POISONREC_REC_NEUMF_H_
+#define POISONREC_REC_NEUMF_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "rec/factor_model.h"
+#include "rec/recommender.h"
+
+namespace poisonrec::rec {
+
+class NeuMf : public Recommender {
+ public:
+  explicit NeuMf(const FitConfig& config = FitConfig());
+  NeuMf(const NeuMf& other);
+  NeuMf& operator=(const NeuMf&) = delete;
+
+  std::string Name() const override { return "NeuMF"; }
+  void Fit(const data::Dataset& dataset) override;
+  void Update(const data::Dataset& poison) override;
+  std::vector<double> Score(
+      data::UserId user,
+      const std::vector<data::ItemId>& candidates) const override;
+  std::unique_ptr<Recommender> Clone() const override;
+
+  /// The GMF item embedding table (used for strategy visualization).
+  const nn::Tensor& ItemEmbeddings() const;
+
+ private:
+  struct Net {
+    Net(std::size_t num_users, std::size_t num_items, std::size_t dim,
+        Rng* rng);
+    std::vector<nn::Tensor> Parameters() const;
+
+    nn::Embedding gmf_user;
+    nn::Embedding gmf_item;
+    nn::Embedding mlp_user;
+    nn::Embedding mlp_item;
+    nn::Mlp mlp;       // (2*dim) -> dim -> dim/2
+    nn::Linear fuse;   // (dim + dim/2) -> 1
+  };
+
+  /// Batch of (user, item) pair logits -> (batch x 1).
+  nn::Tensor ForwardLogits(const std::vector<std::size_t>& users,
+                           const std::vector<std::size_t>& items) const;
+
+  void TrainEpochs(const std::vector<data::Interaction>& interactions,
+                   std::size_t epochs, Rng* rng);
+
+  FitConfig config_;
+  std::size_t num_users_ = 0;
+  std::size_t num_items_ = 0;
+  std::unique_ptr<Net> net_;
+  std::vector<std::unordered_set<data::ItemId>> positives_;
+  std::vector<data::Interaction> clean_;  // replay pool for Update
+  std::uint64_t update_seed_ = 0;
+};
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_NEUMF_H_

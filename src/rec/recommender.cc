@@ -1,0 +1,14 @@
+#include "rec/recommender.h"
+
+#include "util/topk.h"
+
+namespace poisonrec::rec {
+
+std::vector<data::ItemId> Recommender::RecommendTopK(
+    data::UserId user, const std::vector<data::ItemId>& candidates,
+    std::size_t k) const {
+  std::vector<double> scores = Score(user, candidates);
+  return TopKByScore(candidates, scores, k);
+}
+
+}  // namespace poisonrec::rec

@@ -1,0 +1,81 @@
+// The Ranker abstraction (paper §III-A1). A recommender fits on an
+// implicit-feedback log, can be cloned and incrementally updated with a
+// poison log (Algorithm 1's DataPoisoning reloads the pretrained ranker
+// and updates it with D^p), and scores candidate items for a user.
+#ifndef POISONREC_REC_RECOMMENDER_H_
+#define POISONREC_REC_RECOMMENDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace poisonrec::rec {
+
+/// Hyperparameters shared across rankers. Individual models ignore the
+/// fields that do not apply to them.
+struct FitConfig {
+  /// Latent/embedding dimension.
+  std::size_t embedding_dim = 16;
+  /// Epochs over the log for pretraining (Fit).
+  std::size_t epochs = 5;
+  /// Epochs over the poison log for incremental updates (Update).
+  std::size_t update_epochs = 3;
+  float learning_rate = 0.05f;
+  float weight_decay = 1e-4f;
+  /// Negative samples per observed positive (models with sampled losses).
+  std::size_t negatives_per_positive = 2;
+  /// Truncation for sequence models.
+  std::size_t max_sequence_length = 30;
+  /// Mini-batch size for the neural models.
+  std::size_t batch_size = 64;
+  /// Propagation depth for graph models (NGCF).
+  std::size_t num_layers = 2;
+  /// When the parametric models are incrementally updated with a poison
+  /// log, each update epoch also replays `update_replay_ratio` x as many
+  /// clean interactions sampled from the training log. This models a
+  /// production system that keeps training on its full log (which now
+  /// contains the poison) instead of on the poison alone — without it,
+  /// a handful of fake clicks catastrophically overwrite the model.
+  /// Count-based models (ItemPop, CoVisitation) are exact and ignore it.
+  double update_replay_ratio = 4.0;
+  std::uint64_t seed = 7;
+};
+
+/// Abstract ranker. Implementations must be deterministic given the seed
+/// in their FitConfig.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Canonical algorithm name ("ItemPop", "BPR", ...).
+  virtual std::string Name() const = 0;
+
+  /// Trains from scratch on `dataset`. The dataset's capacities define the
+  /// user/item id spaces (including cold target items and empty attacker
+  /// slots).
+  virtual void Fit(const data::Dataset& dataset) = 0;
+
+  /// Incrementally updates the fitted model with additional (poison)
+  /// interactions. `poison` must share the capacities of the fit dataset.
+  virtual void Update(const data::Dataset& poison) = 0;
+
+  /// Preference scores for `candidates`, one per candidate, higher =
+  /// more preferred.
+  virtual std::vector<double> Score(
+      data::UserId user, const std::vector<data::ItemId>& candidates) const = 0;
+
+  /// Deep copy (model parameters + any cached state).
+  virtual std::unique_ptr<Recommender> Clone() const = 0;
+
+  /// Top-k of the candidate set by score (descending; deterministic ties).
+  std::vector<data::ItemId> RecommendTopK(
+      data::UserId user, const std::vector<data::ItemId>& candidates,
+      std::size_t k) const;
+};
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_RECOMMENDER_H_

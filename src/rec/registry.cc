@@ -1,0 +1,68 @@
+#include "rec/registry.h"
+
+#include <cctype>
+
+#include "rec/autorec.h"
+#include "rec/bpr.h"
+#include "rec/covisitation.h"
+#include "rec/gru4rec.h"
+#include "rec/itemknn.h"
+#include "rec/itempop.h"
+#include "rec/neumf.h"
+#include "rec/ngcf.h"
+#include "rec/pmf.h"
+
+namespace poisonrec::rec {
+
+const std::vector<std::string>& AllRecommenderNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"ItemPop", "CoVisitation", "PMF", "BPR",
+                                   "NeuMF",   "AutoRec",      "GRU4Rec",
+                                   "NGCF"};
+  return *kNames;
+}
+
+const std::vector<std::string>& ExtendedRecommenderNames() {
+  static const std::vector<std::string>* const kNames = [] {
+    auto* names = new std::vector<std::string>(AllRecommenderNames());
+    names->push_back("ItemKNN");
+    return names;
+  }();
+  return *kNames;
+}
+
+StatusOr<std::unique_ptr<Recommender>> MakeRecommender(
+    const std::string& name, const FitConfig& config) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "itempop") {
+    return std::unique_ptr<Recommender>(new ItemPop(config));
+  }
+  if (lower == "covisitation" || lower == "covisit") {
+    return std::unique_ptr<Recommender>(new CoVisitation(config));
+  }
+  if (lower == "pmf") {
+    return std::unique_ptr<Recommender>(new Pmf(config));
+  }
+  if (lower == "bpr") {
+    return std::unique_ptr<Recommender>(new Bpr(config));
+  }
+  if (lower == "neumf") {
+    return std::unique_ptr<Recommender>(new NeuMf(config));
+  }
+  if (lower == "autorec") {
+    return std::unique_ptr<Recommender>(new AutoRec(config));
+  }
+  if (lower == "gru4rec") {
+    return std::unique_ptr<Recommender>(new Gru4Rec(config));
+  }
+  if (lower == "ngcf") {
+    return std::unique_ptr<Recommender>(new Ngcf(config));
+  }
+  if (lower == "itemknn") {
+    return std::unique_ptr<Recommender>(new ItemKnn(config));
+  }
+  return Status::NotFound("unknown recommender '" + name + "'");
+}
+
+}  // namespace poisonrec::rec

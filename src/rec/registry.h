@@ -1,0 +1,28 @@
+// Name-based factory for the 8 ranker testbeds.
+#ifndef POISONREC_REC_REGISTRY_H_
+#define POISONREC_REC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rec/recommender.h"
+#include "util/status.h"
+
+namespace poisonrec::rec {
+
+/// Canonical names of all 8 algorithms, in the paper's table order:
+/// ItemPop, CoVisitation, PMF, BPR, NeuMF, AutoRec, GRU4Rec, NGCF.
+const std::vector<std::string>& AllRecommenderNames();
+
+/// The paper's 8 plus the extra classic baselines this library ships
+/// (currently ItemKNN).
+const std::vector<std::string>& ExtendedRecommenderNames();
+
+/// Constructs a ranker by (case-insensitive) name.
+StatusOr<std::unique_ptr<Recommender>> MakeRecommender(
+    const std::string& name, const FitConfig& config = FitConfig());
+
+}  // namespace poisonrec::rec
+
+#endif  // POISONREC_REC_REGISTRY_H_

@@ -1,0 +1,27 @@
+// Tiny CSV reader/writer used by the dataset loader and the benchmark
+// harnesses that emit figure data.
+#ifndef POISONREC_UTIL_CSV_H_
+#define POISONREC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace poisonrec {
+
+/// Splits one CSV line on commas. No quoting support — the formats this
+/// library reads/writes are plain numeric tables.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Reads a whole CSV file into rows of fields. Skips empty lines.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path);
+
+/// Writes rows of fields as CSV.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_CSV_H_

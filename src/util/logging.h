@@ -1,0 +1,83 @@
+// Minimal logging + CHECK macros. CHECK failures indicate programmer
+// errors (invariant violations) and abort; recoverable errors use Status
+// (see util/status.h).
+#ifndef POISONREC_UTIL_LOGGING_H_
+#define POISONREC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace poisonrec {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal level aborts.
+/// Messages below the global level are formatted but not printed; the
+/// hot paths of the library do not log, so this simplicity is fine.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace poisonrec
+
+#define POISONREC_LOG(level)                          \
+  ::poisonrec::internal::LogMessage(                  \
+      ::poisonrec::LogLevel::k##level, __FILE__, __LINE__)
+
+#define POISONREC_CHECK(cond)                                         \
+  if (!(cond))                                                        \
+  ::poisonrec::internal::LogMessage(::poisonrec::LogLevel::kFatal,    \
+                                    __FILE__, __LINE__)               \
+      << "Check failed: " #cond " "
+
+#define POISONREC_CHECK_OP(a, b, op)                                  \
+  if (!((a)op(b)))                                                    \
+  ::poisonrec::internal::LogMessage(::poisonrec::LogLevel::kFatal,    \
+                                    __FILE__, __LINE__)               \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs "     \
+      << (b) << ") "
+
+#define POISONREC_CHECK_EQ(a, b) POISONREC_CHECK_OP(a, b, ==)
+#define POISONREC_CHECK_NE(a, b) POISONREC_CHECK_OP(a, b, !=)
+#define POISONREC_CHECK_LT(a, b) POISONREC_CHECK_OP(a, b, <)
+#define POISONREC_CHECK_LE(a, b) POISONREC_CHECK_OP(a, b, <=)
+#define POISONREC_CHECK_GT(a, b) POISONREC_CHECK_OP(a, b, >)
+#define POISONREC_CHECK_GE(a, b) POISONREC_CHECK_OP(a, b, >=)
+
+#define POISONREC_CHECK_OK(expr)                                      \
+  do {                                                                \
+    ::poisonrec::Status _st = (expr);                                 \
+    POISONREC_CHECK(_st.ok()) << _st.ToString();                      \
+  } while (false)
+
+#endif  // POISONREC_UTIL_LOGGING_H_

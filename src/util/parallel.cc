@@ -1,0 +1,35 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace poisonrec {
+
+void ParallelFor(std::size_t count, std::size_t num_threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&]() {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace poisonrec

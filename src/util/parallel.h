@@ -1,0 +1,23 @@
+// Minimal data parallelism: a blocking parallel-for over an index range.
+// Used to evaluate the M independent reward queries of a PoisonRec
+// training step concurrently (each query clones and updates its own
+// ranker, so iterations share no mutable state).
+#ifndef POISONREC_UTIL_PARALLEL_H_
+#define POISONREC_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace poisonrec {
+
+/// Runs fn(0) .. fn(count-1), splitting indices across up to
+/// `num_threads` workers (0 = hardware concurrency). Blocks until every
+/// call returns. Falls back to the calling thread when count <= 1 or one
+/// thread is requested. fn must be safe to invoke concurrently for
+/// distinct indices.
+void ParallelFor(std::size_t count, std::size_t num_threads,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_PARALLEL_H_

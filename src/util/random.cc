@@ -1,0 +1,96 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace poisonrec {
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  POISONREC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    POISONREC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  POISONREC_CHECK_GT(total, 0.0) << "all categorical weights are zero";
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numerical tail
+}
+
+std::size_t Rng::CategoricalFromLogits(const std::vector<double>& logits) {
+  POISONREC_CHECK(!logits.empty());
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> weights(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    weights[i] = std::exp(logits[i] - max_logit);
+  }
+  return Categorical(weights);
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  POISONREC_CHECK_LE(k, n);
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t or j.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = static_cast<std::size_t>(
+        UniformInt(0, static_cast<std::int64_t>(j)));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::size_t Rng::Zipf(std::size_t n, double exponent) {
+  POISONREC_CHECK_GT(n, 0u);
+  // Direct inverse-CDF on the fly; fine for occasional draws.
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+  }
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -exponent);
+    if (target < acc) return r;
+  }
+  return n - 1;
+}
+
+ZipfTable::ZipfTable(std::size_t n, double exponent) {
+  POISONREC_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_[r] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfTable::Sample(Rng* rng) const {
+  double u = rng->Uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfTable::Pmf(std::size_t r) const {
+  POISONREC_CHECK_LT(r, cdf_.size());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace poisonrec

@@ -1,0 +1,31 @@
+#include "util/stats.h"
+
+namespace poisonrec {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+void NormalizeRewards(std::vector<double>* values) {
+  if (values->empty()) return;
+  double mean = Mean(*values);
+  double sd = StdDev(*values);
+  if (sd <= 1e-12) {
+    for (double& v : *values) v = 0.0;
+    return;
+  }
+  for (double& v : *values) v = (v - mean) / sd;
+}
+
+}  // namespace poisonrec

@@ -1,0 +1,160 @@
+// Status / StatusOr: lightweight error propagation in the style of
+// Abseil/Arrow. Library code returns Status (or StatusOr<T>) from fallible
+// operations instead of throwing; programmer errors use CHECK macros
+// (see util/logging.h).
+#ifndef POISONREC_UTIL_STATUS_H_
+#define POISONREC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace poisonrec {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a code + message otherwise.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Access to the value when
+/// the status is not OK aborts (programmer error).
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from both T and Status keeps call sites terse:
+  //   StatusOr<int> F() { if (bad) return Status::InvalidArgument("x"); ... }
+  StatusOr(T value) : value_(std::move(value)) {}           // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfNotOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfNotOk() const {
+  if (!ok()) internal::DieOnBadStatusAccess(status_);
+}
+
+/// Propagates a non-OK Status to the caller.
+#define POISONREC_RETURN_NOT_OK(expr)                    \
+  do {                                                   \
+    ::poisonrec::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                           \
+  } while (false)
+
+/// Assigns the value of a StatusOr expression to `lhs`, propagating errors.
+#define POISONREC_ASSIGN_OR_RETURN(lhs, expr)            \
+  POISONREC_ASSIGN_OR_RETURN_IMPL(                       \
+      POISONREC_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define POISONREC_CONCAT_INNER_(a, b) a##b
+#define POISONREC_CONCAT_(a, b) POISONREC_CONCAT_INNER_(a, b)
+
+#define POISONREC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the timing experiments (§IV-B of the paper).
+#ifndef POISONREC_UTIL_TIMER_H_
+#define POISONREC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace poisonrec {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_TIMER_H_

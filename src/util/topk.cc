@@ -1,0 +1,23 @@
+#include "util/topk.h"
+
+namespace poisonrec {
+
+std::vector<std::size_t> TopKIndices(const std::vector<double>& scores,
+                                     std::size_t k) {
+  std::vector<std::size_t> idx(scores.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto better = [&scores](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  if (k >= idx.size()) {
+    std::sort(idx.begin(), idx.end(), better);
+    return idx;
+  }
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), better);
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace poisonrec

@@ -1,0 +1,37 @@
+// Top-k selection over score vectors — the primitive every ranker uses to
+// produce the recommendation list L_u.
+#ifndef POISONREC_UTIL_TOPK_H_
+#define POISONREC_UTIL_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace poisonrec {
+
+/// Returns the indices of the k largest scores, ordered by descending
+/// score. Ties are broken by ascending index so that rankings are
+/// deterministic. If k >= scores.size(), returns all indices sorted.
+std::vector<std::size_t> TopKIndices(const std::vector<double>& scores,
+                                     std::size_t k);
+
+/// Same as TopKIndices but maps through an id vector: returns the ids
+/// whose scores are in the top k. `ids` and `scores` must align.
+template <typename Id>
+std::vector<Id> TopKByScore(const std::vector<Id>& ids,
+                            const std::vector<double>& scores,
+                            std::size_t k) {
+  POISONREC_CHECK_EQ(ids.size(), scores.size());
+  std::vector<std::size_t> idx = TopKIndices(scores, k);
+  std::vector<Id> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) out.push_back(ids[i]);
+  return out;
+}
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_TOPK_H_

@@ -1,0 +1,153 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace poisonrec::viz {
+
+namespace internal {
+
+std::vector<double> ComputeAffinities(const std::vector<double>& sq_dist,
+                                      std::size_t n, double perplexity) {
+  POISONREC_CHECK_EQ(sq_dist.size(), n * n);
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> p(n * n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Binary search the precision beta = 1/(2 sigma^2).
+    double beta = 1.0;
+    double beta_lo = -1.0;  // unset
+    double beta_hi = -1.0;
+    std::vector<double> row(n, 0.0);
+    for (int iter = 0; iter < 50; ++iter) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = j == i ? 0.0 : std::exp(-sq_dist[i * n + j] * beta);
+        sum += row[j];
+      }
+      if (sum <= 0.0) sum = 1e-12;
+      double entropy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (row[j] <= 0.0) continue;
+        const double pj = row[j] / sum;
+        entropy -= pj * std::log(pj);
+      }
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_lo = beta;
+        beta = beta_hi < 0.0 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = beta_lo < 0.0 ? beta / 2.0 : (beta + beta_lo) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    if (sum <= 0.0) sum = 1e-12;
+    for (std::size_t j = 0; j < n; ++j) {
+      p[i * n + j] = row[j] / sum;
+    }
+  }
+
+  // Symmetrize and normalize: P_ij = (p_ij + p_ji) / 2n.
+  std::vector<double> sym(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      sym[i * n + j] = std::max(
+          (p[i * n + j] + p[j * n + i]) / (2.0 * static_cast<double>(n)),
+          1e-12);
+    }
+  }
+  return sym;
+}
+
+}  // namespace internal
+
+std::vector<double> TsneEmbed(const std::vector<double>& points,
+                              std::size_t n, std::size_t dim,
+                              const TsneConfig& config) {
+  POISONREC_CHECK_EQ(points.size(), n * dim);
+  POISONREC_CHECK_GE(n, 2u);
+
+  // Pairwise squared distances in the input space.
+  std::vector<double> sq_dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double d = points[i * dim + k] - points[j * dim + k];
+        acc += d * d;
+      }
+      sq_dist[i * n + j] = acc;
+      sq_dist[j * n + i] = acc;
+    }
+  }
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+  std::vector<double> p = internal::ComputeAffinities(
+      sq_dist, n, std::max(2.0, perplexity));
+
+  Rng rng(config.seed);
+  std::vector<double> y(n * 2);
+  for (double& v : y) v = rng.Normal(0.0, 1e-2);
+  std::vector<double> velocity(n * 2, 0.0);
+  std::vector<double> q(n * n, 0.0);
+  std::vector<double> grad(n * 2, 0.0);
+
+  const std::size_t exaggeration_end = config.iterations / 4;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? config.early_exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = y[i * 2] - y[j * 2];
+        const double dy = y[i * 2 + 1] - y[j * 2 + 1];
+        const double t = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = t;
+        q[j * n + i] = t;
+        q_sum += 2.0 * t;
+      }
+    }
+    if (q_sum <= 0.0) q_sum = 1e-12;
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double t = q[i * n + j];
+        const double qij = std::max(t / q_sum, 1e-12);
+        const double mult =
+            4.0 * (exaggeration * p[i * n + j] - qij) * t;
+        grad[i * 2] += mult * (y[i * 2] - y[j * 2]);
+        grad[i * 2 + 1] += mult * (y[i * 2 + 1] - y[j * 2 + 1]);
+      }
+    }
+    for (std::size_t k = 0; k < n * 2; ++k) {
+      velocity[k] =
+          config.momentum * velocity[k] - config.learning_rate * grad[k];
+      y[k] += velocity[k];
+    }
+    // Center the embedding.
+    double mean_x = 0.0;
+    double mean_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mean_x += y[i * 2];
+      mean_y += y[i * 2 + 1];
+    }
+    mean_x /= static_cast<double>(n);
+    mean_y /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i * 2] -= mean_x;
+      y[i * 2 + 1] -= mean_y;
+    }
+  }
+  return y;
+}
+
+}  // namespace poisonrec::viz

@@ -1,0 +1,40 @@
+// Exact O(n^2) t-SNE (van der Maaten & Hinton, 2008) — the visualization
+// substrate for Figure 6 (2-D maps of learned item embeddings with the
+// attack's clicked items marked). Suitable for up to a few thousand
+// points, which covers the scaled experiment catalogs.
+#ifndef POISONREC_VIZ_TSNE_H_
+#define POISONREC_VIZ_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace poisonrec::viz {
+
+struct TsneConfig {
+  double perplexity = 30.0;
+  std::size_t iterations = 300;
+  double learning_rate = 50.0;
+  double momentum = 0.8;
+  /// Early exaggeration factor applied for the first quarter of the run.
+  double early_exaggeration = 4.0;
+  std::uint64_t seed = 5;
+};
+
+/// Embeds `n` points of dimension `dim` (row-major `points`, size n*dim)
+/// into 2-D. Returns row-major (n x 2) coordinates.
+std::vector<double> TsneEmbed(const std::vector<double>& points,
+                              std::size_t n, std::size_t dim,
+                              const TsneConfig& config = TsneConfig());
+
+namespace internal {
+
+/// Symmetric affinities P from pairwise squared distances, with per-point
+/// bandwidths found by binary search on the target perplexity. Exposed
+/// for tests.
+std::vector<double> ComputeAffinities(const std::vector<double>& sq_dist,
+                                      std::size_t n, double perplexity);
+
+}  // namespace internal
+}  // namespace poisonrec::viz
+
+#endif  // POISONREC_VIZ_TSNE_H_

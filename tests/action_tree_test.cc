@@ -1,0 +1,139 @@
+// BCBT structure tests: complete-binary-tree invariants, leaf ordering,
+// sibling/parent relations, logarithmic depth — parameterized over sizes.
+#include "core/action_tree.h"
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace poisonrec::core {
+namespace {
+
+std::vector<data::ItemId> Iota(std::size_t n, std::size_t start = 0) {
+  std::vector<data::ItemId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = start + i;
+  return v;
+}
+
+TEST(ActionTreeTest, SingleLeafSubtrees) {
+  ActionTree tree(Iota(1, 100), Iota(1));
+  // root + 2 leaves
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  const auto& root = tree.node(tree.root());
+  EXPECT_TRUE(tree.IsLeaf(root.left));
+  EXPECT_TRUE(tree.IsLeaf(root.right));
+  EXPECT_EQ(tree.LeafItem(root.left), 100u);  // targets on the left
+  EXPECT_EQ(tree.LeafItem(root.right), 0u);
+}
+
+TEST(ActionTreeTest, LeafOrderMatchesInput) {
+  std::vector<data::ItemId> targets = {10, 11};
+  std::vector<data::ItemId> originals = {3, 1, 4, 1 + 4, 9};
+  ActionTree tree(targets, originals);
+  std::vector<data::ItemId> expected = {10, 11, 3, 1, 4, 5, 9};
+  EXPECT_EQ(tree.LeavesInOrder(), expected);
+}
+
+TEST(ActionTreeTest, RootSeparatesTargetAndOriginalSubtrees) {
+  ActionTree tree(Iota(8, 100), Iota(20));
+  const auto& root = tree.node(tree.root());
+  // Everything under root.left is a target.
+  std::function<void(int, bool)> check = [&](int id, bool expect_target) {
+    if (tree.IsLeaf(id)) {
+      if (expect_target) {
+        EXPECT_GE(tree.LeafItem(id), 100u);
+      } else {
+        EXPECT_LT(tree.LeafItem(id), 20u);
+      }
+      return;
+    }
+    check(tree.node(id).left, expect_target);
+    check(tree.node(id).right, expect_target);
+  };
+  check(root.left, true);
+  check(root.right, false);
+}
+
+TEST(ActionTreeTest, SiblingAndParentConsistency) {
+  ActionTree tree(Iota(4, 50), Iota(11));
+  for (int id = 0; id < static_cast<int>(tree.num_nodes()); ++id) {
+    const auto& n = tree.node(id);
+    if (n.item < 0) {
+      EXPECT_EQ(tree.node(n.left).parent, id);
+      EXPECT_EQ(tree.node(n.right).parent, id);
+      EXPECT_EQ(tree.Sibling(n.left), n.right);
+      EXPECT_EQ(tree.Sibling(n.right), n.left);
+    }
+  }
+  EXPECT_EQ(tree.Sibling(tree.root()), -1);
+}
+
+TEST(ActionTreeTest, LeafOfInverse) {
+  ActionTree tree(Iota(3, 30), Iota(9));
+  for (data::ItemId item : tree.LeavesInOrder()) {
+    const int leaf = tree.LeafOf(item);
+    ASSERT_GE(leaf, 0);
+    EXPECT_EQ(tree.LeafItem(leaf), item);
+  }
+  EXPECT_EQ(tree.LeafOf(999), -1);
+}
+
+class TreeSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeSizeTest, NodeCountIsTwoLeavesMinusOnePerSubtree) {
+  const std::size_t n = GetParam();
+  ActionTree tree(Iota(8, 1000), Iota(n));
+  // target subtree: 2*8-1, original: 2n-1, +1 merged root.
+  EXPECT_EQ(tree.num_nodes(), (2 * 8 - 1) + (2 * n - 1) + 1);
+  EXPECT_EQ(tree.LeavesInOrder().size(), n + 8);
+}
+
+TEST_P(TreeSizeTest, DepthIsLogarithmic) {
+  const std::size_t n = GetParam();
+  ActionTree tree(Iota(8, 1000), Iota(n));
+  // Complete binary tree: original subtree depth = ceil(log2 n) + 1
+  // levels of nodes; +1 for the merged root.
+  const std::size_t expected_original_levels =
+      static_cast<std::size_t>(std::ceil(std::log2(n))) + 1;
+  EXPECT_LE(tree.MaxDepth(), std::max<std::size_t>(
+                                 expected_original_levels, 4) + 1);
+}
+
+TEST_P(TreeSizeTest, CompleteShape) {
+  // In a complete binary tree leaf depths differ by at most 1 within each
+  // subtree.
+  const std::size_t n = GetParam();
+  ActionTree tree(Iota(8, 1000), Iota(n));
+  const auto& root = tree.node(tree.root());
+  std::function<void(int, std::size_t, std::size_t*, std::size_t*)> walk =
+      [&](int id, std::size_t depth, std::size_t* min_d, std::size_t* max_d) {
+        if (tree.IsLeaf(id)) {
+          *min_d = std::min(*min_d, depth);
+          *max_d = std::max(*max_d, depth);
+          return;
+        }
+        walk(tree.node(id).left, depth + 1, min_d, max_d);
+        walk(tree.node(id).right, depth + 1, min_d, max_d);
+      };
+  std::size_t min_d = 1000;
+  std::size_t max_d = 0;
+  walk(root.right, 0, &min_d, &max_d);
+  EXPECT_LE(max_d - min_d, 1u) << "original subtree not complete, n=" << n;
+}
+
+TEST_P(TreeSizeTest, AllItemsReachable) {
+  const std::size_t n = GetParam();
+  ActionTree tree(Iota(8, 1000), Iota(n));
+  auto leaves = tree.LeavesInOrder();
+  std::set<data::ItemId> unique(leaves.begin(), leaves.end());
+  EXPECT_EQ(unique.size(), n + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15,
+                                           16, 17, 31, 100, 1000));
+
+}  // namespace
+}  // namespace poisonrec::core

@@ -1,0 +1,216 @@
+// Edge-case and failure-injection tests: degenerate sizes, minimal
+// budgets, and boundary configurations across the stack.
+#include <gtest/gtest.h>
+
+#include "core/poisonrec.h"
+#include "attack/conslop.h"
+
+namespace poisonrec {
+namespace {
+
+TEST(EdgeDataset, SingleUserSingleItem) {
+  data::Dataset d(1, 1);
+  d.Add(0, 0);
+  EXPECT_EQ(d.num_interactions(), 1u);
+  EXPECT_EQ(d.ItemsByPopularity(), (std::vector<data::ItemId>{0}));
+  auto split = data::SplitLeaveOneOut(d);
+  EXPECT_EQ(split.train.num_interactions(), 1u);  // < 3 events: all train
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(EdgeDataset, EmptyDatasetQueries) {
+  data::Dataset d(3, 3);
+  EXPECT_EQ(d.num_interactions(), 0u);
+  EXPECT_TRUE(d.AllInteractions().empty());
+  EXPECT_TRUE(d.UsersWithMinLength(1).empty());
+}
+
+TEST(EdgeTree, SingleOriginalItem) {
+  core::ActionTree tree({5}, {0});
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.MaxDepth(), 2u);
+}
+
+TEST(EdgeTree, TwoLevelForTwoItems) {
+  core::ActionTree tree({10, 11}, {0, 1});
+  // Each subtree: 3 nodes; +1 root.
+  EXPECT_EQ(tree.num_nodes(), 7u);
+  auto leaves = tree.LeavesInOrder();
+  EXPECT_EQ(leaves, (std::vector<data::ItemId>{10, 11, 0, 1}));
+}
+
+TEST(EdgePolicy, TrajectoryLengthOne) {
+  core::PolicyConfig config;
+  config.embedding_dim = 4;
+  config.action_space = core::ActionSpaceKind::kBcbtPopular;
+  core::Policy policy(2, 5, {0, 1, 2}, {3, 4}, config);
+  Rng rng(1);
+  auto trajs = policy.SampleEpisode(1, &rng);
+  ASSERT_EQ(trajs.size(), 2u);
+  EXPECT_EQ(trajs[0].steps.size(), 1u);
+  std::vector<const core::SampledTrajectory*> ptrs = {&trajs[0], &trajs[1]};
+  auto batches = policy.RecomputeLogProbs(ptrs);
+  EXPECT_FALSE(batches.empty());
+}
+
+TEST(EdgePolicy, SingleAttacker) {
+  core::PolicyConfig config;
+  config.embedding_dim = 4;
+  config.action_space = core::ActionSpaceKind::kPlain;
+  core::Policy policy(1, 4, {0, 1, 2}, {3}, config);
+  Rng rng(2);
+  auto trajs = policy.SampleEpisode(3, &rng);
+  ASSERT_EQ(trajs.size(), 1u);
+}
+
+TEST(EdgePolicy, SingleTargetBcbt) {
+  core::PolicyConfig config;
+  config.embedding_dim = 4;
+  config.action_space = core::ActionSpaceKind::kBcbtPopular;
+  core::Policy policy(2, 6, {0, 1, 2, 3, 4}, {5}, config);
+  Rng rng(3);
+  auto trajs = policy.SampleEpisode(4, &rng);
+  for (const auto& t : trajs) {
+    for (const auto& s : t.steps) {
+      EXPECT_LT(s.item, 6u);
+    }
+  }
+}
+
+TEST(EdgeEnvironment, SingleTargetItem) {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 30;
+  dcfg.num_items = 20;
+  dcfg.num_interactions = 200;
+  dcfg.seed = 2;
+  env::EnvironmentConfig cfg;
+  cfg.num_attackers = 2;
+  cfg.trajectory_length = 4;
+  cfg.num_target_items = 1;
+  cfg.num_candidate_originals = 10;
+  cfg.top_k = 3;
+  env::AttackEnvironment env(data::GenerateSynthetic(dcfg),
+                             rec::MakeRecommender("ItemPop").value(), cfg);
+  EXPECT_EQ(env.target_items().size(), 1u);
+  std::vector<env::Trajectory> attack = {{0, {20, 20, 20, 20}},
+                                         {1, {20, 20, 20, 20}}};
+  EXPECT_GT(env.Evaluate(attack), 0.0);
+}
+
+TEST(EdgeEnvironment, EmptyAttackEqualsBaseline) {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 30;
+  dcfg.num_items = 20;
+  dcfg.num_interactions = 200;
+  dcfg.seed = 3;
+  env::EnvironmentConfig cfg;
+  cfg.num_attackers = 2;
+  cfg.trajectory_length = 4;
+  cfg.num_target_items = 2;
+  env::AttackEnvironment env(data::GenerateSynthetic(dcfg),
+                             rec::MakeRecommender("CoVisitation").value(),
+                             cfg);
+  EXPECT_DOUBLE_EQ(env.Evaluate({}), env.BaselineRecNum());
+}
+
+TEST(EdgeEnvironment, PartialFleetAccepted) {
+  // Fewer trajectories than N is a legal (cheaper) attack.
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 30;
+  dcfg.num_items = 20;
+  dcfg.num_interactions = 200;
+  dcfg.seed = 4;
+  env::EnvironmentConfig cfg;
+  cfg.num_attackers = 5;
+  cfg.trajectory_length = 4;
+  cfg.num_target_items = 2;
+  env::AttackEnvironment env(data::GenerateSynthetic(dcfg),
+                             rec::MakeRecommender("ItemPop").value(), cfg);
+  std::vector<env::Trajectory> attack = {{3, {20, 21, 20, 21}}};
+  EXPECT_GE(env.Evaluate(attack), 0.0);
+}
+
+TEST(EdgeRecommender, ScoreEmptyCandidateList) {
+  data::Dataset d(2, 3);
+  d.AddSequence(0, {0, 1});
+  auto ranker = rec::MakeRecommender("ItemPop").value();
+  ranker->Fit(d);
+  EXPECT_TRUE(ranker->Score(0, {}).empty());
+}
+
+TEST(EdgeRecommender, TopKLargerThanCandidates) {
+  data::Dataset d(2, 5);
+  d.AddSequence(0, {0, 1, 2});
+  auto ranker = rec::MakeRecommender("ItemPop").value();
+  ranker->Fit(d);
+  auto top = ranker->RecommendTopK(0, {1, 2}, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(EdgeRecommender, UpdateWithEmptyPoisonIsNoop) {
+  data::Dataset d(3, 4);
+  d.AddSequence(0, {0, 1, 2, 1});
+  d.AddSequence(1, {2, 3});
+  for (const std::string& name : rec::AllRecommenderNames()) {
+    rec::FitConfig fit;
+    fit.embedding_dim = 4;
+    fit.epochs = 1;
+    auto ranker = rec::MakeRecommender(name, fit).value();
+    ranker->Fit(d);
+    auto before = ranker->Score(0, {0, 1, 2, 3});
+    ranker->Update(data::Dataset(3, 4));
+    auto after = ranker->Score(0, {0, 1, 2, 3});
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_DOUBLE_EQ(before[i], after[i]) << name;
+    }
+  }
+}
+
+TEST(EdgeTensor, OneByOneOps) {
+  nn::Tensor a = nn::Tensor::FromData(1, 1, {2.0f}, true);
+  nn::Tensor out = nn::Mean(nn::Square(nn::Tanh(a)));
+  out.Backward();
+  EXPECT_EQ(a.grad().size(), 1u);
+}
+
+TEST(EdgeTensor, EmptyRowsGather) {
+  nn::Tensor table = nn::Tensor::FromData(2, 2, {1, 2, 3, 4});
+  nn::Tensor out = nn::Rows(table, {});
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 2u);
+}
+
+TEST(EdgeSynthetic, MinimalConfig) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 1;
+  cfg.num_items = 1;
+  cfg.num_interactions = 3;
+  cfg.min_user_length = 3;
+  cfg.seed = 1;
+  data::Dataset d = data::GenerateSynthetic(cfg);
+  EXPECT_EQ(d.num_users(), 1u);
+  EXPECT_GE(d.Sequence(0).size(), 3u);
+}
+
+TEST(EdgeAttack, TrajectoryLengthTwoConsLop) {
+  // Smallest even budget still produces valid pairs.
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 30;
+  dcfg.num_items = 20;
+  dcfg.num_interactions = 200;
+  dcfg.seed = 5;
+  env::EnvironmentConfig cfg;
+  cfg.num_attackers = 1;
+  cfg.trajectory_length = 2;
+  cfg.num_target_items = 1;
+  env::AttackEnvironment env(data::GenerateSynthetic(dcfg),
+                             rec::MakeRecommender("CoVisitation").value(),
+                             cfg);
+  attack::ConsLopAttack conslop;
+  auto trajs = conslop.GenerateAttack(env, 1);
+  ASSERT_EQ(trajs.size(), 1u);
+  EXPECT_EQ(trajs[0].items.size(), 2u);
+}
+
+}  // namespace
+}  // namespace poisonrec

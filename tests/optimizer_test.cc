@@ -1,0 +1,110 @@
+// Optimizer tests: SGD/Adam mechanics and convergence, gradient clipping.
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace poisonrec::nn {
+namespace {
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  Tensor w = Tensor::FromData(1, 1, {1.0f}, true);
+  Sgd opt({w}, /*lr=*/0.1f);
+  Tensor loss = Square(w);  // dL/dw = 2w = 2
+  loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(w.at(0, 0), 1.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayShrinks) {
+  Tensor w = Tensor::FromData(1, 1, {1.0f}, true);
+  Sgd opt({w}, 0.1f, /*weight_decay=*/1.0f);
+  w.mutable_grad().assign(1, 0.0f);
+  w.mutable_grad()[0] = 0.0f;
+  opt.Step();  // pure decay: w -= lr * wd * w
+  EXPECT_NEAR(w.at(0, 0), 0.9f, 1e-6f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::FromData(1, 2, {5.0f, -3.0f}, true);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = Sum(Square(w));
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.at(0, 0), 0.0f, 1e-4f);
+  EXPECT_NEAR(w.at(0, 1), 0.0f, 1e-4f);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // With bias correction, the first Adam step ~= lr * sign(grad).
+  Tensor w = Tensor::FromData(1, 1, {0.0f}, true);
+  Adam opt({w}, 0.01f);
+  w.mutable_grad()[0] = 5.0f;
+  opt.Step();
+  EXPECT_NEAR(w.at(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnShiftedQuadratic) {
+  Tensor w = Tensor::FromData(1, 3, {4.0f, -2.0f, 9.0f}, true);
+  Tensor target = Tensor::FromData(1, 3, {1.0f, 2.0f, 3.0f});
+  Adam opt({w}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    Tensor loss = Sum(Square(Sub(w, target)));
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(w.at(0, c), target.at(0, c), 1e-2f);
+  }
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Tensor w = Tensor::FromData(1, 1, {1.0f}, true);
+  Adam opt({w}, 0.01f);
+  EXPECT_EQ(opt.step_count(), 0u);
+  w.mutable_grad()[0] = 1.0f;
+  opt.Step();
+  opt.Step();
+  EXPECT_EQ(opt.step_count(), 2u);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Tensor a = Tensor::FromData(1, 1, {1.0f}, true);
+  Tensor b = Tensor::FromData(1, 2, {1.0f, 2.0f}, true);
+  Sgd opt({a, b}, 0.1f);
+  a.mutable_grad()[0] = 3.0f;
+  b.mutable_grad()[1] = 4.0f;
+  opt.ZeroGrad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+  EXPECT_EQ(b.grad()[1], 0.0f);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Tensor w = Tensor::FromData(1, 2, {0.0f, 0.0f}, true);
+  w.mutable_grad() = {3.0f, 4.0f};  // norm 5
+  const float before = ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(before, 5.0f, 1e-5f);
+  const float after = std::sqrt(w.grad()[0] * w.grad()[0] +
+                                w.grad()[1] * w.grad()[1]);
+  EXPECT_NEAR(after, 1.0f, 1e-5f);
+  // Direction preserved.
+  EXPECT_NEAR(w.grad()[0] / w.grad()[1], 0.75f, 1e-5f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor w = Tensor::FromData(1, 2, {0.0f, 0.0f}, true);
+  w.mutable_grad() = {0.3f, 0.4f};  // norm 0.5
+  ClipGradNorm({w}, 1.0f);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.3f);
+  EXPECT_FLOAT_EQ(w.grad()[1], 0.4f);
+}
+
+}  // namespace
+}  // namespace poisonrec::nn

@@ -1,0 +1,234 @@
+// Policy-network tests across all four action-space designs: trajectory
+// validity, log-prob bookkeeping, sample/recompute consistency (the PPO
+// ratio must be 1 before any update), and the priori-knowledge property
+// (biased designs sample targets with ~0.5 probability at init).
+#include "core/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace poisonrec::core {
+namespace {
+
+constexpr std::size_t kTargets = 4;
+constexpr std::size_t kOriginals = 21;
+constexpr std::size_t kItems = kTargets + kOriginals;
+constexpr std::size_t kAttackers = 5;
+constexpr std::size_t kT = 6;
+
+Policy MakePolicy(ActionSpaceKind kind, std::uint64_t seed = 12) {
+  PolicyConfig config;
+  config.embedding_dim = 8;
+  config.action_space = kind;
+  config.seed = seed;
+  std::vector<data::ItemId> originals;
+  for (data::ItemId i = 0; i < kOriginals; ++i) originals.push_back(i);
+  std::vector<data::ItemId> targets;
+  for (data::ItemId i = kOriginals; i < kItems; ++i) targets.push_back(i);
+  return Policy(kAttackers, kItems, originals, targets, config);
+}
+
+class PolicyKindTest : public ::testing::TestWithParam<ActionSpaceKind> {};
+
+TEST_P(PolicyKindTest, EpisodeShapeIsValid) {
+  Policy policy = MakePolicy(GetParam());
+  Rng rng(3);
+  auto trajs = policy.SampleEpisode(kT, &rng);
+  ASSERT_EQ(trajs.size(), kAttackers);
+  for (std::size_t n = 0; n < kAttackers; ++n) {
+    EXPECT_EQ(trajs[n].attacker_index, n);
+    ASSERT_EQ(trajs[n].steps.size(), kT);
+    for (const SampledStep& step : trajs[n].steps) {
+      EXPECT_LT(step.item, kItems);
+      ASSERT_FALSE(step.old_log_probs.empty());
+      for (double lp : step.old_log_probs) {
+        EXPECT_LE(lp, 1e-9);
+        EXPECT_TRUE(std::isfinite(lp));
+      }
+    }
+  }
+}
+
+TEST_P(PolicyKindTest, RecomputeMatchesSampledLogProbs) {
+  // Before any parameter update, recomputed log-probs must equal the ones
+  // recorded at sampling time (PPO ratio == 1).
+  Policy policy = MakePolicy(GetParam());
+  Rng rng(4);
+  auto trajs = policy.SampleEpisode(kT, &rng);
+  std::vector<const SampledTrajectory*> ptrs;
+  for (const auto& t : trajs) ptrs.push_back(&t);
+  auto batches = policy.RecomputeLogProbs(ptrs);
+  ASSERT_FALSE(batches.empty());
+  std::size_t total = 0;
+  for (const DecisionBatch& batch : batches) {
+    ASSERT_EQ(batch.new_log_probs.rows(), batch.old_log_probs.size());
+    for (std::size_t i = 0; i < batch.old_log_probs.size(); ++i) {
+      EXPECT_NEAR(batch.new_log_probs.at(i, 0), batch.old_log_probs[i],
+                  5e-4)
+          << ActionSpaceKindName(GetParam());
+      ++total;
+    }
+  }
+  // Total decision count matches the stored bookkeeping.
+  std::size_t expected = 0;
+  for (const auto& t : trajs) {
+    for (const auto& s : t.steps) expected += s.old_log_probs.size();
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST_P(PolicyKindTest, SamplingIsDeterministicInRngState) {
+  Policy policy = MakePolicy(GetParam());
+  Rng rng_a(9);
+  Rng rng_b(9);
+  auto a = policy.SampleEpisode(kT, &rng_a);
+  auto b = policy.SampleEpisode(kT, &rng_b);
+  for (std::size_t n = 0; n < kAttackers; ++n) {
+    for (std::size_t t = 0; t < kT; ++t) {
+      EXPECT_EQ(a[n].steps[t].item, b[n].steps[t].item);
+    }
+  }
+}
+
+TEST_P(PolicyKindTest, GradientsFlowFromDecisions) {
+  Policy policy = MakePolicy(GetParam());
+  Rng rng(5);
+  auto trajs = policy.SampleEpisode(kT, &rng);
+  std::vector<const SampledTrajectory*> ptrs;
+  for (const auto& t : trajs) ptrs.push_back(&t);
+  auto batches = policy.RecomputeLogProbs(ptrs);
+  nn::Tensor loss;
+  for (const auto& batch : batches) {
+    nn::Tensor s = nn::Sum(batch.new_log_probs);
+    loss = loss.defined() ? nn::Add(loss, s) : s;
+  }
+  loss.Backward();
+  double grad_mass = 0.0;
+  for (const nn::Tensor& p : policy.Parameters()) {
+    for (float g : p.grad()) grad_mass += std::abs(g);
+  }
+  EXPECT_GT(grad_mass, 0.0) << ActionSpaceKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PolicyKindTest,
+    ::testing::Values(ActionSpaceKind::kPlain, ActionSpaceKind::kBPlain,
+                      ActionSpaceKind::kBcbtPopular,
+                      ActionSpaceKind::kBcbtRandom,
+                      ActionSpaceKind::kCbtUnbiased),
+    [](const auto& info) {
+      std::string name = ActionSpaceKindName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+double TargetFraction(Policy& policy, Rng* rng, std::size_t episodes) {
+  std::size_t target_clicks = 0;
+  std::size_t total = 0;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    auto trajs = policy.SampleEpisode(kT, rng);
+    for (const auto& t : trajs) {
+      for (const auto& s : t.steps) {
+        ++total;
+        if (s.item >= kOriginals) ++target_clicks;
+      }
+    }
+  }
+  return static_cast<double>(target_clicks) / static_cast<double>(total);
+}
+
+TEST(PolicyPrioriKnowledge, BiasedDesignsSampleTargetsAtHalf) {
+  // Paper §III-E: with the set-level root decision, target probability at
+  // initialization is ~0.5 instead of |I_t| / |I ∪ I_t|.
+  Rng rng(6);
+  Policy bplain = MakePolicy(ActionSpaceKind::kBPlain);
+  Policy bcbt = MakePolicy(ActionSpaceKind::kBcbtPopular);
+  EXPECT_NEAR(TargetFraction(bplain, &rng, 40), 0.5, 0.1);
+  EXPECT_NEAR(TargetFraction(bcbt, &rng, 40), 0.5, 0.1);
+}
+
+TEST(PolicyPrioriKnowledge, PlainSamplesTargetsAtCatalogFraction) {
+  Rng rng(7);
+  Policy plain = MakePolicy(ActionSpaceKind::kPlain);
+  const double expected =
+      static_cast<double>(kTargets) / static_cast<double>(kItems);
+  EXPECT_NEAR(TargetFraction(plain, &rng, 40), expected, 0.08);
+}
+
+TEST(PolicyPrioriKnowledge, UnbiasedTreeSamplesTargetsNearLeafShare) {
+  // Without the root bias, the tree's initial target probability depends
+  // on the targets' leaf positions — far below the 0.5 of BCBT but,
+  // because the (complete) tree is balanced, near their leaf share.
+  Rng rng(8);
+  Policy unbiased = MakePolicy(ActionSpaceKind::kCbtUnbiased);
+  const double fraction = TargetFraction(unbiased, &rng, 40);
+  EXPECT_LT(fraction, 0.35);
+  EXPECT_GT(fraction, 0.02);
+}
+
+TEST(PolicyStructure, UnbiasedTreeCoversAllItems) {
+  Policy policy = MakePolicy(ActionSpaceKind::kCbtUnbiased);
+  ASSERT_NE(policy.tree(), nullptr);
+  EXPECT_EQ(policy.tree()->LeavesInOrder().size(), kItems);
+}
+
+TEST(PolicyStructure, TreeOnlyForBcbt) {
+  EXPECT_EQ(MakePolicy(ActionSpaceKind::kPlain).tree(), nullptr);
+  EXPECT_EQ(MakePolicy(ActionSpaceKind::kBPlain).tree(), nullptr);
+  EXPECT_NE(MakePolicy(ActionSpaceKind::kBcbtPopular).tree(), nullptr);
+  EXPECT_NE(MakePolicy(ActionSpaceKind::kBcbtRandom).tree(), nullptr);
+}
+
+TEST(PolicyStructure, BcbtPathsAreRootToLeaf) {
+  Policy policy = MakePolicy(ActionSpaceKind::kBcbtPopular);
+  const ActionTree* tree = policy.tree();
+  Rng rng(8);
+  auto trajs = policy.SampleEpisode(kT, &rng);
+  for (const auto& t : trajs) {
+    for (const auto& s : t.steps) {
+      ASSERT_GE(s.path.size(), 2u);
+      EXPECT_EQ(s.path.front(), tree->root());
+      EXPECT_TRUE(tree->IsLeaf(s.path.back()));
+      EXPECT_EQ(tree->LeafItem(s.path.back()), s.item);
+      EXPECT_EQ(s.old_log_probs.size(), s.path.size() - 1);
+      for (std::size_t d = 0; d + 1 < s.path.size(); ++d) {
+        const auto& node = tree->node(s.path[d]);
+        EXPECT_TRUE(s.path[d + 1] == node.left || s.path[d + 1] == node.right);
+      }
+    }
+  }
+}
+
+TEST(PolicyStructure, BPlainPathEncodesSetChoice) {
+  Policy policy = MakePolicy(ActionSpaceKind::kBPlain);
+  Rng rng(9);
+  auto trajs = policy.SampleEpisode(kT, &rng);
+  for (const auto& t : trajs) {
+    for (const auto& s : t.steps) {
+      ASSERT_EQ(s.path.size(), 1u);
+      ASSERT_EQ(s.old_log_probs.size(), 2u);
+      const bool is_target = s.item >= kOriginals;
+      EXPECT_EQ(s.path[0], is_target ? 0 : 1);
+    }
+  }
+}
+
+TEST(PolicyStructure, BcbtRandomShufflesLeaves) {
+  Policy popular = MakePolicy(ActionSpaceKind::kBcbtPopular, 31);
+  Policy random = MakePolicy(ActionSpaceKind::kBcbtRandom, 31);
+  EXPECT_NE(popular.tree()->LeavesInOrder(),
+            random.tree()->LeavesInOrder());
+}
+
+TEST(PolicyStructure, ParameterCountsByKind) {
+  // user emb, item emb, lstm(3), dnn(4) = 9 base tensors.
+  EXPECT_EQ(MakePolicy(ActionSpaceKind::kPlain).Parameters().size(), 9u);
+  EXPECT_EQ(MakePolicy(ActionSpaceKind::kBPlain).Parameters().size(), 10u);
+  EXPECT_EQ(MakePolicy(ActionSpaceKind::kBcbtPopular).Parameters().size(),
+            10u);
+}
+
+}  // namespace
+}  // namespace poisonrec::core

@@ -1,0 +1,194 @@
+// Cross-cutting property tests: parameterized sweeps over sizes and
+// seeds asserting structural invariants that must hold for ANY
+// configuration (not just the defaults the other suites use).
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/poisonrec.h"
+#include "nn/loss.h"
+
+namespace poisonrec {
+namespace {
+
+// --- BCBT sampling-depth bound: every sampled path has at most
+// ceil(log2(max subtree)) + 1 decisions, for any catalog size. ----------
+class TreeDepthProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(TreeDepthProperty, PathLengthIsLogarithmic) {
+  const auto [num_originals, seed] = GetParam();
+  core::PolicyConfig config;
+  config.embedding_dim = 4;
+  config.action_space = core::ActionSpaceKind::kBcbtPopular;
+  config.seed = static_cast<std::uint64_t>(seed);
+  std::vector<data::ItemId> originals(num_originals);
+  for (std::size_t i = 0; i < num_originals; ++i) originals[i] = i;
+  std::vector<data::ItemId> targets = {num_originals, num_originals + 1};
+  core::Policy policy(2, num_originals + 2, originals, targets, config);
+
+  const std::size_t max_decisions =
+      static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(num_originals)))) +
+      2;  // +1 merged root, +1 ceiling slack for the smaller subtree
+  Rng rng(static_cast<std::uint64_t>(seed) * 77 + 1);
+  auto trajs = policy.SampleEpisode(4, &rng);
+  for (const auto& t : trajs) {
+    for (const auto& s : t.steps) {
+      EXPECT_LE(s.old_log_probs.size(), max_decisions)
+          << "catalog " << num_originals;
+      EXPECT_EQ(s.old_log_probs.size(), s.path.size() - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TreeDepthProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 17, 64, 200,
+                                                      1000),
+                       ::testing::Values(1, 2)));
+
+// --- Sampled items are always within the dense id space, for every
+// action-space kind and random seed. -------------------------------------
+class SampleValidityProperty
+    : public ::testing::TestWithParam<std::tuple<core::ActionSpaceKind, int>> {
+};
+
+TEST_P(SampleValidityProperty, ItemsInRangeAndLogProbsNegative) {
+  const auto [kind, seed] = GetParam();
+  core::PolicyConfig config;
+  config.embedding_dim = 4;
+  config.action_space = kind;
+  config.seed = static_cast<std::uint64_t>(seed);
+  std::vector<data::ItemId> originals = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<data::ItemId> targets = {9, 10, 11};
+  core::Policy policy(3, 12, originals, targets, config);
+  Rng rng(static_cast<std::uint64_t>(seed) + 99);
+  for (int episode = 0; episode < 3; ++episode) {
+    for (const auto& t : policy.SampleEpisode(5, &rng)) {
+      for (const auto& s : t.steps) {
+        EXPECT_LT(s.item, 12u);
+        for (double lp : s.old_log_probs) {
+          EXPECT_LE(lp, 1e-9);
+          EXPECT_GT(lp, -50.0);  // no degenerate zero-probability draws
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, SampleValidityProperty,
+    ::testing::Combine(
+        ::testing::Values(core::ActionSpaceKind::kPlain,
+                          core::ActionSpaceKind::kBPlain,
+                          core::ActionSpaceKind::kBcbtPopular,
+                          core::ActionSpaceKind::kBcbtRandom,
+                          core::ActionSpaceKind::kCbtUnbiased),
+        ::testing::Values(3, 7, 11)));
+
+// --- Reward normalization (Eq. 8) invariants over random batches. -------
+class RewardNormProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewardNormProperty, ZeroMeanUnitVarianceAndOrderPreserved) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> rewards(16);
+  for (double& r : rewards) r = rng.Uniform(0.0, 5000.0);
+  std::vector<double> normalized = rewards;
+  NormalizeRewards(&normalized);
+  double mean = 0.0;
+  for (double v : normalized) mean += v;
+  EXPECT_NEAR(mean / 16.0, 0.0, 1e-9);
+  // Order preservation: argmax unchanged.
+  std::size_t argmax_raw = 0;
+  std::size_t argmax_norm = 0;
+  for (std::size_t i = 1; i < 16; ++i) {
+    if (rewards[i] > rewards[argmax_raw]) argmax_raw = i;
+    if (normalized[i] > normalized[argmax_norm]) argmax_norm = i;
+  }
+  EXPECT_EQ(argmax_raw, argmax_norm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewardNormProperty,
+                         ::testing::Range(1, 9));
+
+// --- Candidate generation invariants over sizes. -------------------------
+class CandidateProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(CandidateProperty, DistinctInRangeTargetsAppended) {
+  const auto [catalog, want] = GetParam();
+  std::vector<data::ItemId> targets = {catalog, catalog + 1};
+  rec::RandomCandidateGenerator gen(catalog, targets, want, 5);
+  for (data::UserId u = 0; u < 20; ++u) {
+    auto cands = gen.Candidates(u);
+    const std::size_t originals = std::min(want, catalog);
+    ASSERT_EQ(cands.size(), originals + 2);
+    std::set<data::ItemId> distinct(cands.begin(), cands.end());
+    EXPECT_EQ(distinct.size(), cands.size());
+    EXPECT_EQ(cands[cands.size() - 2], catalog);
+    EXPECT_EQ(cands.back(), catalog + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CandidateProperty,
+    ::testing::Values(std::make_tuple<std::size_t, std::size_t>(5, 92),
+                      std::make_tuple<std::size_t, std::size_t>(92, 92),
+                      std::make_tuple<std::size_t, std::size_t>(500, 92),
+                      std::make_tuple<std::size_t, std::size_t>(100, 1)));
+
+// --- Loss non-negativity / bounds over random inputs. --------------------
+class LossProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossProperty, CrossEntropyAndBceAreNonNegative) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  nn::Tensor logits = nn::Tensor::Randn(6, 9, 2.0f, &rng);
+  std::vector<std::size_t> targets(6);
+  for (auto& t : targets) t = rng.Index(9);
+  EXPECT_GE(nn::SoftmaxCrossEntropy(logits, targets).item(), 0.0f);
+
+  nn::Tensor blogits = nn::Tensor::Randn(8, 1, 2.0f, &rng);
+  std::vector<float> labels(8);
+  for (auto& l : labels) l = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  nn::Tensor t = nn::Tensor::FromData(8, 1, std::move(labels));
+  EXPECT_GE(nn::BceWithLogits(blogits, t).item(), 0.0f);
+
+  nn::Tensor pos = nn::Tensor::Randn(8, 1, 1.0f, &rng);
+  nn::Tensor neg = nn::Tensor::Randn(8, 1, 1.0f, &rng);
+  EXPECT_GE(nn::BprLoss(pos, neg).item(), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossProperty, ::testing::Range(1, 7));
+
+// --- Synthetic data: statistics invariants over presets and scales. -----
+class SyntheticProperty
+    : public ::testing::TestWithParam<data::DatasetPreset> {};
+
+TEST_P(SyntheticProperty, ScaledCountsAndLengthFloor) {
+  data::SyntheticConfig cfg = data::PresetConfig(GetParam(), 0.02, 7);
+  data::Dataset d = data::GenerateSynthetic(cfg);
+  EXPECT_EQ(d.num_users(), cfg.num_users);
+  EXPECT_EQ(d.num_items(), cfg.num_items);
+  EXPECT_LE(d.num_interactions(), cfg.num_interactions);
+  EXPECT_GE(d.num_interactions(),
+            cfg.num_users * cfg.min_user_length);
+  for (data::UserId u = 0; u < d.num_users(); ++u) {
+    EXPECT_GE(d.Sequence(u).size(), cfg.min_user_length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, SyntheticProperty,
+    ::testing::Values(data::DatasetPreset::kSteam,
+                      data::DatasetPreset::kMovieLens,
+                      data::DatasetPreset::kPhone,
+                      data::DatasetPreset::kClothing),
+    [](const auto& info) {
+      return std::string(data::DatasetPresetName(info.param));
+    });
+
+}  // namespace
+}  // namespace poisonrec

@@ -1,0 +1,122 @@
+// Checkpoint (de)serialization tests: round trips, error paths, and a
+// policy-level save/restore.
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+#include "nn/module.h"
+
+namespace poisonrec::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(1);
+  Mlp a({4, 6, 2}, &rng);
+  Mlp b({4, 6, 2}, &rng);  // different init
+  const std::string path = TempPath("poisonrec_ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  ASSERT_TRUE(LoadParameters(path, b.Parameters()).ok());
+  Tensor x = Tensor::Ones(2, 4);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(2);
+  Mlp a({4, 6, 2}, &rng);
+  Mlp b({4, 5, 2}, &rng);
+  const std::string path = TempPath("poisonrec_ckpt_mismatch.bin");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  Status status = LoadParameters(path, b.Parameters());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CountMismatchRejected) {
+  Rng rng(3);
+  Mlp a({4, 2}, &rng);
+  Mlp b({4, 6, 2}, &rng);
+  const std::string path = TempPath("poisonrec_ckpt_count.bin");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  EXPECT_EQ(LoadParameters(path, b.Parameters()).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  Rng rng(4);
+  Mlp m({2, 2}, &rng);
+  EXPECT_EQ(LoadParameters("/nonexistent/ckpt.bin", m.Parameters()).code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  const std::string path = TempPath("poisonrec_ckpt_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  Rng rng(5);
+  Mlp m({2, 2}, &rng);
+  EXPECT_EQ(LoadParameters(path, m.Parameters()).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, PeekShapes) {
+  Rng rng(6);
+  Linear layer(3, 5, &rng);
+  const std::string path = TempPath("poisonrec_ckpt_peek.bin");
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), path).ok());
+  auto shapes = PeekCheckpointShapes(path);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_EQ(shapes->size(), 2u);
+  EXPECT_EQ((*shapes)[0].first, 3u);
+  EXPECT_EQ((*shapes)[0].second, 5u);
+  EXPECT_EQ((*shapes)[1].first, 1u);
+  EXPECT_EQ((*shapes)[1].second, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, PolicyCheckpointRestoresBehavior) {
+  core::PolicyConfig config;
+  config.embedding_dim = 8;
+  config.action_space = core::ActionSpaceKind::kBcbtPopular;
+  config.seed = 7;
+  std::vector<data::ItemId> originals = {0, 1, 2, 3, 4, 5, 6};
+  std::vector<data::ItemId> targets = {7, 8};
+  core::Policy a(3, 9, originals, targets, config);
+  config.seed = 8;  // different init
+  core::Policy b(3, 9, originals, targets, config);
+
+  const std::string path = TempPath("poisonrec_policy_ckpt.bin");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  ASSERT_TRUE(LoadParameters(path, b.Parameters()).ok());
+
+  Rng rng_a(11);
+  Rng rng_b(11);
+  auto ta = a.SampleEpisode(5, &rng_a);
+  auto tb = b.SampleEpisode(5, &rng_b);
+  for (std::size_t n = 0; n < ta.size(); ++n) {
+    for (std::size_t t = 0; t < 5; ++t) {
+      EXPECT_EQ(ta[n].steps[t].item, tb[n].steps[t].item);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace poisonrec::nn

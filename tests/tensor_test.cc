@@ -1,0 +1,374 @@
+// Autograd correctness: forward values and gradient checks against
+// numerical differentiation for every op.
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace poisonrec::nn {
+namespace {
+
+constexpr float kTol = 2e-2f;   // numerical-gradient tolerance (float math)
+constexpr float kEps = 1e-2f;   // finite-difference step
+
+// Checks d(loss(x))/dx against central differences, where graph(x) must
+// return a scalar tensor built from x.
+void CheckGradient(Tensor x, const std::function<Tensor(const Tensor&)>& graph) {
+  Tensor loss = graph(x);
+  ASSERT_TRUE(loss.is_scalar());
+  loss.Backward();
+  std::vector<float> analytic = x.grad();
+  std::vector<float> numeric = NumericalGradient(
+      [&graph](const Tensor& t) {
+        NoGradGuard guard;
+        return graph(t).item();
+      },
+      x, kEps);
+  ASSERT_EQ(analytic.size(), numeric.size());
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i],
+                kTol * (1.0f + std::abs(numeric[i])))
+        << "component " << i;
+  }
+}
+
+Tensor RandomTensor(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                    bool requires_grad = true) {
+  Rng rng(seed);
+  return Tensor::Randn(rows, cols, 0.5f, &rng, requires_grad);
+}
+
+TEST(TensorBasics, FactoriesAndShape) {
+  Tensor z = Tensor::Zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2u);
+  EXPECT_EQ(z.cols(), 3u);
+  EXPECT_EQ(z.size(), 6u);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor o = Tensor::Ones(3, 1);
+  for (float v : o.data()) EXPECT_EQ(v, 1.0f);
+
+  Tensor f = Tensor::Full(1, 4, 2.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5f);
+
+  Tensor d = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(d.at(0, 0), 1.0f);
+  EXPECT_EQ(d.at(1, 1), 4.0f);
+}
+
+TEST(TensorBasics, DeepCopyDetaches) {
+  Tensor a = Tensor::FromData(1, 2, {1, 2}, /*requires_grad=*/true);
+  Tensor b = a.DeepCopy();
+  b.set(0, 0, 99.0f);
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+  EXPECT_FALSE(b.requires_grad());
+}
+
+TEST(TensorBasics, CopyAliases) {
+  Tensor a = Tensor::FromData(1, 2, {1, 2});
+  Tensor b = a;  // aliasing copy
+  b.set(0, 0, 7.0f);
+  EXPECT_EQ(a.at(0, 0), 7.0f);
+}
+
+TEST(TensorBasics, ItemRequiresScalar) {
+  Tensor a = Tensor::Zeros(1, 1);
+  EXPECT_EQ(a.item(), 0.0f);
+}
+
+TEST(TensorForward, MatMulValues) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorForward, AddBroadcastRow) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromData(1, 2, {10, 20});
+  Tensor c = Add(a, bias);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 24.0f);
+}
+
+TEST(TensorForward, MulBroadcastColumn) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor col = Tensor::FromData(2, 1, {2, 10});
+  Tensor c = Mul(a, col);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 6.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 40.0f);
+}
+
+TEST(TensorForward, SoftmaxRowsSumToOne) {
+  Tensor a = RandomTensor(4, 7, 11, /*requires_grad=*/false);
+  Tensor s = Softmax(a);
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < s.cols(); ++c) {
+      sum += s.at(r, c);
+      EXPECT_GE(s.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TensorForward, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = RandomTensor(3, 5, 12, false);
+  Tensor ls = LogSoftmax(a);
+  Tensor s = Softmax(a);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-5f);
+  }
+}
+
+TEST(TensorForward, SoftmaxStableForLargeLogits) {
+  Tensor a = Tensor::FromData(1, 3, {1000.0f, 1001.0f, 999.0f});
+  Tensor s = Softmax(a);
+  for (float v : s.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(s.at(0, 1), s.at(0, 0));
+}
+
+TEST(TensorForward, TransposeRoundTrip) {
+  Tensor a = RandomTensor(3, 4, 13, false);
+  Tensor t = Transpose(Transpose(a));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], t.data()[i]);
+  }
+}
+
+TEST(TensorForward, RowsGathers) {
+  Tensor table = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor picked = Rows(table, {2, 0, 2});
+  EXPECT_FLOAT_EQ(picked.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(picked.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(picked.at(2, 1), 6.0f);
+}
+
+TEST(TensorForward, ColsSlices) {
+  Tensor a = Tensor::FromData(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor mid = Cols(a, 1, 2);
+  EXPECT_EQ(mid.cols(), 2u);
+  EXPECT_FLOAT_EQ(mid.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(mid.at(1, 1), 7.0f);
+}
+
+TEST(TensorForward, ConcatColsAndRows) {
+  Tensor a = Tensor::FromData(2, 1, {1, 2});
+  Tensor b = Tensor::FromData(2, 2, {3, 4, 5, 6});
+  Tensor cc = ConcatCols(a, b);
+  EXPECT_EQ(cc.cols(), 3u);
+  EXPECT_FLOAT_EQ(cc.at(1, 2), 6.0f);
+
+  Tensor c = Tensor::FromData(1, 2, {7, 8});
+  Tensor cr = ConcatRows(b, c);
+  EXPECT_EQ(cr.rows(), 3u);
+  EXPECT_FLOAT_EQ(cr.at(2, 1), 8.0f);
+}
+
+TEST(TensorForward, NoGradGuardSkipsTape) {
+  Tensor a = RandomTensor(2, 2, 14);
+  NoGradGuard guard;
+  Tensor b = Relu(a);
+  EXPECT_FALSE(b.requires_grad());
+}
+
+// -- Gradient checks --------------------------------------------------------
+
+TEST(TensorGrad, MatMulLeft) {
+  Tensor b = RandomTensor(3, 2, 21, false);
+  CheckGradient(RandomTensor(2, 3, 20),
+                [&b](const Tensor& x) { return Sum(MatMul(x, b)); });
+}
+
+TEST(TensorGrad, MatMulRight) {
+  Tensor a = RandomTensor(2, 3, 22, false);
+  CheckGradient(RandomTensor(3, 2, 23),
+                [&a](const Tensor& x) { return Sum(MatMul(a, x)); });
+}
+
+TEST(TensorGrad, AddSameShape) {
+  Tensor b = RandomTensor(2, 3, 24, false);
+  CheckGradient(RandomTensor(2, 3, 25), [&b](const Tensor& x) {
+    return Sum(Mul(Add(x, b), Add(x, b)));
+  });
+}
+
+TEST(TensorGrad, AddBroadcastBias) {
+  Tensor a = RandomTensor(4, 3, 26, false);
+  CheckGradient(RandomTensor(1, 3, 27), [&a](const Tensor& x) {
+    return Sum(Square(Add(a, x)));
+  });
+}
+
+TEST(TensorGrad, SubBroadcast) {
+  Tensor a = RandomTensor(4, 3, 28, false);
+  CheckGradient(RandomTensor(1, 3, 29), [&a](const Tensor& x) {
+    return Sum(Square(Sub(a, x)));
+  });
+}
+
+TEST(TensorGrad, MulElementwise) {
+  Tensor b = RandomTensor(3, 3, 30, false);
+  CheckGradient(RandomTensor(3, 3, 31),
+                [&b](const Tensor& x) { return Sum(Mul(x, b)); });
+}
+
+TEST(TensorGrad, MulBroadcastColumn) {
+  Tensor a = RandomTensor(3, 4, 32, false);
+  CheckGradient(RandomTensor(3, 1, 33),
+                [&a](const Tensor& x) { return Sum(Mul(a, x)); });
+}
+
+TEST(TensorGrad, Sigmoid) {
+  CheckGradient(RandomTensor(2, 4, 34),
+                [](const Tensor& x) { return Sum(Sigmoid(x)); });
+}
+
+TEST(TensorGrad, TanhOp) {
+  CheckGradient(RandomTensor(2, 4, 35),
+                [](const Tensor& x) { return Sum(Tanh(x)); });
+}
+
+TEST(TensorGrad, Softplus) {
+  CheckGradient(RandomTensor(2, 4, 36),
+                [](const Tensor& x) { return Sum(Softplus(x)); });
+}
+
+TEST(TensorGrad, ExpLog) {
+  CheckGradient(RandomTensor(2, 3, 37), [](const Tensor& x) {
+    return Sum(Log(AddScalar(Exp(x), 1.0f)));
+  });
+}
+
+TEST(TensorGrad, LeakyReluGrad) {
+  CheckGradient(RandomTensor(3, 3, 38),
+                [](const Tensor& x) { return Sum(LeakyRelu(x, 0.2f)); });
+}
+
+TEST(TensorGrad, SquareScale) {
+  CheckGradient(RandomTensor(2, 2, 39), [](const Tensor& x) {
+    return Mean(Scale(Square(x), 3.0f));
+  });
+}
+
+TEST(TensorGrad, SoftmaxWeighted) {
+  Tensor w = RandomTensor(2, 5, 40, false);
+  CheckGradient(RandomTensor(2, 5, 41), [&w](const Tensor& x) {
+    return Sum(Mul(Softmax(x), w));
+  });
+}
+
+TEST(TensorGrad, LogSoftmaxWeighted) {
+  Tensor w = RandomTensor(2, 5, 42, false);
+  CheckGradient(RandomTensor(2, 5, 43), [&w](const Tensor& x) {
+    return Sum(Mul(LogSoftmax(x), w));
+  });
+}
+
+TEST(TensorGrad, RowSumWeighted) {
+  Tensor w = RandomTensor(3, 1, 44, false);
+  CheckGradient(RandomTensor(3, 4, 45), [&w](const Tensor& x) {
+    return Sum(Mul(RowSum(x), w));
+  });
+}
+
+TEST(TensorGrad, TransposeChain) {
+  Tensor b = RandomTensor(2, 3, 46, false);
+  CheckGradient(RandomTensor(3, 2, 47), [&b](const Tensor& x) {
+    return Sum(Mul(Transpose(x), b));
+  });
+}
+
+TEST(TensorGrad, ConcatColsBoth) {
+  Tensor b = RandomTensor(2, 2, 48, false);
+  CheckGradient(RandomTensor(2, 3, 49), [&b](const Tensor& x) {
+    return Sum(Square(ConcatCols(x, b)));
+  });
+}
+
+TEST(TensorGrad, ConcatRowsBoth) {
+  Tensor b = RandomTensor(2, 3, 50, false);
+  CheckGradient(RandomTensor(4, 3, 51), [&b](const Tensor& x) {
+    return Sum(Square(ConcatRows(b, x)));
+  });
+}
+
+TEST(TensorGrad, RowsScatterAccumulates) {
+  // The same row gathered twice must receive twice the gradient.
+  Tensor table = Tensor::FromData(2, 2, {1, 2, 3, 4}, true);
+  Tensor picked = Rows(table, {0, 0, 1});
+  Tensor loss = Sum(picked);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(table.grad()[0], 2.0f);  // row 0 twice
+  EXPECT_FLOAT_EQ(table.grad()[2], 1.0f);  // row 1 once
+}
+
+TEST(TensorGrad, RowsNumerical) {
+  CheckGradient(RandomTensor(4, 3, 52), [](const Tensor& x) {
+    return Sum(Square(Rows(x, {1, 3, 1})));
+  });
+}
+
+TEST(TensorGrad, ColsNumerical) {
+  CheckGradient(RandomTensor(3, 6, 53), [](const Tensor& x) {
+    return Sum(Square(Cols(x, 2, 3)));
+  });
+}
+
+TEST(TensorGrad, RowDotBoth) {
+  Tensor b = RandomTensor(3, 4, 54, false);
+  CheckGradient(RandomTensor(3, 4, 55), [&b](const Tensor& x) {
+    return Sum(Square(RowDot(x, b)));
+  });
+}
+
+TEST(TensorGrad, ReusedNodeAccumulates) {
+  // x used twice in the graph: d(x*x + 3x)/dx = 2x + 3.
+  Tensor x = Tensor::FromData(1, 1, {2.0f}, true);
+  Tensor loss = Add(Mul(x, x), Scale(x, 3.0f));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(TensorGrad, DeepChainStaysFinite) {
+  // A 100-step chain exercises the iterative topological sort.
+  Tensor x = RandomTensor(1, 8, 56);
+  Tensor h = x;
+  for (int i = 0; i < 100; ++i) {
+    h = Tanh(h);
+  }
+  Tensor loss = Sum(h);
+  loss.Backward();
+  for (float g : x.grad()) {
+    EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
+// Property sweep: random graphs of mixed ops gradient-check cleanly.
+class MixedGraphGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixedGraphGradTest, NumericalAgreement) {
+  const int seed = GetParam();
+  Tensor w = RandomTensor(4, 4, seed * 1000 + 1, false);
+  CheckGradient(RandomTensor(2, 4, seed * 1000), [&w](const Tensor& x) {
+    Tensor h = Tanh(MatMul(x, w));
+    h = Add(h, x);
+    h = Relu(h);
+    return Mean(Square(h));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedGraphGradTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace poisonrec::nn

@@ -1,0 +1,135 @@
+// t-SNE tests: affinity invariants and the cluster-preservation property.
+#include "viz/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace poisonrec::viz {
+namespace {
+
+TEST(AffinityTest, RowsFormDistribution) {
+  // 4 points on a line.
+  std::vector<double> points = {0.0, 1.0, 2.0, 10.0};
+  std::vector<double> sq(16, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      sq[i * 4 + j] = (points[i] - points[j]) * (points[i] - points[j]);
+    }
+  }
+  auto p = internal::ComputeAffinities(sq, 4, 2.0);
+  double total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_GE(p[i * 4 + j], 0.0);
+      EXPECT_NEAR(p[i * 4 + j], p[j * 4 + i], 1e-12);  // symmetric
+      total += p[i * 4 + j];
+    }
+  }
+  // Diagonal is ~0, total mass ~1.
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(AffinityTest, CloserPointsGetMoreMass) {
+  std::vector<double> points = {0.0, 0.5, 8.0};
+  std::vector<double> sq(9, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      sq[i * 3 + j] = (points[i] - points[j]) * (points[i] - points[j]);
+    }
+  }
+  auto p = internal::ComputeAffinities(sq, 3, 2.0);
+  EXPECT_GT(p[0 * 3 + 1], p[0 * 3 + 2]);
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  Rng rng(1);
+  const std::size_t n = 20;
+  const std::size_t dim = 5;
+  std::vector<double> points(n * dim);
+  for (double& v : points) v = rng.Normal();
+  TsneConfig cfg;
+  cfg.iterations = 50;
+  auto y = TsneEmbed(points, n, dim, cfg);
+  ASSERT_EQ(y.size(), n * 2);
+  for (double v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TsneTest, EmbeddingIsCentered) {
+  Rng rng(2);
+  const std::size_t n = 15;
+  std::vector<double> points(n * 3);
+  for (double& v : points) v = rng.Normal();
+  TsneConfig cfg;
+  cfg.iterations = 30;
+  auto y = TsneEmbed(points, n, 3, cfg);
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += y[i * 2];
+    my += y[i * 2 + 1];
+  }
+  EXPECT_NEAR(mx / n, 0.0, 1e-6);
+  EXPECT_NEAR(my / n, 0.0, 1e-6);
+}
+
+TEST(TsneTest, SeparatesTwoWellSeparatedClusters) {
+  // Two Gaussian blobs far apart in 10-D must land in separable 2-D
+  // groups: mean inter-cluster distance > mean intra-cluster distance.
+  Rng rng(3);
+  const std::size_t per_cluster = 15;
+  const std::size_t n = 2 * per_cluster;
+  const std::size_t dim = 10;
+  std::vector<double> points(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double center = i < per_cluster ? 0.0 : 25.0;
+    for (std::size_t k = 0; k < dim; ++k) {
+      points[i * dim + k] = center + rng.Normal(0.0, 0.5);
+    }
+  }
+  TsneConfig cfg;
+  cfg.iterations = 200;
+  cfg.seed = 4;
+  auto y = TsneEmbed(points, n, dim, cfg);
+
+  auto dist = [&y](std::size_t a, std::size_t b) {
+    const double dx = y[a * 2] - y[b * 2];
+    const double dy = y[a * 2 + 1] - y[b * 2 + 1];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0.0;
+  double inter = 0.0;
+  std::size_t intra_n = 0;
+  std::size_t inter_n = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const bool same = (a < per_cluster) == (b < per_cluster);
+      if (same) {
+        intra += dist(a, b);
+        ++intra_n;
+      } else {
+        inter += dist(a, b);
+        ++inter_n;
+      }
+    }
+  }
+  intra /= static_cast<double>(intra_n);
+  inter /= static_cast<double>(inter_n);
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(TsneTest, DeterministicInSeed) {
+  Rng rng(5);
+  std::vector<double> points(10 * 4);
+  for (double& v : points) v = rng.Normal();
+  TsneConfig cfg;
+  cfg.iterations = 20;
+  auto a = TsneEmbed(points, 10, 4, cfg);
+  auto b = TsneEmbed(points, 10, 4, cfg);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace poisonrec::viz
