@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense_detection.dir/bench_defense_detection.cc.o"
+  "CMakeFiles/bench_defense_detection.dir/bench_defense_detection.cc.o.d"
+  "bench_defense_detection"
+  "bench_defense_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ranker_quality.dir/bench_ranker_quality.cc.o"
+  "CMakeFiles/bench_ranker_quality.dir/bench_ranker_quality.cc.o.d"
+  "bench_ranker_quality"
+  "bench_ranker_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ranker_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_attacks.dir/bench_table3_attacks.cc.o"
+  "CMakeFiles/bench_table3_attacks.dir/bench_table3_attacks.cc.o.d"
+  "bench_table3_attacks"
+  "bench_table3_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_heuristic_wins.dir/bench_table4_heuristic_wins.cc.o"
+  "CMakeFiles/bench_table4_heuristic_wins.dir/bench_table4_heuristic_wins.cc.o.d"
+  "bench_table4_heuristic_wins"
+  "bench_table4_heuristic_wins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_heuristic_wins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_bench_common.dir/common.cc.o"
+  "CMakeFiles/poisonrec_bench_common.dir/common.cc.o.d"
+  "libpoisonrec_bench_common.a"
+  "libpoisonrec_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

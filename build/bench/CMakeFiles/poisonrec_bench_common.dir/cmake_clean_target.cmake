@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpoisonrec_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_recommender.dir/custom_recommender.cpp.o"
+  "CMakeFiles/custom_recommender.dir/custom_recommender.cpp.o.d"
+  "custom_recommender"
+  "custom_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

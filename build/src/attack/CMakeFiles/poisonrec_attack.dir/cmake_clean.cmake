@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_attack.dir/appgrad.cc.o"
+  "CMakeFiles/poisonrec_attack.dir/appgrad.cc.o.d"
+  "CMakeFiles/poisonrec_attack.dir/conslop.cc.o"
+  "CMakeFiles/poisonrec_attack.dir/conslop.cc.o.d"
+  "CMakeFiles/poisonrec_attack.dir/heuristics.cc.o"
+  "CMakeFiles/poisonrec_attack.dir/heuristics.cc.o.d"
+  "CMakeFiles/poisonrec_attack.dir/poisonrec_attack.cc.o"
+  "CMakeFiles/poisonrec_attack.dir/poisonrec_attack.cc.o.d"
+  "libpoisonrec_attack.a"
+  "libpoisonrec_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

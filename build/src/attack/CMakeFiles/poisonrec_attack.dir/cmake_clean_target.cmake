@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpoisonrec_attack.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_core.dir/action_tree.cc.o"
+  "CMakeFiles/poisonrec_core.dir/action_tree.cc.o.d"
+  "CMakeFiles/poisonrec_core.dir/policy.cc.o"
+  "CMakeFiles/poisonrec_core.dir/policy.cc.o.d"
+  "CMakeFiles/poisonrec_core.dir/ppo.cc.o"
+  "CMakeFiles/poisonrec_core.dir/ppo.cc.o.d"
+  "CMakeFiles/poisonrec_core.dir/trajectory.cc.o"
+  "CMakeFiles/poisonrec_core.dir/trajectory.cc.o.d"
+  "libpoisonrec_core.a"
+  "libpoisonrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

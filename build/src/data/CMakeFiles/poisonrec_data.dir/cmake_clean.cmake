@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_data.dir/dataset.cc.o"
+  "CMakeFiles/poisonrec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/poisonrec_data.dir/synthetic.cc.o"
+  "CMakeFiles/poisonrec_data.dir/synthetic.cc.o.d"
+  "libpoisonrec_data.a"
+  "libpoisonrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

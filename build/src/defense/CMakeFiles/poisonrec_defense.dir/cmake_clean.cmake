@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_defense.dir/detector.cc.o"
+  "CMakeFiles/poisonrec_defense.dir/detector.cc.o.d"
+  "libpoisonrec_defense.a"
+  "libpoisonrec_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_env.dir/environment.cc.o"
+  "CMakeFiles/poisonrec_env.dir/environment.cc.o.d"
+  "libpoisonrec_env.a"
+  "libpoisonrec_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_nn.dir/loss.cc.o"
+  "CMakeFiles/poisonrec_nn.dir/loss.cc.o.d"
+  "CMakeFiles/poisonrec_nn.dir/module.cc.o"
+  "CMakeFiles/poisonrec_nn.dir/module.cc.o.d"
+  "CMakeFiles/poisonrec_nn.dir/optimizer.cc.o"
+  "CMakeFiles/poisonrec_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/poisonrec_nn.dir/serialize.cc.o"
+  "CMakeFiles/poisonrec_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/poisonrec_nn.dir/sparse.cc.o"
+  "CMakeFiles/poisonrec_nn.dir/sparse.cc.o.d"
+  "CMakeFiles/poisonrec_nn.dir/tensor.cc.o"
+  "CMakeFiles/poisonrec_nn.dir/tensor.cc.o.d"
+  "libpoisonrec_nn.a"
+  "libpoisonrec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

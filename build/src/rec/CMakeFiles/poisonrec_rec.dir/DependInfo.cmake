@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rec/autorec.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/autorec.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/autorec.cc.o.d"
+  "/root/repo/src/rec/bpr.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/bpr.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/bpr.cc.o.d"
+  "/root/repo/src/rec/candidates.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/candidates.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/candidates.cc.o.d"
+  "/root/repo/src/rec/covisitation.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/covisitation.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/covisitation.cc.o.d"
+  "/root/repo/src/rec/factor_model.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/factor_model.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/factor_model.cc.o.d"
+  "/root/repo/src/rec/gru4rec.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/gru4rec.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/gru4rec.cc.o.d"
+  "/root/repo/src/rec/itemknn.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/itemknn.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/itemknn.cc.o.d"
+  "/root/repo/src/rec/itempop.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/itempop.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/itempop.cc.o.d"
+  "/root/repo/src/rec/metrics.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/metrics.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/metrics.cc.o.d"
+  "/root/repo/src/rec/neumf.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/neumf.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/neumf.cc.o.d"
+  "/root/repo/src/rec/ngcf.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/ngcf.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/ngcf.cc.o.d"
+  "/root/repo/src/rec/pmf.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/pmf.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/pmf.cc.o.d"
+  "/root/repo/src/rec/recommender.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/recommender.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/recommender.cc.o.d"
+  "/root/repo/src/rec/registry.cc" "src/rec/CMakeFiles/poisonrec_rec.dir/registry.cc.o" "gcc" "src/rec/CMakeFiles/poisonrec_rec.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/poisonrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/poisonrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poisonrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_rec.dir/autorec.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/autorec.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/bpr.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/bpr.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/candidates.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/candidates.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/covisitation.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/covisitation.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/factor_model.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/factor_model.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/gru4rec.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/gru4rec.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/itemknn.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/itemknn.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/itempop.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/itempop.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/metrics.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/metrics.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/neumf.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/neumf.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/ngcf.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/ngcf.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/pmf.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/pmf.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/recommender.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/recommender.cc.o.d"
+  "CMakeFiles/poisonrec_rec.dir/registry.cc.o"
+  "CMakeFiles/poisonrec_rec.dir/registry.cc.o.d"
+  "libpoisonrec_rec.a"
+  "libpoisonrec_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

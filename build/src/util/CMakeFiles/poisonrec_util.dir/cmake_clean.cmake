@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_util.dir/csv.cc.o"
+  "CMakeFiles/poisonrec_util.dir/csv.cc.o.d"
+  "CMakeFiles/poisonrec_util.dir/logging.cc.o"
+  "CMakeFiles/poisonrec_util.dir/logging.cc.o.d"
+  "CMakeFiles/poisonrec_util.dir/parallel.cc.o"
+  "CMakeFiles/poisonrec_util.dir/parallel.cc.o.d"
+  "CMakeFiles/poisonrec_util.dir/random.cc.o"
+  "CMakeFiles/poisonrec_util.dir/random.cc.o.d"
+  "CMakeFiles/poisonrec_util.dir/stats.cc.o"
+  "CMakeFiles/poisonrec_util.dir/stats.cc.o.d"
+  "CMakeFiles/poisonrec_util.dir/status.cc.o"
+  "CMakeFiles/poisonrec_util.dir/status.cc.o.d"
+  "CMakeFiles/poisonrec_util.dir/topk.cc.o"
+  "CMakeFiles/poisonrec_util.dir/topk.cc.o.d"
+  "libpoisonrec_util.a"
+  "libpoisonrec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_viz.dir/tsne.cc.o"
+  "CMakeFiles/poisonrec_viz.dir/tsne.cc.o.d"
+  "libpoisonrec_viz.a"
+  "libpoisonrec_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

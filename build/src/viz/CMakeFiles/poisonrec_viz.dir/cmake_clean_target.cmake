@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpoisonrec_viz.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_tree_test.dir/action_tree_test.cc.o"
+  "CMakeFiles/action_tree_test.dir/action_tree_test.cc.o.d"
+  "action_tree_test"
+  "action_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

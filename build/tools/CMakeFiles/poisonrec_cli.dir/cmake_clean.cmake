@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisonrec_cli.dir/poisonrec_cli.cc.o"
+  "CMakeFiles/poisonrec_cli.dir/poisonrec_cli.cc.o.d"
+  "poisonrec"
+  "poisonrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisonrec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
