@@ -1,0 +1,81 @@
+// Resilience sweep (beyond the paper): how much attack damage survives an
+// unreliable channel. Sweeps the transient query-failure rate and the
+// per-click injection drop rate independently on Steam (first ranker of
+// POISONREC_RANKERS; ItemPop by default); the attacker retries transient
+// errors and imputes unobserved rewards. For each cell the learned best
+// attack is re-scored on the clean channel, so the number isolates what
+// the attacker still *learned* from what the channel merely hid.
+// Expected: flat-ish in the failure rate (retries recover most queries),
+// graceful decay in the drop rate (the training signal itself degrades).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/ppo.h"
+#include "env/fault.h"
+#include "util/retry.h"
+
+namespace poisonrec::bench {
+namespace {
+
+void Run() {
+  BenchConfig config = LoadBenchConfig();
+  const std::string ranker =
+      config.rankers.empty() ? "ItemPop" : config.rankers.front();
+  std::printf(
+      "== Resilience: damage vs fault severity (%s on Steam, scale=%.3g) "
+      "==\n\n",
+      ranker.c_str(), config.scale);
+
+  const SleepFn no_sleep = [](double) {};
+  PrintTableHeader({"fail", "drop", "RecNum", "damage", "failed", "retries"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back(
+      {"failure_rate", "drop_rate", "recnum", "damage", "failed", "retries"});
+  for (const double failure_rate : {0.0, 0.2, 0.4}) {
+    for (const double drop_rate : {0.0, 0.15, 0.3}) {
+      auto environment =
+          MakeEnvironment(config, data::DatasetPreset::kSteam, ranker);
+
+      env::FaultProfile profile;
+      profile.query_failure_rate = failure_rate;
+      profile.injection_drop_rate = drop_rate;
+      profile.shadow_ban_rate = 0.05;
+      profile.seed = config.seed ^ 0x0fau;
+      env::FaultyEnvironment faulty(environment.get(), profile);
+
+      core::PoisonRecAttacker attacker(
+          environment.get(),
+          MakePoisonRecConfig(
+              config, core::ActionSpaceKind::kBcbtPopular,
+              config.seed ^ static_cast<std::uint64_t>(
+                                failure_rate * 1000 + drop_rate * 10)));
+      attacker.AttachFaultyEnvironment(&faulty, no_sleep);
+      const auto stats = attacker.Train(config.training_steps);
+
+      std::size_t failed = 0;
+      std::size_t retries = 0;
+      for (const auto& s : stats) {
+        failed += s.failed_queries;
+        retries += s.retries;
+      }
+      const double rec_num = environment->Evaluate(attacker.BestAttack());
+      const double damage = rec_num - environment->BaselineRecNum();
+      PrintTableRow({FormatCount(failure_rate * 100) + "%",
+                     FormatCount(drop_rate * 100) + "%", FormatCount(rec_num),
+                     FormatCount(damage), std::to_string(failed),
+                     std::to_string(retries)});
+      csv.push_back({std::to_string(failure_rate), std::to_string(drop_rate),
+                     FormatCount(rec_num), FormatCount(damage),
+                     std::to_string(failed), std::to_string(retries)});
+    }
+  }
+  WriteCsvOutput(config, "fault_resilience.csv", csv);
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() {
+  poisonrec::bench::Run();
+  return 0;
+}

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -9,6 +12,51 @@
 #include "util/timer.h"
 
 namespace poisonrec::core {
+
+namespace {
+
+// Attacker checkpoint framing ("PRCK", version 1). Payload layout:
+//   u64 steps_taken
+//   policy parameters: u64 count, then per tensor u64 rows, u64 cols,
+//     float32 payload
+//   Adam: u64 step_count, then per parameter m[] and v[] float32 payloads
+//   RNG engine state: u64 length + text blob
+//   best episode: f64 reward, u8 observed, u64 n_trajectories, then per
+//     trajectory u64 attacker_index, u64 n_steps, per step u64 item,
+//     u64 path_len + i32s, u64 logprob_len + f64s
+constexpr std::uint32_t kCheckpointMagic = 0x5052434bu;  // "PRCK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteFloats(std::ostream& out, const std::vector<float>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool ReadU64(std::istream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadFloats(std::istream& in, std::vector<float>* v) {
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(v->size() * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
 
 PoisonRecAttacker::PoisonRecAttacker(const env::AttackEnvironment* environment,
                                      const PoisonRecConfig& config)
@@ -47,14 +95,25 @@ Episode PoisonRecAttacker::SampleAndEvaluate() {
   return episode;
 }
 
+void PoisonRecAttacker::AttachFaultyEnvironment(
+    const env::FaultyEnvironment* faulty, SleepFn retry_sleep) {
+  POISONREC_CHECK(faulty == nullptr || &faulty->base() == env_)
+      << "faulty environment must decorate the attacker's environment";
+  faulty_ = faulty;
+  retry_sleep_ = std::move(retry_sleep);
+}
+
 nn::Tensor PoisonRecAttacker::PpoLoss(
     const std::vector<const Episode*>& batch, double* loss_value) {
-  // Eq. 8: normalize rewards within the batch.
+  // Eq. 8: normalize rewards within the batch. Imputed (unobserved)
+  // rewards are excluded from the statistics and get zero advantage.
   std::vector<double> advantages(batch.size());
+  std::vector<char> observed(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     advantages[i] = batch[i]->reward;
+    observed[i] = batch[i]->reward_observed ? 1 : 0;
   }
-  NormalizeRewards(&advantages);
+  NormalizeRewards(&advantages, observed);
 
   // Flatten trajectories; every decision inherits its episode's advantage.
   std::vector<const SampledTrajectory*> trajs;
@@ -126,27 +185,71 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
 
   // -- Sample M training examples -------------------------------------------
   // Sampling is sequential (it advances the shared RNG); the black-box
-  // reward queries are independent and may run concurrently.
+  // reward queries are independent and may run concurrently. Retry state
+  // is per-query (own jitter stream, own stats slot), so ParallelFor
+  // iterations stay independent and results match the sequential order.
   std::vector<Episode> episodes(config_.samples_per_step);
   for (Episode& ep : episodes) {
     ep.trajectories =
         policy_->SampleEpisode(env_->trajectory_length(), &rng_);
   }
-  ParallelFor(episodes.size(),
-              config_.parallel_rewards ? config_.num_threads : 1,
-              [this, &episodes](std::size_t m) {
-                episodes[m].reward = env_->Evaluate(
-                    ToEnvTrajectories(episodes[m].trajectories));
-              });
+  std::vector<std::size_t> query_retries(episodes.size(), 0);
+  ParallelFor(
+      episodes.size(), config_.parallel_rewards ? config_.num_threads : 1,
+      [this, &episodes, &query_retries, &stats](std::size_t m) {
+        const std::vector<env::Trajectory> trajs =
+            ToEnvTrajectories(episodes[m].trajectories);
+        if (faulty_ == nullptr) {
+          episodes[m].reward = env_->Evaluate(trajs);
+          return;
+        }
+        // Deterministic query id: resuming from a checkpoint replays the
+        // same fault stream as an uninterrupted run.
+        const std::uint64_t query_id =
+            (static_cast<std::uint64_t>(stats.step) - 1) *
+                config_.samples_per_step +
+            m;
+        RetryStats retry_stats;
+        StatusOr<double> result = CallWithRetry<double>(
+            config_.retry,
+            [this, &trajs, query_id](std::size_t attempt) {
+              return faulty_->TryEvaluate(
+                  trajs, query_id, static_cast<std::uint32_t>(attempt));
+            },
+            /*jitter_seed=*/query_id ^ config_.seed, &retry_stats,
+            retry_sleep_);
+        query_retries[m] = retry_stats.retries;
+        if (result.ok()) {
+          episodes[m].reward = *result;
+        } else {
+          episodes[m].reward = 0.0;
+          episodes[m].reward_observed = false;
+        }
+      });
+
+  // Graceful degradation: impute failed queries with the mean of the
+  // observed rewards so they sit at zero advantage after Eq. 8.
   RunningStats reward_stats;
   double click_ratio_sum = 0.0;
   for (const Episode& ep : episodes) {
+    click_ratio_sum += TargetClickRatio(ep, env_->num_original_items());
+    if (!ep.reward_observed) {
+      ++stats.failed_queries;
+      continue;
+    }
     reward_stats.AddTracked(ep.reward);
-    click_ratio_sum +=
-        TargetClickRatio(ep, env_->num_original_items());
     if (best_episode_.trajectories.empty() ||
         ep.reward > best_episode_.reward) {
       best_episode_ = ep;
+    }
+  }
+  for (std::size_t r : query_retries) stats.retries += r;
+  if (reward_stats.count() > 0) {
+    for (Episode& ep : episodes) {
+      if (!ep.reward_observed) {
+        ep.reward = reward_stats.mean();
+        ++stats.imputed_rewards;
+      }
     }
   }
   stats.mean_reward = reward_stats.mean();
@@ -155,8 +258,21 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   stats.best_reward_so_far = best_episode_.reward;
   stats.target_click_ratio =
       click_ratio_sum / static_cast<double>(config_.samples_per_step);
+  if (stats.failed_queries > 0) {
+    POISONREC_LOG(Warning)
+        << "step " << stats.step << ": " << stats.failed_queries << "/"
+        << episodes.size() << " reward queries failed after retries ("
+        << stats.imputed_rewards << " imputed)";
+  }
 
   // -- K epochs of PPO updates ----------------------------------------------
+  // With fewer than 2 observed rewards Eq. 8 is undefined; skip the update
+  // rather than training on fabricated advantages.
+  if (reward_stats.count() < 2) {
+    stats.loss = 0.0;
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;
+  }
   double loss_sum = 0.0;
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
     std::vector<const Episode*> batch;
@@ -187,6 +303,185 @@ std::vector<TrainStepStats> PoisonRecAttacker::Train(std::size_t steps) {
     all.push_back(TrainStep());
   }
   return all;
+}
+
+Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    const std::uint32_t header[2] = {kCheckpointMagic, kCheckpointVersion};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    WriteU64(out, steps_taken_);
+
+    const std::vector<nn::Tensor> params = policy_->Parameters();
+    WriteU64(out, params.size());
+    for (const nn::Tensor& p : params) {
+      WriteU64(out, p.rows());
+      WriteU64(out, p.cols());
+      WriteFloats(out, p.data());
+    }
+
+    WriteU64(out, optimizer_->step_count());
+    for (const std::vector<float>& m : optimizer_->first_moments()) {
+      WriteFloats(out, m);
+    }
+    for (const std::vector<float>& v : optimizer_->second_moments()) {
+      WriteFloats(out, v);
+    }
+
+    const std::string rng_state = rng_.SerializeState();
+    WriteU64(out, rng_state.size());
+    out.write(rng_state.data(),
+              static_cast<std::streamsize>(rng_state.size()));
+
+    WriteF64(out, best_episode_.reward);
+    out.put(best_episode_.reward_observed ? 1 : 0);
+    WriteU64(out, best_episode_.trajectories.size());
+    for (const SampledTrajectory& traj : best_episode_.trajectories) {
+      WriteU64(out, traj.attacker_index);
+      WriteU64(out, traj.steps.size());
+      for (const SampledStep& step : traj.steps) {
+        WriteU64(out, step.item);
+        WriteU64(out, step.path.size());
+        for (int node : step.path) {
+          const std::int32_t n32 = node;
+          out.write(reinterpret_cast<const char*>(&n32), sizeof(n32));
+        }
+        WriteU64(out, step.old_log_probs.size());
+        for (double lp : step.old_log_probs) WriteF64(out, lp);
+      }
+    }
+    if (!out) return Status::IoError("write failed for " + tmp);
+  }
+  // Atomic publish: a crash before this point leaves any previous
+  // checkpoint at `path` untouched.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::uint32_t header[2] = {0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kCheckpointMagic) {
+    return Status::InvalidArgument(path +
+                                   " is not a PoisonRec attacker checkpoint");
+  }
+  if (header[1] != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported attacker checkpoint version " +
+                                   std::to_string(header[1]));
+  }
+  std::uint64_t steps = 0;
+  if (!ReadU64(in, &steps)) return Status::IoError("truncated checkpoint");
+
+  // Stage everything before touching live state: a truncated or
+  // mismatched file must leave the attacker unchanged.
+  std::vector<nn::Tensor> params = policy_->Parameters();
+  std::uint64_t count = 0;
+  if (!ReadU64(in, &count)) return Status::IoError("truncated checkpoint");
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " tensors, policy has " +
+        std::to_string(params.size()));
+  }
+  std::vector<std::vector<float>> staged_params(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    if (!ReadU64(in, &rows) || !ReadU64(in, &cols)) {
+      return Status::IoError("truncated checkpoint");
+    }
+    if (rows != params[i].rows() || cols != params[i].cols()) {
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) + " shape mismatch: checkpoint " +
+          std::to_string(rows) + "x" + std::to_string(cols) + " vs policy " +
+          params[i].ShapeString());
+    }
+    staged_params[i].resize(params[i].size());
+    if (!ReadFloats(in, &staged_params[i])) {
+      return Status::IoError("truncated checkpoint payload");
+    }
+  }
+
+  std::uint64_t adam_steps = 0;
+  if (!ReadU64(in, &adam_steps)) return Status::IoError("truncated checkpoint");
+  std::vector<std::vector<float>> m(params.size());
+  std::vector<std::vector<float>> v(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m[i].resize(params[i].size());
+    if (!ReadFloats(in, &m[i])) return Status::IoError("truncated checkpoint");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    v[i].resize(params[i].size());
+    if (!ReadFloats(in, &v[i])) return Status::IoError("truncated checkpoint");
+  }
+
+  std::uint64_t rng_len = 0;
+  if (!ReadU64(in, &rng_len)) return Status::IoError("truncated checkpoint");
+  std::string rng_state(rng_len, '\0');
+  in.read(rng_state.data(), static_cast<std::streamsize>(rng_len));
+  if (!in) return Status::IoError("truncated checkpoint");
+
+  Episode best;
+  std::uint64_t n_traj = 0;
+  if (!ReadF64(in, &best.reward)) return Status::IoError("truncated checkpoint");
+  const int observed = in.get();
+  if (observed == std::ifstream::traits_type::eof()) {
+    return Status::IoError("truncated checkpoint");
+  }
+  best.reward_observed = observed != 0;
+  if (!ReadU64(in, &n_traj)) return Status::IoError("truncated checkpoint");
+  best.trajectories.resize(n_traj);
+  for (SampledTrajectory& traj : best.trajectories) {
+    std::uint64_t attacker = 0;
+    std::uint64_t n_steps = 0;
+    if (!ReadU64(in, &attacker) || !ReadU64(in, &n_steps)) {
+      return Status::IoError("truncated checkpoint");
+    }
+    traj.attacker_index = attacker;
+    traj.steps.resize(n_steps);
+    for (SampledStep& step : traj.steps) {
+      std::uint64_t item = 0;
+      std::uint64_t path_len = 0;
+      if (!ReadU64(in, &item) || !ReadU64(in, &path_len)) {
+        return Status::IoError("truncated checkpoint");
+      }
+      step.item = item;
+      step.path.resize(path_len);
+      for (int& node : step.path) {
+        std::int32_t n32 = 0;
+        in.read(reinterpret_cast<char*>(&n32), sizeof(n32));
+        node = n32;
+      }
+      std::uint64_t lp_len = 0;
+      if (!ReadU64(in, &lp_len)) return Status::IoError("truncated checkpoint");
+      step.old_log_probs.resize(lp_len);
+      for (double& lp : step.old_log_probs) {
+        if (!ReadF64(in, &lp)) return Status::IoError("truncated checkpoint");
+      }
+    }
+  }
+  if (!in) return Status::IoError("truncated checkpoint");
+
+  // Commit: everything parsed cleanly.
+  Rng restored_rng(0);
+  POISONREC_RETURN_NOT_OK(restored_rng.DeserializeState(rng_state));
+  POISONREC_RETURN_NOT_OK(
+      optimizer_->RestoreState(adam_steps, std::move(m), std::move(v)));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_data() = std::move(staged_params[i]);
+  }
+  rng_ = restored_rng;
+  steps_taken_ = steps;
+  best_episode_ = std::move(best);
+  return Status::OK();
 }
 
 }  // namespace poisonrec::core

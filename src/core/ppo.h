@@ -8,12 +8,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/policy.h"
 #include "core/trajectory.h"
 #include "env/environment.h"
+#include "env/fault.h"
 #include "nn/optimizer.h"
+#include "util/retry.h"
+#include "util/status.h"
 
 namespace poisonrec::core {
 
@@ -33,6 +37,9 @@ struct PoisonRecConfig {
   bool parallel_rewards = false;
   /// Worker threads for parallel evaluation (0 = hardware concurrency).
   std::size_t num_threads = 0;
+  /// Per-query retry schedule, used when a FaultyEnvironment is attached
+  /// (each of the M reward queries retries independently).
+  RetryPolicy retry;
   PolicyConfig policy;
   std::uint64_t seed = 99;
 };
@@ -50,6 +57,13 @@ struct TrainStepStats {
   double seconds = 0.0;
   /// Fraction of sampled clicks on target items (Figure 5 statistic).
   double target_click_ratio = 0.0;
+  /// Reward queries that still failed after exhausting the retry budget.
+  std::size_t failed_queries = 0;
+  /// Re-queries issued across all M reward queries of the step.
+  std::size_t retries = 0;
+  /// Failed queries whose reward was imputed with the batch mean (0 when
+  /// the whole batch failed — nothing to impute from).
+  std::size_t imputed_rewards = 0;
 };
 
 /// The PoisonRec attack agent: ties a Policy to an AttackEnvironment and
@@ -77,6 +91,26 @@ class PoisonRecAttacker {
   /// Samples a fresh episode from the current policy and evaluates it.
   Episode SampleAndEvaluate();
 
+  /// Routes all subsequent reward queries through the fault-injecting
+  /// decorator: each query retries per `config().retry`, and queries that
+  /// still fail degrade gracefully (batch-mean imputation, excluded from
+  /// Eq. 8 statistics). `faulty->base()` must be the environment this
+  /// attacker was constructed with. `retry_sleep` overrides how backoff
+  /// waits are spent ({} = really sleep); tests pass a fake clock.
+  void AttachFaultyEnvironment(const env::FaultyEnvironment* faulty,
+                               SleepFn retry_sleep = {});
+
+  /// Persists everything TrainStep depends on — policy parameters, Adam
+  /// moments, RNG state, steps taken, best episode — so a crashed run can
+  /// resume bit-identically. The write is atomic (tmp file + rename): a
+  /// crash mid-write never corrupts an existing checkpoint.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a SaveCheckpoint file into this attacker. The attacker must
+  /// have been constructed with the same configuration and environment
+  /// shape (parameter shapes are validated).
+  Status LoadCheckpoint(const std::string& path);
+
   Policy& policy() { return *policy_; }
   const Policy& policy() const { return *policy_; }
   const PoisonRecConfig& config() const { return config_; }
@@ -88,6 +122,8 @@ class PoisonRecAttacker {
                      double* loss_value);
 
   const env::AttackEnvironment* env_;
+  const env::FaultyEnvironment* faulty_ = nullptr;
+  SleepFn retry_sleep_;
   PoisonRecConfig config_;
   std::unique_ptr<Policy> policy_;
   std::unique_ptr<nn::Adam> optimizer_;

@@ -36,6 +36,10 @@ struct SampledTrajectory {
 struct Episode {
   std::vector<SampledTrajectory> trajectories;
   double reward = 0.0;
+  /// False when the reward query failed even after retries and `reward`
+  /// was imputed (batch mean). Imputed episodes are excluded from the
+  /// Eq. 8 normalization statistics and from best-episode tracking.
+  bool reward_observed = true;
 };
 
 /// Strips the RL bookkeeping for injection into the environment.

@@ -1,0 +1,158 @@
+#include "env/fault.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace poisonrec::env {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates structured (seed, id, attempt)
+/// tuples into independent-looking Rng seeds.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t query_id,
+                      std::uint64_t attempt) {
+  return Mix(Mix(seed ^ Mix(query_id)) ^ Mix(attempt + 1));
+}
+
+void CheckRate(double rate, const char* name) {
+  POISONREC_CHECK(rate >= 0.0 && rate <= 1.0)
+      << name << " must be a probability, got " << rate;
+}
+
+}  // namespace
+
+FaultyEnvironment::FaultyEnvironment(const AttackEnvironment* base,
+                                     const FaultProfile& profile)
+    : base_(base), profile_(profile) {
+  POISONREC_CHECK(base_ != nullptr);
+  CheckRate(profile_.query_failure_rate, "query_failure_rate");
+  CheckRate(profile_.throttle_rate, "throttle_rate");
+  CheckRate(profile_.injection_drop_rate, "injection_drop_rate");
+  CheckRate(profile_.shadow_ban_rate, "shadow_ban_rate");
+  CheckRate(profile_.stale_reward_rate, "stale_reward_rate");
+  POISONREC_CHECK_GE(profile_.reward_noise_stddev, 0.0);
+}
+
+StatusOr<double> FaultyEnvironment::TryEvaluate(
+    const std::vector<Trajectory>& trajectories, std::uint64_t query_id,
+    std::uint32_t attempt) const {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+
+  // Attempt-level fault: transient failure, independent across attempts.
+  Rng attempt_rng(MixSeed(profile_.seed, query_id, attempt + 1));
+  if (profile_.query_failure_rate > 0.0 &&
+      attempt_rng.Bernoulli(profile_.query_failure_rate)) {
+    transient_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("transient query failure (query " +
+                               std::to_string(query_id) + ", attempt " +
+                               std::to_string(attempt) + ")");
+  }
+
+  // Query-level draws: one Rng per query id, so which trajectories are
+  // banned / which clicks are dropped does not depend on the attempt that
+  // finally succeeds.
+  Rng query_rng(MixSeed(profile_.seed, query_id, 0));
+  const bool throttled = profile_.throttle_rate > 0.0 &&
+                         query_rng.Bernoulli(profile_.throttle_rate);
+  if (throttled && attempt < profile_.throttle_cooldown_attempts) {
+    throttled_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "throttled (query " + std::to_string(query_id) + "; cool-down " +
+        std::to_string(profile_.throttle_cooldown_attempts) + " attempts)");
+  }
+
+  // Corrupt the injection: shadow-banned attackers lose their whole
+  // trajectory; surviving trajectories lose a fraction of their clicks.
+  // One Uniform() draw per trajectory + per click, unconditionally, keeps
+  // the draw stream aligned across profiles that differ only in rates.
+  std::vector<Trajectory> delivered;
+  delivered.reserve(trajectories.size());
+  std::uint64_t dropped = 0;
+  std::uint64_t banned = 0;
+  for (const Trajectory& traj : trajectories) {
+    const bool ban = query_rng.Uniform() < profile_.shadow_ban_rate;
+    Trajectory kept;
+    kept.attacker_index = traj.attacker_index;
+    kept.items.reserve(traj.items.size());
+    for (data::ItemId item : traj.items) {
+      const bool drop = query_rng.Uniform() < profile_.injection_drop_rate;
+      if (ban) continue;
+      if (drop) {
+        ++dropped;
+      } else {
+        kept.items.push_back(item);
+      }
+    }
+    if (ban) {
+      ++banned;
+      continue;
+    }
+    if (!kept.items.empty()) delivered.push_back(std::move(kept));
+  }
+  dropped_clicks_.fetch_add(dropped, std::memory_order_relaxed);
+  banned_trajectories_.fetch_add(banned, std::memory_order_relaxed);
+
+  double reward = base_->Evaluate(delivered);
+
+  // Observation noise on the feedback channel.
+  if (profile_.reward_noise_stddev > 0.0) {
+    reward += query_rng.Normal(0.0, profile_.reward_noise_stddev);
+    reward = std::max(reward, 0.0);
+  }
+
+  // Stale feedback: sometimes the crawled metric has not refreshed yet.
+  if (profile_.stale_reward_rate > 0.0) {
+    const bool stale = query_rng.Uniform() < profile_.stale_reward_rate;
+    std::lock_guard<std::mutex> lock(stale_mutex_);
+    if (stale && has_last_reward_) {
+      stale_rewards_.fetch_add(1, std::memory_order_relaxed);
+      reward = last_reward_;
+    } else {
+      last_reward_ = reward;
+      has_last_reward_ = true;
+    }
+  }
+
+  successes_.fetch_add(1, std::memory_order_relaxed);
+  return reward;
+}
+
+StatusOr<double> FaultyEnvironment::TryEvaluate(
+    const std::vector<Trajectory>& trajectories) const {
+  return TryEvaluate(trajectories,
+                     next_query_id_.fetch_add(1, std::memory_order_relaxed),
+                     /*attempt=*/0);
+}
+
+FaultStats FaultyEnvironment::stats() const {
+  FaultStats s;
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.transient_failures = transient_failures_.load(std::memory_order_relaxed);
+  s.throttled = throttled_.load(std::memory_order_relaxed);
+  s.successes = successes_.load(std::memory_order_relaxed);
+  s.dropped_clicks = dropped_clicks_.load(std::memory_order_relaxed);
+  s.banned_trajectories = banned_trajectories_.load(std::memory_order_relaxed);
+  s.stale_rewards = stale_rewards_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FaultyEnvironment::ResetStats() {
+  attempts_.store(0, std::memory_order_relaxed);
+  transient_failures_.store(0, std::memory_order_relaxed);
+  throttled_.store(0, std::memory_order_relaxed);
+  successes_.store(0, std::memory_order_relaxed);
+  dropped_clicks_.store(0, std::memory_order_relaxed);
+  banned_trajectories_.store(0, std::memory_order_relaxed);
+  stale_rewards_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace poisonrec::env

@@ -70,6 +70,27 @@ void Adam::Step() {
   }
 }
 
+Status Adam::RestoreState(std::size_t step_count,
+                          std::vector<std::vector<float>> m,
+                          std::vector<std::vector<float>> v) {
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(m.size()) + "/" +
+        std::to_string(v.size()) + " moment vectors, model has " +
+        std::to_string(params_.size()) + " parameters");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (m[i].size() != params_[i].size() || v[i].size() != params_[i].size()) {
+      return Status::InvalidArgument("Adam moment size mismatch at parameter " +
+                                     std::to_string(i));
+    }
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
   double sq = 0.0;
   for (const Tensor& p : params) {

@@ -57,6 +57,17 @@ class Adam : public Optimizer {
   void set_lr(float lr) { lr_ = lr; }
   std::size_t step_count() const { return step_count_; }
 
+  /// Optimizer state, exposed for checkpointing (see
+  /// core::PoisonRecAttacker::SaveCheckpoint).
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const { return v_; }
+
+  /// Restores checkpointed state. Moment shapes must match the registered
+  /// parameters exactly.
+  Status RestoreState(std::size_t step_count,
+                      std::vector<std::vector<float>> m,
+                      std::vector<std::vector<float>> v);
+
  private:
   float lr_;
   float beta1_;

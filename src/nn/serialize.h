@@ -21,6 +21,14 @@ Status SaveParameters(const std::vector<Tensor>& params,
 /// Loads a checkpoint into existing tensors. Count and shapes must match
 /// the checkpoint exactly (the caller constructs the model first, then
 /// restores into it).
+///
+/// `params` is deliberately taken by value: Tensor is a value-semantics
+/// handle over shared storage, so the copied handles alias the caller's
+/// TensorImpls and mutable_data() writes restore the caller's model in
+/// place. This also lets callers pass the temporary returned by
+/// `Module::Parameters()` directly. Passing tensors that do NOT alias the
+/// model (e.g. detached copies made with Tensor::DeepCopy) restores
+/// nothing the model can see.
 Status LoadParameters(const std::string& path, std::vector<Tensor> params);
 
 /// Reads just the shapes stored in a checkpoint (for diagnostics).

@@ -1,6 +1,8 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,18 +20,32 @@ void ParallelFor(std::size_t count, std::size_t num_threads,
     return;
   }
   std::atomic<std::size_t> next{0};
+  // A worker exception must surface on the calling thread, not terminate
+  // the process: capture the first one, stop handing out work, rethrow
+  // after the join.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> cancelled{false};
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
   for (std::size_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&]() {
-      while (true) {
+      while (!cancelled.load(std::memory_order_relaxed)) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (std::thread& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace poisonrec

@@ -15,6 +15,9 @@ namespace poisonrec {
 /// call returns. Falls back to the calling thread when count <= 1 or one
 /// thread is requested. fn must be safe to invoke concurrently for
 /// distinct indices.
+///
+/// If fn throws, remaining indices are abandoned and the first exception
+/// is rethrown on the calling thread after all workers have joined.
 void ParallelFor(std::size_t count, std::size_t num_threads,
                  const std::function<void(std::size_t)>& fn);
 

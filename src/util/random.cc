@@ -2,9 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <unordered_set>
 
 namespace poisonrec {
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::DeserializeState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::InvalidArgument("malformed Rng state blob");
+  }
+  engine_ = restored;
+  return Status::OK();
+}
 
 std::size_t Rng::Categorical(const std::vector<double>& weights) {
   POISONREC_CHECK(!weights.empty());

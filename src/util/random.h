@@ -5,9 +5,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace poisonrec {
 
@@ -80,6 +82,13 @@ class Rng {
 
   /// Derives an independent child seed (for spawning per-component Rngs).
   std::uint64_t Fork() { return engine_(); }
+
+  /// Engine state as a portable text blob (for crash-safe checkpoints).
+  /// Restoring it reproduces the exact draw sequence bit-for-bit.
+  std::string SerializeState() const;
+
+  /// Restores a state produced by SerializeState.
+  Status DeserializeState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

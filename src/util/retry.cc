@@ -1,0 +1,41 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace poisonrec {
+
+bool RetryPolicy::IsRetriable(StatusCode code) const {
+  return std::find(retriable.begin(), retriable.end(), code) !=
+         retriable.end();
+}
+
+RetryBackoff::RetryBackoff(const RetryPolicy& policy,
+                           std::uint64_t jitter_seed)
+    : base_(policy.initial_backoff_seconds),
+      cap_(policy.max_backoff_seconds),
+      previous_(policy.initial_backoff_seconds),
+      rng_(jitter_seed) {}
+
+double RetryBackoff::NextDelaySeconds() {
+  if (first_) {
+    first_ = false;
+    previous_ = base_;
+    return base_;
+  }
+  const double hi = std::max(base_, 3.0 * previous_);
+  const double delay = std::min(cap_, rng_.Uniform(base_, hi));
+  previous_ = delay;
+  return delay;
+}
+
+namespace internal {
+
+void SleepForSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace internal
+}  // namespace poisonrec

@@ -1,0 +1,117 @@
+// Generic retry with exponential backoff and decorrelated jitter, for
+// calls against unreliable backends (the black-box recommender under
+// attack throttles crawlers and drops queries; see env/fault.h).
+//
+// The sleep is injectable so tests — and deterministic training runs —
+// never block on a real clock. All jitter draws come from a caller-seeded
+// Rng, so retry schedules are reproducible.
+#ifndef POISONREC_UTIL_RETRY_H_
+#define POISONREC_UTIL_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace poisonrec {
+
+/// What to retry and how hard. Defaults match the fault model of
+/// env/fault.h: transient unavailability and throttling are retriable,
+/// everything else fails immediately.
+struct RetryPolicy {
+  /// Total attempts including the first call (1 = no retries).
+  std::size_t max_attempts = 4;
+  /// Backoff floor; the first retry sleeps at least this long.
+  double initial_backoff_seconds = 0.05;
+  /// Backoff ceiling (decorrelated jitter is clamped here).
+  double max_backoff_seconds = 2.0;
+  /// Codes worth retrying. Any other non-OK code propagates immediately.
+  std::vector<StatusCode> retriable = {StatusCode::kUnavailable,
+                                       StatusCode::kResourceExhausted};
+
+  bool IsRetriable(StatusCode code) const;
+};
+
+/// Observability for a single retried call.
+struct RetryStats {
+  /// Attempts actually made (>= 1 once the call ran).
+  std::size_t attempts = 0;
+  /// attempts - 1 when the call ran; how many times we re-queried.
+  std::size_t retries = 0;
+  /// Total simulated/real backoff slept.
+  double slept_seconds = 0.0;
+};
+
+/// Sleep hook; an empty function means "really sleep".
+using SleepFn = std::function<void(double seconds)>;
+
+/// Decorrelated-jitter backoff schedule (Brooker, AWS Architecture Blog):
+///   delay_0 = base
+///   delay_k = min(cap, uniform(base, 3 * delay_{k-1}))
+/// Draws come from the given seed only, so schedules reproduce.
+class RetryBackoff {
+ public:
+  RetryBackoff(const RetryPolicy& policy, std::uint64_t jitter_seed);
+
+  /// Delay to sleep before the next retry.
+  double NextDelaySeconds();
+
+ private:
+  double base_;
+  double cap_;
+  double previous_;
+  bool first_ = true;
+  Rng rng_;
+};
+
+/// Invokes `fn(attempt)` (attempt = 0, 1, ...) until it returns OK, a
+/// non-retriable error, or the attempt budget is spent. On budget
+/// exhaustion the last error is returned. `sleep` is called with the
+/// backoff delay between attempts; pass {} to really sleep.
+template <typename T, typename Fn>
+StatusOr<T> CallWithRetry(const RetryPolicy& policy, Fn&& fn,
+                          std::uint64_t jitter_seed = 0,
+                          RetryStats* stats = nullptr,
+                          const SleepFn& sleep = {});
+
+// -- implementation ---------------------------------------------------------
+
+namespace internal {
+/// Blocks the calling thread (the default sleep hook).
+void SleepForSeconds(double seconds);
+}  // namespace internal
+
+template <typename T, typename Fn>
+StatusOr<T> CallWithRetry(const RetryPolicy& policy, Fn&& fn,
+                          std::uint64_t jitter_seed, RetryStats* stats,
+                          const SleepFn& sleep) {
+  POISONREC_CHECK_GT(policy.max_attempts, 0u);
+  RetryBackoff backoff(policy, jitter_seed);
+  RetryStats local;
+  StatusOr<T> result = Status::Internal("retry loop never ran");
+  for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double delay = backoff.NextDelaySeconds();
+      local.slept_seconds += delay;
+      if (sleep) {
+        sleep(delay);
+      } else {
+        internal::SleepForSeconds(delay);
+      }
+    }
+    local.attempts = attempt + 1;
+    local.retries = attempt;
+    result = fn(attempt);
+    if (result.ok() || !policy.IsRetriable(result.status().code())) break;
+  }
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_RETRY_H_

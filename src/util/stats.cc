@@ -28,4 +28,26 @@ void NormalizeRewards(std::vector<double>* values) {
   for (double& v : *values) v = (v - mean) / sd;
 }
 
+void NormalizeRewards(std::vector<double>* values,
+                      const std::vector<char>& valid) {
+  std::vector<double> observed;
+  observed.reserve(values->size());
+  for (std::size_t i = 0; i < values->size(); ++i) {
+    if (i < valid.size() && valid[i]) observed.push_back((*values)[i]);
+  }
+  if (observed.size() < 2) {
+    for (double& v : *values) v = 0.0;
+    return;
+  }
+  const double mean = Mean(observed);
+  const double sd = StdDev(observed);
+  for (std::size_t i = 0; i < values->size(); ++i) {
+    if (i >= valid.size() || !valid[i] || sd <= 1e-12) {
+      (*values)[i] = 0.0;
+    } else {
+      (*values)[i] = ((*values)[i] - mean) / sd;
+    }
+  }
+}
+
 }  // namespace poisonrec

@@ -47,6 +47,13 @@ class RunningStats {
 /// (paper Eq. 8). When the batch is constant, all entries become 0.
 void NormalizeRewards(std::vector<double>* values);
 
+/// Masked variant for degraded batches: mean/stddev are computed over
+/// entries with valid[i] != 0 only, and invalid entries are forced to 0
+/// (zero advantage) so imputed rewards cannot skew the Eq. 8 statistics.
+/// With fewer than 2 valid entries every value becomes 0.
+void NormalizeRewards(std::vector<double>* values,
+                      const std::vector<char>& valid);
+
 /// Mean of a vector; 0 for empty input.
 double Mean(const std::vector<double>& values);
 

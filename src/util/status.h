@@ -23,6 +23,14 @@ enum class StatusCode : std::uint8_t {
   kInternal = 6,
   kUnimplemented = 7,
   kIoError = 8,
+  /// The operation failed transiently (flaky backend, dropped connection);
+  /// retrying the same call may succeed.
+  kUnavailable = 9,
+  /// The caller is being throttled (rate limit / quota); retrying after a
+  /// cool-down may succeed.
+  kResourceExhausted = 10,
+  /// The operation gave up after exhausting its time or attempt budget.
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -61,6 +69,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,216 @@
+// Crash-safe checkpoint/resume tests for PoisonRecAttacker: a run that is
+// killed and resumed from a checkpoint must continue bit-identically to
+// one that never stopped — including under injected faults.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ppo.h"
+#include "data/synthetic.h"
+#include "rec/registry.h"
+
+namespace poisonrec::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct Fixture {
+  Fixture()
+      : environment(MakeLog(), rec::MakeRecommender("ItemPop").value(),
+                    MakeEnvConfig()) {}
+
+  static data::Dataset MakeLog() {
+    data::SyntheticConfig cfg;
+    cfg.num_users = 100;
+    cfg.num_items = 80;
+    cfg.num_interactions = 1000;
+    cfg.seed = 3;
+    return data::GenerateSynthetic(cfg);
+  }
+
+  static env::EnvironmentConfig MakeEnvConfig() {
+    env::EnvironmentConfig cfg;
+    cfg.num_attackers = 6;
+    cfg.trajectory_length = 6;
+    cfg.num_target_items = 3;
+    cfg.num_candidate_originals = 20;
+    cfg.seed = 11;
+    return cfg;
+  }
+
+  static PoisonRecConfig MakeAttackerConfig() {
+    PoisonRecConfig cfg;
+    cfg.samples_per_step = 6;
+    cfg.batch_size = 6;
+    cfg.update_epochs = 2;
+    cfg.policy.embedding_dim = 8;
+    cfg.seed = 7;
+    return cfg;
+  }
+
+  env::AttackEnvironment environment;
+};
+
+void ExpectStatsBitwiseEqual(const TrainStepStats& a, const TrainStepStats& b,
+                             const char* context) {
+  EXPECT_EQ(a.step, b.step) << context;
+  EXPECT_DOUBLE_EQ(a.mean_reward, b.mean_reward) << context;
+  EXPECT_DOUBLE_EQ(a.max_reward, b.max_reward) << context;
+  EXPECT_DOUBLE_EQ(a.min_reward, b.min_reward) << context;
+  EXPECT_DOUBLE_EQ(a.best_reward_so_far, b.best_reward_so_far) << context;
+  EXPECT_DOUBLE_EQ(a.loss, b.loss) << context;
+  EXPECT_DOUBLE_EQ(a.target_click_ratio, b.target_click_ratio) << context;
+  EXPECT_EQ(a.failed_queries, b.failed_queries) << context;
+  EXPECT_EQ(a.retries, b.retries) << context;
+  EXPECT_EQ(a.imputed_rewards, b.imputed_rewards) << context;
+}
+
+TEST(CheckpointTest, SaveThenLoadRoundTripsState) {
+  Fixture f;
+  PoisonRecAttacker attacker(&f.environment, Fixture::MakeAttackerConfig());
+  attacker.Train(2);
+  const std::string path = TempPath("poisonrec_attacker_ckpt.bin");
+  ASSERT_TRUE(attacker.SaveCheckpoint(path).ok());
+
+  PoisonRecAttacker restored(&f.environment, Fixture::MakeAttackerConfig());
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  EXPECT_EQ(restored.steps_taken(), 2u);
+  EXPECT_DOUBLE_EQ(restored.best_episode().reward,
+                   attacker.best_episode().reward);
+  ASSERT_EQ(restored.best_episode().trajectories.size(),
+            attacker.best_episode().trajectories.size());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, KillAndResumeIsBitIdentical) {
+  Fixture f_full;
+  Fixture f_killed;
+  const auto cfg = Fixture::MakeAttackerConfig();
+
+  // Uninterrupted reference run: 6 steps.
+  PoisonRecAttacker uninterrupted(&f_full.environment, cfg);
+  const auto reference = uninterrupted.Train(6);
+
+  // Run 3 steps, checkpoint, "crash", resume in a fresh attacker.
+  const std::string path = TempPath("poisonrec_kill_resume_ckpt.bin");
+  {
+    PoisonRecAttacker first_process(&f_killed.environment, cfg);
+    first_process.Train(3);
+    ASSERT_TRUE(first_process.SaveCheckpoint(path).ok());
+    // first_process is destroyed here — the "kill".
+  }
+  PoisonRecAttacker resumed(&f_killed.environment, cfg);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+  EXPECT_EQ(resumed.steps_taken(), 3u);
+  const auto tail = resumed.Train(3);
+
+  ASSERT_EQ(tail.size(), 3u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    ExpectStatsBitwiseEqual(reference[3 + i], tail[i], "resumed step");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, KillAndResumeUnderFaultsIsBitIdentical) {
+  Fixture f_full;
+  Fixture f_killed;
+  auto cfg = Fixture::MakeAttackerConfig();
+  cfg.retry.max_attempts = 3;
+
+  env::FaultProfile profile;
+  profile.query_failure_rate = 0.2;
+  profile.injection_drop_rate = 0.1;
+  profile.shadow_ban_rate = 0.05;
+  profile.seed = 21;
+  const SleepFn no_sleep = [](double) {};
+
+  env::FaultyEnvironment faulty_full(&f_full.environment, profile);
+  PoisonRecAttacker uninterrupted(&f_full.environment, cfg);
+  uninterrupted.AttachFaultyEnvironment(&faulty_full, no_sleep);
+  const auto reference = uninterrupted.Train(6);
+
+  const std::string path = TempPath("poisonrec_fault_resume_ckpt.bin");
+  env::FaultyEnvironment faulty_killed(&f_killed.environment, profile);
+  {
+    PoisonRecAttacker first_process(&f_killed.environment, cfg);
+    first_process.AttachFaultyEnvironment(&faulty_killed, no_sleep);
+    first_process.Train(3);
+    ASSERT_TRUE(first_process.SaveCheckpoint(path).ok());
+  }
+  PoisonRecAttacker resumed(&f_killed.environment, cfg);
+  resumed.AttachFaultyEnvironment(&faulty_killed, no_sleep);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+  const auto tail = resumed.Train(3);
+
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    ExpectStatsBitwiseEqual(reference[3 + i], tail[i], "faulty resumed step");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, AtomicWriteLeavesNoTmpFileAndOverwritesSafely) {
+  Fixture f;
+  PoisonRecAttacker attacker(&f.environment, Fixture::MakeAttackerConfig());
+  attacker.TrainStep();
+  const std::string path = TempPath("poisonrec_atomic_ckpt.bin");
+  ASSERT_TRUE(attacker.SaveCheckpoint(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Saving again over an existing checkpoint also succeeds.
+  attacker.TrainStep();
+  ASSERT_TRUE(attacker.SaveCheckpoint(path).ok());
+  PoisonRecAttacker restored(&f.environment, Fixture::MakeAttackerConfig());
+  EXPECT_TRUE(restored.LoadCheckpoint(path).ok());
+  EXPECT_EQ(restored.steps_taken(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptOrMissingCheckpointIsRejectedCleanly) {
+  Fixture f;
+  PoisonRecAttacker attacker(&f.environment, Fixture::MakeAttackerConfig());
+  EXPECT_EQ(attacker.LoadCheckpoint("/nonexistent/ckpt.bin").code(),
+            StatusCode::kIoError);
+
+  const std::string garbage = TempPath("poisonrec_garbage_ckpt.bin");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  EXPECT_EQ(attacker.LoadCheckpoint(garbage).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(garbage.c_str());
+
+  // A truncated checkpoint is rejected and leaves the attacker usable.
+  const std::string path = TempPath("poisonrec_truncated_ckpt.bin");
+  attacker.TrainStep();
+  ASSERT_TRUE(attacker.SaveCheckpoint(path).ok());
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  PoisonRecAttacker victim(&f.environment, Fixture::MakeAttackerConfig());
+  EXPECT_EQ(victim.LoadCheckpoint(path).code(), StatusCode::kIoError);
+  EXPECT_EQ(victim.steps_taken(), 0u);
+  victim.TrainStep();  // still trains fine
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MismatchedPolicyShapeIsRejected) {
+  Fixture f;
+  PoisonRecAttacker attacker(&f.environment, Fixture::MakeAttackerConfig());
+  attacker.TrainStep();
+  const std::string path = TempPath("poisonrec_shape_ckpt.bin");
+  ASSERT_TRUE(attacker.SaveCheckpoint(path).ok());
+
+  auto other_cfg = Fixture::MakeAttackerConfig();
+  other_cfg.policy.embedding_dim = 16;  // different parameter shapes
+  PoisonRecAttacker other(&f.environment, other_cfg);
+  EXPECT_EQ(other.LoadCheckpoint(path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace poisonrec::core

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -56,6 +58,47 @@ TEST(ParallelForTest, ResultMatchesSequential) {
   ParallelFor(200, 8, [&](std::size_t i) { parallel_out[i] = work(i); });
   for (std::size_t i = 0; i < 200; ++i) sequential_out[i] = work(i);
   EXPECT_EQ(parallel_out, sequential_out);
+}
+
+TEST(ParallelForTest, WorkerExceptionRethrowsOnCallingThread) {
+  EXPECT_THROW(
+      ParallelFor(64, 4,
+                  [](std::size_t i) {
+                    if (i == 17) throw std::runtime_error("worker boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, WorkerExceptionPreservesMessage) {
+  try {
+    ParallelFor(8, 3, [](std::size_t i) {
+      if (i == 5) throw std::runtime_error("index five failed");
+    });
+    FAIL() << "ParallelFor should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "index five failed");
+  }
+}
+
+TEST(ParallelForTest, SingleThreadedExceptionAlsoPropagates) {
+  EXPECT_THROW(ParallelFor(4, 1,
+                           [](std::size_t i) {
+                             if (i == 2) throw std::runtime_error("seq boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, UsableAfterWorkerException) {
+  // A throw must not wedge or leak threads: the next call still works.
+  try {
+    ParallelFor(32, 4, [](std::size_t) {
+      throw std::runtime_error("every worker throws");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  ParallelFor(32, 4, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 32);
 }
 
 TEST(ParallelRewards, TrainingIsIdenticalToSequential) {

@@ -8,6 +8,7 @@
 
 #include "core/poisonrec.h"
 #include "nn/loss.h"
+#include "util/stats.h"
 
 namespace poisonrec {
 namespace {

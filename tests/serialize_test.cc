@@ -34,6 +34,52 @@ TEST(SerializeTest, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, ByValueParameterListRestoresCallersModel) {
+  // LoadParameters takes std::vector<Tensor> by value on purpose: each
+  // copied Tensor handle aliases the caller's storage, so writes land in
+  // the model. This test pins down that contract — if Tensor ever gained
+  // copy-on-write or deep-copy semantics, it would fail.
+  Rng rng(21);
+  Mlp model({3, 4, 2}, &rng);
+  Mlp donor({3, 4, 2}, &rng);
+  const std::string path = TempPath("poisonrec_ckpt_byvalue.bin");
+  ASSERT_TRUE(SaveParameters(donor.Parameters(), path).ok());
+
+  // Hold handles obtained BEFORE the load; the load mutates a copy of
+  // this very vector.
+  std::vector<Tensor> handles = model.Parameters();
+  ASSERT_TRUE(LoadParameters(path, handles).ok());
+  std::vector<Tensor> donor_params = donor.Parameters();
+  for (std::size_t p = 0; p < handles.size(); ++p) {
+    for (std::size_t i = 0; i < handles[p].size(); ++i) {
+      EXPECT_FLOAT_EQ(handles[p].data()[i], donor_params[p].data()[i]);
+    }
+  }
+  // And the model itself (fresh Parameters() call, fresh Forward) sees
+  // the restored weights.
+  Tensor x = Tensor::Ones(1, 3);
+  Tensor y_model = model.Forward(x);
+  Tensor y_donor = donor.Forward(x);
+  for (std::size_t i = 0; i < y_model.size(); ++i) {
+    EXPECT_FLOAT_EQ(y_model.data()[i], y_donor.data()[i]);
+  }
+
+  // Counter-example: detached copies do NOT write through to the model.
+  Mlp untouched({3, 4, 2}, &rng);
+  std::vector<Tensor> before;
+  for (const Tensor& t : untouched.Parameters()) before.push_back(t.DeepCopy());
+  std::vector<Tensor> detached;
+  for (const Tensor& t : untouched.Parameters()) detached.push_back(t.DeepCopy());
+  ASSERT_TRUE(LoadParameters(path, detached).ok());
+  std::vector<Tensor> after = untouched.Parameters();
+  for (std::size_t p = 0; p < after.size(); ++p) {
+    for (std::size_t i = 0; i < after[p].size(); ++i) {
+      EXPECT_FLOAT_EQ(after[p].data()[i], before[p].data()[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, ShapeMismatchRejected) {
   Rng rng(2);
   Mlp a({4, 6, 2}, &rng);

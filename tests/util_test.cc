@@ -193,6 +193,33 @@ TEST(StatsTest, EmptyVectors) {
   EXPECT_EQ(StdDev(r), 0.0);
 }
 
+TEST(StatsTest, MaskedNormalizeUsesValidEntriesOnly) {
+  // The invalid entry (999) must not skew the statistics, and must come
+  // out as exactly zero advantage.
+  std::vector<double> r = {10.0, 999.0, 20.0, 30.0, 40.0};
+  const std::vector<char> valid = {1, 0, 1, 1, 1};
+  NormalizeRewards(&r, valid);
+  EXPECT_EQ(r[1], 0.0);
+  std::vector<double> expected = {10.0, 20.0, 30.0, 40.0};
+  NormalizeRewards(&expected);
+  EXPECT_NEAR(r[0], expected[0], 1e-12);
+  EXPECT_NEAR(r[2], expected[1], 1e-12);
+  EXPECT_NEAR(r[3], expected[2], 1e-12);
+  EXPECT_NEAR(r[4], expected[3], 1e-12);
+}
+
+TEST(StatsTest, MaskedNormalizeDegenerateCasesAreZero) {
+  // Fewer than two valid entries: everything is zeroed.
+  std::vector<double> one = {7.0, 3.0};
+  NormalizeRewards(&one, {1, 0});
+  EXPECT_EQ(one[0], 0.0);
+  EXPECT_EQ(one[1], 0.0);
+  // Constant valid entries: zero too.
+  std::vector<double> constant = {5.0, 9.0, 5.0};
+  NormalizeRewards(&constant, {1, 0, 1});
+  for (double v : constant) EXPECT_EQ(v, 0.0);
+}
+
 TEST(TopKTest, OrdersByScoreDescending) {
   std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
   auto top = TopKIndices(scores, 2);

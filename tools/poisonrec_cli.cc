@@ -1,13 +1,26 @@
 // poisonrec — command-line front-end for the library.
 //
-//   poisonrec datagen --dataset=Steam --scale=0.1 --out=log.csv
-//   poisonrec quality --ranker=BPR [--data=log.csv | --dataset=Steam]
-//   poisonrec attack  --ranker=GRU4Rec --method=poisonrec --steps=25
-//   poisonrec detect  --method=popular
+//   poisonrec datagen  --dataset=Steam --scale=0.1 --out=log.csv
+//   poisonrec quality  --ranker=BPR [--data=log.csv | --dataset=Steam]
+//   poisonrec attack   --ranker=GRU4Rec --method=poisonrec --steps=25
+//   poisonrec detect   --method=popular
+//   poisonrec campaign --steps=50 --fault-failure=0.2 --fault-drop=0.1 \
+//                      --checkpoint=run.ckpt --checkpoint-every=5 [--resume]
 //
 // Common flags: --dataset=<Steam|MovieLens|Phone|Clothing> --scale=<f>
 //   --data=<csv>  --seed=<n>  --attackers=<N>  --length=<T>
 //   --targets=<k> --dim=<e>   --eval-users=<n>
+//
+// Campaign fault flags (all rates in [0,1], default 0 = off):
+//   --fault-failure  transient query failure rate (kUnavailable)
+//   --fault-throttle throttling rate (kResourceExhausted until cool-down)
+//   --fault-drop     per-click injection drop rate
+//   --fault-ban      per-trajectory shadow-ban rate
+//   --fault-noise    Gaussian reward noise stddev
+//   --fault-stale    stale (cached) reward rate
+//   --fault-seed     fault stream seed
+//   --retry-attempts max attempts per reward query (default 4)
+//   --checkpoint=<path> --checkpoint-every=<n> --resume
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -15,12 +28,16 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "attack/appgrad.h"
 #include "attack/conslop.h"
 #include "attack/heuristics.h"
 #include "attack/poisonrec_attack.h"
 #include "core/poisonrec.h"
+#include "core/ppo.h"
 #include "defense/detector.h"
+#include "env/fault.h"
 #include "rec/metrics.h"
 
 namespace poisonrec::cli {
@@ -175,9 +192,76 @@ int CmdDetect(const Flags& flags) {
   return 0;
 }
 
+int CmdCampaign(const Flags& flags) {
+  auto environment = BuildEnvironment(flags, LoadOrGenerate(flags));
+  std::printf("system: %s, baseline RecNum %.0f\n",
+              environment->pretrained_ranker().Name().c_str(),
+              environment->BaselineRecNum());
+
+  env::FaultProfile profile;
+  profile.query_failure_rate = flags.GetDouble("fault-failure", 0.0);
+  profile.throttle_rate = flags.GetDouble("fault-throttle", 0.0);
+  profile.injection_drop_rate = flags.GetDouble("fault-drop", 0.0);
+  profile.shadow_ban_rate = flags.GetDouble("fault-ban", 0.0);
+  profile.reward_noise_stddev = flags.GetDouble("fault-noise", 0.0);
+  profile.stale_reward_rate = flags.GetDouble("fault-stale", 0.0);
+  profile.seed = flags.GetSize("fault-seed", 1234);
+  env::FaultyEnvironment faulty(environment.get(), profile);
+
+  core::PoisonRecConfig config;
+  config.samples_per_step = flags.GetSize("samples", 8);
+  config.batch_size = config.samples_per_step;
+  config.policy.embedding_dim = flags.GetSize("dim", 16);
+  config.parallel_rewards = flags.Get("parallel", "false") == "true";
+  config.seed = flags.GetSize("seed", 1);
+  config.retry.max_attempts = flags.GetSize("retry-attempts", 4);
+
+  core::PoisonRecAttacker attacker(environment.get(), config);
+  attacker.AttachFaultyEnvironment(&faulty);
+
+  const std::string checkpoint = flags.Get("checkpoint", "");
+  const std::size_t checkpoint_every = flags.GetSize("checkpoint-every", 5);
+  if (flags.Get("resume", "false") == "true") {
+    POISONREC_CHECK(!checkpoint.empty())
+        << "--resume requires --checkpoint=<path>";
+    if (std::filesystem::exists(checkpoint)) {
+      POISONREC_CHECK_OK(attacker.LoadCheckpoint(checkpoint));
+      std::printf("resumed from %s at step %zu\n", checkpoint.c_str(),
+                  attacker.steps_taken());
+    } else {
+      std::printf("no checkpoint at %s yet; starting fresh\n",
+                  checkpoint.c_str());
+    }
+  }
+
+  const std::size_t total_steps = flags.GetSize("steps", 25);
+  while (attacker.steps_taken() < total_steps) {
+    const core::TrainStepStats stats = attacker.TrainStep();
+    std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
+                "failed %zu  retries %zu  imputed %zu\n",
+                stats.step, stats.mean_reward, stats.best_reward_so_far,
+                stats.loss, stats.failed_queries, stats.retries,
+                stats.imputed_rewards);
+    if (!checkpoint.empty() && (attacker.steps_taken() % checkpoint_every == 0 ||
+                                attacker.steps_taken() == total_steps)) {
+      POISONREC_CHECK_OK(attacker.SaveCheckpoint(checkpoint));
+    }
+  }
+
+  const env::FaultStats fault_stats = faulty.stats();
+  std::printf("campaign done: best RecNum %.0f over %zu steps\n",
+              attacker.best_episode().reward, attacker.steps_taken());
+  std::printf("faults: %zu attempts, %zu transient failures, %zu throttled, "
+              "%zu dropped clicks, %zu banned trajectories, %zu stale\n",
+              fault_stats.attempts, fault_stats.transient_failures,
+              fault_stats.throttled, fault_stats.dropped_clicks,
+              fault_stats.banned_trajectories, fault_stats.stale_rewards);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: poisonrec <datagen|quality|attack|detect> "
+               "usage: poisonrec <datagen|quality|attack|detect|campaign> "
                "[--flag=value ...]\n"
                "see tools/poisonrec_cli.cc for the flag list\n");
   return 2;
@@ -191,6 +275,7 @@ int Main(int argc, char** argv) {
   if (command == "quality") return CmdQuality(flags);
   if (command == "attack") return CmdAttack(flags);
   if (command == "detect") return CmdDetect(flags);
+  if (command == "campaign") return CmdCampaign(flags);
   return Usage();
 }
 
