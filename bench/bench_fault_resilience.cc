@@ -70,6 +70,7 @@ void Run() {
     }
   }
   WriteCsvOutput(config, "fault_resilience.csv", csv);
+  WriteJsonOutput(config, "fault_resilience.json", csv);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "bench/common.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -143,6 +144,72 @@ void WriteCsvOutput(const BenchConfig& config, const std::string& name,
     std::printf("failed to write %s: %s\n", path.c_str(),
                 status.ToString().c_str());
   }
+}
+
+namespace {
+
+/// A cell is emitted as a bare JSON number only when strtod consumes it
+/// entirely and the value is finite (JSON has no NaN/Inf literals).
+bool IsJsonNumber(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && std::isfinite(value);
+}
+
+void AppendJsonString(const std::string& cell, std::string* out) {
+  out->push_back('"');
+  for (char c : cell) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void WriteJsonOutput(const BenchConfig& config, const std::string& name,
+                     const std::vector<std::vector<std::string>>& rows) {
+  const std::string path = config.out_dir + "/" + name;
+  std::string body = "[\n";
+  if (!rows.empty()) {
+    const std::vector<std::string>& keys = rows[0];
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      body += "  {";
+      for (std::size_t c = 0; c < keys.size() && c < rows[r].size(); ++c) {
+        if (c > 0) body += ", ";
+        AppendJsonString(keys[c], &body);
+        body += ": ";
+        if (IsJsonNumber(rows[r][c])) {
+          body += rows[r][c];
+        } else {
+          AppendJsonString(rows[r][c], &body);
+        }
+      }
+      body += r + 1 < rows.size() ? "},\n" : "}\n";
+    }
+  }
+  body += "]\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("failed to write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace poisonrec::bench

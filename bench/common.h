@@ -73,6 +73,12 @@ std::string FormatCount(double value);
 void WriteCsvOutput(const BenchConfig& config, const std::string& name,
                     const std::vector<std::vector<std::string>>& rows);
 
+/// Writes rows as a machine-readable JSON array of objects to
+/// `<out_dir>/<name>`. rows[0] supplies the keys; cells that parse fully
+/// as a finite number are emitted unquoted, everything else as a string.
+void WriteJsonOutput(const BenchConfig& config, const std::string& name,
+                     const std::vector<std::vector<std::string>>& rows);
+
 }  // namespace poisonrec::bench
 
 #endif  // POISONREC_BENCH_COMMON_H_

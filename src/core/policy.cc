@@ -118,6 +118,20 @@ std::vector<nn::Tensor> Policy::Parameters() const {
   return params;
 }
 
+FiniteSweep Policy::SweepParametersFinite() const {
+  FiniteSweep total;
+  for (const nn::Tensor& p : Parameters()) {
+    const FiniteSweep sweep = SweepFinite(p.data());
+    if (total.bad() == 0 && sweep.bad() > 0) {
+      total.first_bad = total.checked + sweep.first_bad;
+    }
+    total.checked += sweep.checked;
+    total.nan += sweep.nan;
+    total.inf += sweep.inf;
+  }
+  return total;
+}
+
 std::size_t Policy::NodeFeatureRow(int node_id) const {
   if (tree_->IsLeaf(node_id)) return tree_->LeafItem(node_id);
   return num_items_ + static_cast<std::size_t>(node_id);

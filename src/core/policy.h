@@ -21,6 +21,7 @@
 #include "core/action_tree.h"
 #include "core/trajectory.h"
 #include "nn/module.h"
+#include "util/guard.h"
 #include "util/random.h"
 
 namespace poisonrec::core {
@@ -74,6 +75,12 @@ class Policy {
       const std::vector<const SampledTrajectory*>& trajectories) const;
 
   std::vector<nn::Tensor> Parameters() const;
+
+  /// Guardrail hook: sweeps every parameter tensor for NaN/Inf. A policy
+  /// whose parameters fail this sweep samples garbage trajectories, so
+  /// the trainer checks it before each step (util/guard.h,
+  /// docs/robustness.md).
+  FiniteSweep SweepParametersFinite() const;
   const nn::Tensor& item_embeddings() const { return item_emb_.table(); }
   std::size_t embedding_dim() const { return config_.embedding_dim; }
   ActionSpaceKind kind() const { return config_.action_space; }

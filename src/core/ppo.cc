@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -85,6 +86,10 @@ PoisonRecAttacker::PoisonRecAttacker(const env::AttackEnvironment* environment,
                                      env_->target_items(), config_.policy);
   optimizer_ = std::make_unique<nn::Adam>(policy_->Parameters(),
                                           config_.learning_rate);
+  if (config_.guard.incident_capacity > 0) {
+    incidents_.set_capacity(config_.guard.incident_capacity);
+  }
+  incidents_.set_sink_path(config_.guard.incident_log_path);
 }
 
 Episode PoisonRecAttacker::SampleAndEvaluate() {
@@ -103,8 +108,49 @@ void PoisonRecAttacker::AttachFaultyEnvironment(
   retry_sleep_ = std::move(retry_sleep);
 }
 
+void PoisonRecAttacker::RecordGuardEvent(TrainStepStats* stats,
+                                         GuardEventKind kind, double value,
+                                         double threshold,
+                                         std::string detail) {
+  GuardEvent event{kind, value, threshold, std::move(detail)};
+  incidents_.Record(stats->step, event);
+  POISONREC_LOG(Warning) << "guard tripped at step " << stats->step << ": "
+                         << GuardEventKindName(kind) << " (" << event.detail
+                         << ")";
+  stats->guard.events.push_back(std::move(event));
+}
+
+bool PoisonRecAttacker::SweepPostStep(TrainStepStats* stats) {
+  const std::vector<nn::Tensor>& params = optimizer_->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const FiniteSweep sweep = SweepFinite(params[i].data());
+    if (!sweep.clean()) {
+      RecordGuardEvent(stats, GuardEventKind::kNonFiniteParameter,
+                       std::numeric_limits<double>::quiet_NaN(), 0.0,
+                       "parameter " + std::to_string(i) + ": " +
+                           std::to_string(sweep.bad()) + "/" +
+                           std::to_string(sweep.checked) + " non-finite");
+      return false;
+    }
+  }
+  const std::vector<std::vector<float>>& m = optimizer_->first_moments();
+  const std::vector<std::vector<float>>& v = optimizer_->second_moments();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const std::size_t bad = SweepFinite(m[i]).bad() + SweepFinite(v[i]).bad();
+    if (bad > 0) {
+      RecordGuardEvent(stats, GuardEventKind::kNonFiniteOptimizerState,
+                       std::numeric_limits<double>::quiet_NaN(), 0.0,
+                       "Adam moments of parameter " + std::to_string(i) +
+                           ": " + std::to_string(bad) + " non-finite");
+      return false;
+    }
+  }
+  return true;
+}
+
 nn::Tensor PoisonRecAttacker::PpoLoss(
-    const std::vector<const Episode*>& batch, double* loss_value) {
+    const std::vector<const Episode*>& batch, double* loss_value,
+    PpoDiagnostics* diagnostics) {
   // Eq. 8: normalize rewards within the batch. Imputed (unobserved)
   // rewards are excluded from the statistics and get zero advantage.
   std::vector<double> advantages(batch.size());
@@ -134,6 +180,8 @@ nn::Tensor PoisonRecAttacker::PpoLoss(
   nn::Tensor total;  // scalar accumulator of sum(obj)
   std::size_t n_decisions = 0;
   double const_part = 0.0;  // sum of clipped (constant) objective terms
+  double neg_logp_sum = 0.0;  // -log pi(a|s): sampled-entropy estimate
+  double kl_sum = 0.0;        // log pi_old - log pi_new: approx KL
   for (const DecisionBatch& batch_k : decisions) {
     const std::size_t k = batch_k.new_log_probs.rows();
     n_decisions += k;
@@ -142,9 +190,14 @@ nn::Tensor PoisonRecAttacker::PpoLoss(
     for (std::size_t i = 0; i < k; ++i) {
       old_vals[i] = static_cast<float>(batch_k.old_log_probs[i]);
       const double adv = traj_advantage[batch_k.traj_index[i]];
-      const double r = std::exp(
-          static_cast<double>(batch_k.new_log_probs.at(i, 0)) -
-          batch_k.old_log_probs[i]);
+      const double new_lp =
+          static_cast<double>(batch_k.new_log_probs.at(i, 0));
+      if (diagnostics != nullptr) {
+        if (!std::isfinite(new_lp)) ++diagnostics->non_finite_log_probs;
+        neg_logp_sum -= new_lp;
+        kl_sum += batch_k.old_log_probs[i] - new_lp;
+      }
+      const double r = std::exp(new_lp - batch_k.old_log_probs[i]);
       bool unclipped;
       if (adv >= 0.0) {
         unclipped = r <= 1.0 + eps;
@@ -168,6 +221,11 @@ nn::Tensor PoisonRecAttacker::PpoLoss(
     total = total.defined() ? nn::Add(total, obj) : obj;
   }
   POISONREC_CHECK_GT(n_decisions, 0u);
+  if (diagnostics != nullptr) {
+    diagnostics->entropy =
+        neg_logp_sum / static_cast<double>(n_decisions);
+    diagnostics->approx_kl = kl_sum / static_cast<double>(n_decisions);
+  }
   // loss = -(1/D) * (sum_masked + const_part)
   nn::Tensor loss =
       nn::Scale(total, -1.0f / static_cast<float>(n_decisions));
@@ -182,6 +240,22 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   Timer timer;
   TrainStepStats stats;
   stats.step = ++steps_taken_;
+  const GuardConfig& guard = config_.guard;
+
+  // Guard monitor: a corrupted policy samples garbage trajectories;
+  // catch that before burning M reward queries on it.
+  if (guard.enabled && guard.pre_step_param_sweep) {
+    const FiniteSweep sweep = policy_->SweepParametersFinite();
+    if (!sweep.clean()) {
+      RecordGuardEvent(&stats, GuardEventKind::kNonFiniteParameter,
+                       std::numeric_limits<double>::quiet_NaN(), 0.0,
+                       std::to_string(sweep.bad()) + "/" +
+                           std::to_string(sweep.checked) +
+                           " non-finite before sampling");
+      stats.seconds = timer.ElapsedSeconds();
+      return stats;
+    }
+  }
 
   // -- Sample M training examples -------------------------------------------
   // Sampling is sequential (it advances the shared RNG); the black-box
@@ -227,6 +301,27 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
         }
       });
 
+  for (std::size_t r : query_retries) stats.retries += r;
+
+  // Guard monitor (Eq. 8 input): a NaN/Inf reward must reach neither the
+  // normalization statistics nor best-episode tracking — one poisoned
+  // value would spread into every advantage of the batch. The step is
+  // abandoned; TrainGuarded rolls back and retries with fresh queries.
+  if (guard.enabled) {
+    for (std::size_t m = 0; m < episodes.size(); ++m) {
+      if (episodes[m].reward_observed &&
+          !std::isfinite(episodes[m].reward)) {
+        RecordGuardEvent(&stats, GuardEventKind::kNonFiniteReward,
+                         episodes[m].reward, 0.0,
+                         "episode " + std::to_string(m));
+      }
+    }
+    if (stats.guard.tripped()) {
+      stats.seconds = timer.ElapsedSeconds();
+      return stats;
+    }
+  }
+
   // Graceful degradation: impute failed queries with the mean of the
   // observed rewards so they sit at zero advantage after Eq. 8.
   RunningStats reward_stats;
@@ -243,7 +338,6 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
       best_episode_ = ep;
     }
   }
-  for (std::size_t r : query_retries) stats.retries += r;
   if (reward_stats.count() > 0) {
     for (Episode& ep : episodes) {
       if (!ep.reward_observed) {
@@ -274,6 +368,10 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
     return stats;
   }
   double loss_sum = 0.0;
+  double entropy_sum = 0.0;
+  double kl_sum = 0.0;
+  std::size_t diag_epochs = 0;
+  std::size_t completed_epochs = 0;
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
     std::vector<const Episode*> batch;
     if (config_.batch_size >= episodes.size()) {
@@ -284,14 +382,81 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
       for (std::size_t p : picks) batch.push_back(&episodes[p]);
     }
     double loss_value = 0.0;
-    nn::Tensor loss = PpoLoss(batch, &loss_value);
+    PpoDiagnostics diag;
+    nn::Tensor loss = PpoLoss(batch, &loss_value, &diag);
+    entropy_sum += diag.entropy;
+    kl_sum += diag.approx_kl;
+    ++diag_epochs;
+
+    // Guard monitors on the Eq. 7/9 surrogate, checked before backward
+    // so a divergent epoch never produces a gradient.
+    if (guard.enabled) {
+      const std::string where = "epoch " + std::to_string(epoch);
+      if (diag.non_finite_log_probs > 0) {
+        RecordGuardEvent(&stats, GuardEventKind::kNonFiniteLogit,
+                         std::numeric_limits<double>::quiet_NaN(), 0.0,
+                         std::to_string(diag.non_finite_log_probs) +
+                             " decision log-probs, " + where);
+        break;
+      }
+      if (!std::isfinite(loss_value)) {
+        RecordGuardEvent(&stats, GuardEventKind::kNonFiniteLoss,
+                         loss_value, 0.0, where);
+        break;
+      }
+      if (guard.entropy_floor > 0.0 && diag.entropy < guard.entropy_floor) {
+        RecordGuardEvent(&stats, GuardEventKind::kEntropyCollapse,
+                         diag.entropy, guard.entropy_floor, where);
+        break;
+      }
+      if (guard.approx_kl_threshold > 0.0 &&
+          diag.approx_kl > guard.approx_kl_threshold) {
+        RecordGuardEvent(&stats, GuardEventKind::kKlDivergence,
+                         diag.approx_kl, guard.approx_kl_threshold, where);
+        break;
+      }
+    }
+
     optimizer_->ZeroGrad();
     loss.Backward();
-    nn::ClipGradNorm(optimizer_->parameters(), 5.0f);
+    const double pre_clip =
+        static_cast<double>(nn::GradNorm(optimizer_->parameters()));
+    stats.pre_clip_grad_norm = std::max(stats.pre_clip_grad_norm, pre_clip);
+    if (guard.enabled) {
+      if (!std::isfinite(pre_clip)) {
+        RecordGuardEvent(&stats, GuardEventKind::kNonFiniteGradient,
+                         pre_clip, 0.0,
+                         "global grad norm, epoch " + std::to_string(epoch));
+        break;
+      }
+      if (guard.grad_norm_threshold > 0.0 &&
+          pre_clip > guard.grad_norm_threshold) {
+        RecordGuardEvent(&stats, GuardEventKind::kGradNormExplosion,
+                         pre_clip, guard.grad_norm_threshold,
+                         "epoch " + std::to_string(epoch));
+        break;
+      }
+    }
+    if (config_.max_grad_norm > 0.0f) {
+      nn::ClipGradNorm(optimizer_->parameters(), config_.max_grad_norm);
+    }
     optimizer_->Step();
     loss_sum += loss_value;
+    ++completed_epochs;
   }
-  stats.loss = loss_sum / static_cast<double>(config_.update_epochs);
+  // Post-update sweep once per step rather than per epoch: corruption
+  // introduced by an early epoch's update still surfaces this step, via
+  // the next epoch's logit/loss monitors or this final sweep.
+  if (guard.enabled && !stats.guard.tripped() && completed_epochs > 0) {
+    SweepPostStep(&stats);
+  }
+  if (completed_epochs > 0) {
+    stats.loss = loss_sum / static_cast<double>(completed_epochs);
+  }
+  if (diag_epochs > 0) {
+    stats.entropy = entropy_sum / static_cast<double>(diag_epochs);
+    stats.approx_kl = kl_sum / static_cast<double>(diag_epochs);
+  }
   stats.seconds = timer.ElapsedSeconds();
   return stats;
 }
@@ -303,6 +468,68 @@ std::vector<TrainStepStats> PoisonRecAttacker::Train(std::size_t steps) {
     all.push_back(TrainStep());
   }
   return all;
+}
+
+GuardedTrainResult PoisonRecAttacker::TrainGuarded(
+    std::size_t steps, const std::string& checkpoint_path) {
+  POISONREC_CHECK(config_.guard.enabled)
+      << "TrainGuarded requires config().guard.enabled";
+  POISONREC_CHECK(!checkpoint_path.empty())
+      << "TrainGuarded needs a checkpoint path for the last-good state";
+  GuardedTrainResult result;
+  const std::size_t baseline_incidents = incidents_.total_recorded();
+  result.status = SaveCheckpoint(checkpoint_path);
+  if (!result.status.ok()) return result;
+
+  const std::size_t target = steps_taken_ + steps;
+  std::size_t consecutive_rollbacks = 0;
+  while (steps_taken_ < target) {
+    TrainStepStats stats = TrainStep();
+    const bool tripped = stats.guard.tripped();
+    const std::string verdict = stats.guard.Summary();
+    result.stats.push_back(std::move(stats));
+    if (!tripped) {
+      consecutive_rollbacks = 0;
+      result.status = SaveCheckpoint(checkpoint_path);
+      if (!result.status.ok()) break;
+      continue;
+    }
+
+    // Self-healing: discard the poisoned update by restoring the
+    // last-good checkpoint (parameters, Adam moments, RNG, best episode
+    // — bit-identical), then burn the tripped step's index so the retry
+    // issues fresh reward queries instead of deterministically
+    // replaying the same fault stream.
+    const std::size_t burned_step = steps_taken_;
+    result.status = LoadCheckpoint(checkpoint_path);
+    if (!result.status.ok()) break;
+    steps_taken_ = burned_step;
+    ++result.rollbacks;
+    ++consecutive_rollbacks;
+    if (consecutive_rollbacks > config_.guard.max_rollbacks) {
+      result.status = Status::FailedPrecondition(
+          "guard rollback budget exhausted (" +
+          std::to_string(consecutive_rollbacks) +
+          " consecutive rollbacks at step " + std::to_string(burned_step) +
+          "); last verdict: " + verdict);
+      break;
+    }
+    // Adaptive backoff: a smaller step size and a tighter clip make the
+    // retried update less likely to diverge the same way.
+    optimizer_->set_lr(std::max(
+        static_cast<float>(config_.guard.min_learning_rate),
+        optimizer_->lr() * static_cast<float>(config_.guard.lr_backoff)));
+    config_.clip_epsilon = std::max(
+        static_cast<float>(config_.guard.min_clip_epsilon),
+        config_.clip_epsilon * static_cast<float>(config_.guard.clip_backoff));
+    POISONREC_LOG(Warning)
+        << "rolled back step " << burned_step << " (" << verdict
+        << "); lr now " << optimizer_->lr() << ", clip epsilon now "
+        << config_.clip_epsilon << " (" << consecutive_rollbacks << "/"
+        << config_.guard.max_rollbacks << " consecutive rollbacks)";
+  }
+  result.incidents = incidents_.total_recorded() - baseline_incidents;
+  return result;
 }
 
 Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {

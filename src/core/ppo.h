@@ -16,6 +16,7 @@
 #include "env/environment.h"
 #include "env/fault.h"
 #include "nn/optimizer.h"
+#include "util/guard.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -32,6 +33,11 @@ struct PoisonRecConfig {
   float learning_rate = 2e-3f;
   /// PPO clip ratio ε (paper: 0.1).
   float clip_epsilon = 0.1f;
+  /// Global gradient-norm clip applied after backward (0 = disabled).
+  float max_grad_norm = 5.0f;
+  /// Training-stability guardrails: numerical anomaly monitors and the
+  /// self-healing rollback policy of TrainGuarded (util/guard.h).
+  GuardConfig guard;
   /// Evaluate the M independent reward queries of each step concurrently.
   /// Sampling stays sequential, so results are identical either way.
   bool parallel_rewards = false;
@@ -64,6 +70,33 @@ struct TrainStepStats {
   /// Failed queries whose reward was imputed with the batch mean (0 when
   /// the whole batch failed — nothing to impute from).
   std::size_t imputed_rewards = 0;
+  /// Largest global gradient norm observed across the K update epochs,
+  /// measured before clipping (PoisonRecConfig::max_grad_norm).
+  double pre_clip_grad_norm = 0.0;
+  /// Mean sampled policy entropy over the epochs: -log pi(a|s) averaged
+  /// over the batch's decisions (0 when the update was skipped).
+  double entropy = 0.0;
+  /// Mean approx-KL(old || new) over the epochs: log pi_old - log pi_new
+  /// averaged over the batch's decisions.
+  double approx_kl = 0.0;
+  /// What the stability guardrails tripped on this step (empty = clean;
+  /// always empty when PoisonRecConfig::guard.enabled is false).
+  GuardVerdict guard;
+};
+
+/// Outcome of a self-healing TrainGuarded campaign.
+struct GuardedTrainResult {
+  /// Every attempted step, including the ones a rollback later discarded
+  /// (those carry a tripped `TrainStepStats::guard`).
+  std::vector<TrainStepStats> stats;
+  /// Rollbacks performed (tripped steps whose update was discarded).
+  std::size_t rollbacks = 0;
+  /// Guard incidents recorded across the campaign.
+  std::size_t incidents = 0;
+  /// OK when the campaign ran to completion; kFailedPrecondition when
+  /// the consecutive-rollback budget was exhausted; an I/O error when
+  /// checkpointing itself failed.
+  Status status;
 };
 
 /// The PoisonRec attack agent: ties a Policy to an AttackEnvironment and
@@ -79,6 +112,25 @@ class PoisonRecAttacker {
 
   /// Runs `steps` iterations; returns per-step stats.
   std::vector<TrainStepStats> Train(std::size_t steps);
+
+  /// Self-healing variant of Train for unattended campaigns (requires
+  /// config().guard.enabled). A last-good checkpoint is kept at
+  /// `checkpoint_path` (saved before the first step and after every
+  /// clean one). When a step trips a guard, the poisoned update is
+  /// discarded by restoring that checkpoint (bit-identical: parameters,
+  /// Adam moments, RNG), the learning rate and clip epsilon back off
+  /// multiplicatively, and the step index is burned so the retry samples
+  /// fresh reward queries instead of deterministically replaying the
+  /// same fault stream. Burning the index means a rollback consumes one
+  /// step of the campaign budget — the campaign always attempts exactly
+  /// `steps` steps, so it cannot livelock. After `guard.max_rollbacks` consecutive
+  /// rollbacks the campaign aborts with kFailedPrecondition; the
+  /// incident log holds the full post-mortem either way.
+  GuardedTrainResult TrainGuarded(std::size_t steps,
+                                  const std::string& checkpoint_path);
+
+  /// Incidents recorded by the stability guardrails (util/guard.h).
+  const IncidentLog& incident_log() const { return incidents_; }
 
   /// Highest-reward episode observed so far.
   const Episode& best_episode() const { return best_episode_; }
@@ -113,13 +165,34 @@ class PoisonRecAttacker {
 
   Policy& policy() { return *policy_; }
   const Policy& policy() const { return *policy_; }
+  /// Exposed so tools and tests can inspect or corrupt optimizer state
+  /// (the guardrails sweep its moments after every step).
+  nn::Adam& optimizer() { return *optimizer_; }
   const PoisonRecConfig& config() const { return config_; }
   std::size_t steps_taken() const { return steps_taken_; }
 
  private:
+  /// Cheap per-epoch telemetry computed alongside the surrogate loss;
+  /// feeds the divergence monitors and TrainStepStats.
+  struct PpoDiagnostics {
+    double entropy = 0.0;
+    double approx_kl = 0.0;
+    std::size_t non_finite_log_probs = 0;
+  };
+
   /// PPO surrogate loss over one batch of episodes; differentiable.
   nn::Tensor PpoLoss(const std::vector<const Episode*>& batch,
-                     double* loss_value);
+                     double* loss_value, PpoDiagnostics* diagnostics);
+
+  /// Records a tripped guard into both the step verdict and the
+  /// incident ring (and its JSONL sink, when configured).
+  void RecordGuardEvent(TrainStepStats* stats, GuardEventKind kind,
+                        double value, double threshold, std::string detail);
+
+  /// Post-update sweep: gradients were already checked; this validates
+  /// parameters and Adam moments after the step's last update epoch.
+  /// Returns true if clean.
+  bool SweepPostStep(TrainStepStats* stats);
 
   const env::AttackEnvironment* env_;
   const env::FaultyEnvironment* faulty_ = nullptr;
@@ -130,6 +203,7 @@ class PoisonRecAttacker {
   Rng rng_;
   Episode best_episode_;
   std::size_t steps_taken_ = 0;
+  IncidentLog incidents_;
 };
 
 }  // namespace poisonrec::core

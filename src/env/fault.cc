@@ -1,6 +1,7 @@
 #include "env/fault.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/random.h"
@@ -39,6 +40,7 @@ FaultyEnvironment::FaultyEnvironment(const AttackEnvironment* base,
   CheckRate(profile_.injection_drop_rate, "injection_drop_rate");
   CheckRate(profile_.shadow_ban_rate, "shadow_ban_rate");
   CheckRate(profile_.stale_reward_rate, "stale_reward_rate");
+  CheckRate(profile_.nan_reward_rate, "nan_reward_rate");
   POISONREC_CHECK_GE(profile_.reward_noise_stddev, 0.0);
 }
 
@@ -122,6 +124,17 @@ StatusOr<double> FaultyEnvironment::TryEvaluate(
     }
   }
 
+  // Corrupted feedback channel: the query "succeeds" but the returned
+  // RecNum is NaN. Drawn after every other fault so enabling it leaves
+  // the rest of the fault stream untouched. The stale cache above keeps
+  // the clean value — staleness models an unrefreshed metric, not a
+  // re-served corruption.
+  if (profile_.nan_reward_rate > 0.0 &&
+      query_rng.Uniform() < profile_.nan_reward_rate) {
+    nan_rewards_.fetch_add(1, std::memory_order_relaxed);
+    reward = std::numeric_limits<double>::quiet_NaN();
+  }
+
   successes_.fetch_add(1, std::memory_order_relaxed);
   return reward;
 }
@@ -142,6 +155,7 @@ FaultStats FaultyEnvironment::stats() const {
   s.dropped_clicks = dropped_clicks_.load(std::memory_order_relaxed);
   s.banned_trajectories = banned_trajectories_.load(std::memory_order_relaxed);
   s.stale_rewards = stale_rewards_.load(std::memory_order_relaxed);
+  s.nan_rewards = nan_rewards_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -153,6 +167,7 @@ void FaultyEnvironment::ResetStats() {
   dropped_clicks_.store(0, std::memory_order_relaxed);
   banned_trajectories_.store(0, std::memory_order_relaxed);
   stale_rewards_.store(0, std::memory_order_relaxed);
+  nan_rewards_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace poisonrec::env

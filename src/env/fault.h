@@ -51,6 +51,12 @@ struct FaultProfile {
   /// runtime state: it is NOT part of any checkpoint, so bit-identical
   /// resume requires stale_reward_rate == 0.
   double stale_reward_rate = 0.0;
+  /// Per-query probability of returning NaN instead of the real reward
+  /// (a corrupted feedback channel: broken crawler parse, overflowed
+  /// counter). The query *succeeds* — no Status error is raised — which
+  /// is exactly what the training-stability guardrails exist to catch
+  /// (see util/guard.h and docs/robustness.md).
+  double nan_reward_rate = 0.0;
   std::uint64_t seed = 1234;
 };
 
@@ -63,6 +69,7 @@ struct FaultStats {
   std::uint64_t dropped_clicks = 0;
   std::uint64_t banned_trajectories = 0;
   std::uint64_t stale_rewards = 0;
+  std::uint64_t nan_rewards = 0;
 };
 
 /// Decorator exposing the unreliable view of an AttackEnvironment. Safe
@@ -110,6 +117,7 @@ class FaultyEnvironment {
   mutable std::atomic<std::uint64_t> dropped_clicks_{0};
   mutable std::atomic<std::uint64_t> banned_trajectories_{0};
   mutable std::atomic<std::uint64_t> stale_rewards_{0};
+  mutable std::atomic<std::uint64_t> nan_rewards_{0};
 };
 
 }  // namespace poisonrec::env

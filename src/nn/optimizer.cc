@@ -91,12 +91,16 @@ Status Adam::RestoreState(std::size_t step_count,
   return Status::OK();
 }
 
-float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+float GradNorm(const std::vector<Tensor>& params) {
   double sq = 0.0;
   for (const Tensor& p : params) {
     for (float g : p.grad()) sq += static_cast<double>(g) * g;
   }
-  const float norm = static_cast<float>(std::sqrt(sq));
+  return static_cast<float>(std::sqrt(sq));
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  const float norm = GradNorm(params);
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (const Tensor& p : params) {

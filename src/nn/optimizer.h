@@ -83,6 +83,11 @@ class Adam : public Optimizer {
 /// observed before clipping.
 float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
 
+/// Global gradient norm across a parameter set without modifying any
+/// gradient (the observability half of ClipGradNorm; NaN/Inf gradients
+/// propagate into the returned norm).
+float GradNorm(const std::vector<Tensor>& params);
+
 }  // namespace poisonrec::nn
 
 #endif  // POISONREC_NN_OPTIMIZER_H_

@@ -1,0 +1,214 @@
+#include "util/guard.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace poisonrec {
+
+namespace {
+
+/// JSON string escaping for the detail field (quotes, backslashes,
+/// control characters).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// JSON has no NaN/Inf literals; emit those as strings so the log stays
+/// parseable by any JSON reader.
+void AppendJsonNumber(std::string* out, double v) {
+  if (std::isnan(v)) {
+    *out += "\"nan\"";
+  } else if (std::isinf(v)) {
+    *out += v > 0 ? "\"inf\"" : "\"-inf\"";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+const char* GuardEventKindName(GuardEventKind kind) {
+  switch (kind) {
+    case GuardEventKind::kNonFiniteReward:
+      return "non_finite_reward";
+    case GuardEventKind::kNonFiniteLogit:
+      return "non_finite_logit";
+    case GuardEventKind::kNonFiniteLoss:
+      return "non_finite_loss";
+    case GuardEventKind::kNonFiniteGradient:
+      return "non_finite_gradient";
+    case GuardEventKind::kNonFiniteParameter:
+      return "non_finite_parameter";
+    case GuardEventKind::kNonFiniteOptimizerState:
+      return "non_finite_optimizer_state";
+    case GuardEventKind::kGradNormExplosion:
+      return "grad_norm_explosion";
+    case GuardEventKind::kEntropyCollapse:
+      return "entropy_collapse";
+    case GuardEventKind::kKlDivergence:
+      return "kl_divergence";
+  }
+  return "?";
+}
+
+void GuardVerdict::Add(GuardEventKind kind, double value, double threshold,
+                       std::string detail) {
+  events.push_back(GuardEvent{kind, value, threshold, std::move(detail)});
+}
+
+std::string GuardVerdict::Summary() const {
+  if (events.empty()) return "clean";
+  std::string out;
+  for (const GuardEvent& e : events) {
+    if (!out.empty()) out += ", ";
+    out += GuardEventKindName(e.kind);
+    if (!e.detail.empty()) {
+      out += "(";
+      out += e.detail;
+      out += ")";
+    }
+  }
+  return out;
+}
+
+FiniteSweep SweepFinite(const float* data, std::size_t n) {
+  FiniteSweep sweep;
+  sweep.checked = n;
+  // Fast path: a running double sum is finite iff every element is (a
+  // NaN/Inf element propagates, and finite floats cannot overflow the
+  // double accumulator). Branchless, so the clean case vectorizes.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += data[i];
+  if (std::isfinite(sum)) return sweep;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = data[i];
+    if (std::isfinite(v)) continue;
+    if (sweep.bad() == 0) sweep.first_bad = i;
+    if (std::isnan(v)) {
+      ++sweep.nan;
+    } else {
+      ++sweep.inf;
+    }
+  }
+  return sweep;
+}
+
+FiniteSweep SweepFinite(const std::vector<float>& values) {
+  return SweepFinite(values.data(), values.size());
+}
+
+FiniteSweep SweepFinite(const std::vector<double>& values) {
+  FiniteSweep sweep;
+  sweep.checked = values.size();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (std::isfinite(v)) continue;
+    if (sweep.bad() == 0) sweep.first_bad = i;
+    if (std::isnan(v)) {
+      ++sweep.nan;
+    } else {
+      ++sweep.inf;
+    }
+  }
+  return sweep;
+}
+
+IncidentLog::IncidentLog(std::size_t capacity) : capacity_(capacity) {
+  POISONREC_CHECK_GT(capacity_, 0u);
+}
+
+void IncidentLog::set_capacity(std::size_t capacity) {
+  POISONREC_CHECK_GT(capacity, 0u);
+  capacity_ = capacity;
+  while (incidents_.size() > capacity_) incidents_.pop_front();
+}
+
+void IncidentLog::Record(std::size_t step, const GuardEvent& event) {
+  GuardIncident incident{step, event};
+  if (!sink_path_.empty()) {
+    std::ofstream out(sink_path_, std::ios::app);
+    if (out) {
+      out << IncidentToJson(incident) << "\n";
+    } else if (!sink_warned_) {
+      sink_warned_ = true;
+      POISONREC_LOG(Warning) << "incident log sink " << sink_path_
+                             << " is not writable; keeping incidents "
+                                "in memory only";
+    }
+  }
+  incidents_.push_back(std::move(incident));
+  ++total_recorded_;
+  while (incidents_.size() > capacity_) incidents_.pop_front();
+}
+
+void IncidentLog::Clear() {
+  incidents_.clear();
+  total_recorded_ = 0;
+}
+
+std::string IncidentToJson(const GuardIncident& incident) {
+  std::string out = "{\"step\":";
+  out += std::to_string(incident.step);
+  out += ",\"kind\":";
+  AppendJsonString(&out, GuardEventKindName(incident.event.kind));
+  out += ",\"value\":";
+  AppendJsonNumber(&out, incident.event.value);
+  out += ",\"threshold\":";
+  AppendJsonNumber(&out, incident.event.threshold);
+  out += ",\"detail\":";
+  AppendJsonString(&out, incident.event.detail);
+  out += "}";
+  return out;
+}
+
+std::string IncidentLog::ToJsonl() const {
+  std::string out;
+  for (const GuardIncident& incident : incidents_) {
+    out += IncidentToJson(incident);
+    out += "\n";
+  }
+  return out;
+}
+
+Status IncidentLog::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJsonl();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace poisonrec

@@ -1,0 +1,175 @@
+// Training-stability guardrails: cheap finite-ness sweeps over float
+// buffers, per-step guard verdicts describing what tripped (NaN/Inf in
+// rewards, logits, loss, gradients, parameters, or optimizer state;
+// gradient-norm explosion; entropy collapse; PPO approx-KL divergence),
+// and a bounded incident ring-buffer that serializes to a structured
+// JSONL incident log.
+//
+// The guards exist because black-box attack training is exactly the
+// regime where degenerate updates are common: RecNum feedback is noisy
+// and batches are tiny, so a single non-finite value silently corrupts
+// the policy and every episode after it. The monitors are wired into
+// core/ppo.cc (Eq. 7/8/9 of the paper); the self-healing rollback driver
+// is core::PoisonRecAttacker::TrainGuarded. See docs/robustness.md.
+#ifndef POISONREC_UTIL_GUARD_H_
+#define POISONREC_UTIL_GUARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace poisonrec {
+
+/// What a guard sweep found wrong. Names are stable (they appear in the
+/// JSONL incident log); extend at the end only.
+enum class GuardEventKind : std::uint8_t {
+  /// An observed episode reward was NaN/Inf (caught before the Eq. 8
+  /// batch normalization could spread it into every advantage).
+  kNonFiniteReward = 0,
+  /// A recomputed decision log-probability (the Eq. 7/9 logits) was
+  /// NaN/Inf.
+  kNonFiniteLogit = 1,
+  /// The clipped-surrogate loss value was NaN/Inf.
+  kNonFiniteLoss = 2,
+  /// A gradient buffer contained NaN/Inf after backward.
+  kNonFiniteGradient = 3,
+  /// A parameter tensor contained NaN/Inf after the Adam step.
+  kNonFiniteParameter = 4,
+  /// An Adam moment buffer contained NaN/Inf after the step.
+  kNonFiniteOptimizerState = 5,
+  /// Pre-clip global gradient norm exceeded the explosion threshold.
+  kGradNormExplosion = 6,
+  /// Mean sampled policy entropy fell below the collapse floor.
+  kEntropyCollapse = 7,
+  /// Mean approx-KL(old || new) exceeded the divergence threshold.
+  kKlDivergence = 8,
+};
+
+/// Stable snake_case name for the JSONL log ("non_finite_reward", ...).
+const char* GuardEventKindName(GuardEventKind kind);
+
+/// Thresholds and self-healing knobs of the guardrail subsystem. All
+/// monitors are off unless `enabled`; individual thresholds of 0 disable
+/// just that monitor.
+struct GuardConfig {
+  bool enabled = false;
+  /// Sweep every policy parameter for NaN/Inf before sampling each step
+  /// (catches corruption before it produces garbage trajectories).
+  bool pre_step_param_sweep = true;
+  /// Pre-clip gradient norm beyond this trips kGradNormExplosion
+  /// (0 = disabled).
+  double grad_norm_threshold = 100.0;
+  /// Mean sampled entropy (-log p of the chosen decisions) below this
+  /// trips kEntropyCollapse (0 = disabled).
+  double entropy_floor = 1e-5;
+  /// Mean approx-KL(old || new) beyond this trips kKlDivergence
+  /// (0 = disabled).
+  double approx_kl_threshold = 5.0;
+  /// Consecutive rollbacks TrainGuarded tolerates before aborting the
+  /// campaign with kFailedPrecondition.
+  std::size_t max_rollbacks = 4;
+  /// Multiplicative backoff applied on every rollback (floored below).
+  double lr_backoff = 0.5;
+  double clip_backoff = 0.5;
+  double min_learning_rate = 1e-5;
+  double min_clip_epsilon = 0.01;
+  /// Bounded incident ring capacity (oldest incidents are evicted).
+  std::size_t incident_capacity = 256;
+  /// When non-empty, every incident is also appended to this JSONL file
+  /// as it is recorded.
+  std::string incident_log_path;
+};
+
+/// One tripped monitor: the offending value and the threshold it broke
+/// (0 for pure finiteness sweeps), plus a short human-readable locator
+/// ("parameter 3", "episode 7", ...).
+struct GuardEvent {
+  GuardEventKind kind = GuardEventKind::kNonFiniteReward;
+  double value = 0.0;
+  double threshold = 0.0;
+  std::string detail;
+};
+
+/// Everything that tripped during one training step. Empty = clean step.
+struct GuardVerdict {
+  std::vector<GuardEvent> events;
+
+  bool tripped() const { return !events.empty(); }
+  void Add(GuardEventKind kind, double value, double threshold,
+           std::string detail);
+  /// "clean" or "kind(detail), kind(detail), ..." for log lines.
+  std::string Summary() const;
+};
+
+/// Result of a finite-ness sweep over a buffer.
+struct FiniteSweep {
+  std::size_t checked = 0;
+  std::size_t nan = 0;
+  std::size_t inf = 0;
+  /// Index of the first non-finite element (meaningful when !clean()).
+  std::size_t first_bad = 0;
+
+  bool clean() const { return nan == 0 && inf == 0; }
+  std::size_t bad() const { return nan + inf; }
+};
+
+/// Counts NaN/Inf entries. The float overloads are the hot path (policy
+/// parameters, gradients, Adam moments); the double overload covers
+/// rewards and other driver-side scalars.
+FiniteSweep SweepFinite(const float* data, std::size_t n);
+FiniteSweep SweepFinite(const std::vector<float>& values);
+FiniteSweep SweepFinite(const std::vector<double>& values);
+
+/// One logged incident: the step it happened on plus the event.
+struct GuardIncident {
+  std::size_t step = 0;
+  GuardEvent event;
+};
+
+/// Bounded ring of guard incidents. Not thread-safe: the training-loop
+/// monitors all run on the driver thread. When a sink path is set, each
+/// Record also appends one JSON line to that file immediately, so a
+/// crash right after an incident still leaves it on disk.
+class IncidentLog {
+ public:
+  explicit IncidentLog(std::size_t capacity = 256);
+
+  void set_capacity(std::size_t capacity);
+  /// Empty path disables the on-disk sink.
+  void set_sink_path(std::string path) { sink_path_ = std::move(path); }
+
+  void Record(std::size_t step, const GuardEvent& event);
+
+  /// Incidents still in the ring (oldest first; at most `capacity`).
+  const std::deque<GuardIncident>& incidents() const { return incidents_; }
+  /// Incidents ever recorded, including evicted ones.
+  std::size_t total_recorded() const { return total_recorded_; }
+  void Clear();
+
+  /// One JSON object per line:
+  ///   {"step":12,"kind":"non_finite_reward","value":"nan",
+  ///    "threshold":0,"detail":"episode 3"}
+  /// Non-finite values are emitted as the strings "nan"/"inf"/"-inf"
+  /// (JSON has no literals for them).
+  std::string ToJsonl() const;
+  /// Writes the current ring to `path` (truncates).
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<GuardIncident> incidents_;
+  std::size_t total_recorded_ = 0;
+  std::string sink_path_;
+  bool sink_warned_ = false;
+};
+
+/// Serializes one incident as a single JSON line (no trailing newline).
+std::string IncidentToJson(const GuardIncident& incident);
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_GUARD_H_

@@ -19,21 +19,35 @@ double StdDev(const std::vector<double>& values) {
 
 void NormalizeRewards(std::vector<double>* values) {
   if (values->empty()) return;
-  double mean = Mean(*values);
-  double sd = StdDev(*values);
-  if (sd <= 1e-12) {
+  // A NaN/Inf reward would otherwise poison the mean/stddev and spread
+  // into every normalized value; a single-observation or constant batch
+  // would divide by (near-)zero. Both degrade to zero advantage instead.
+  std::vector<double> finite;
+  finite.reserve(values->size());
+  for (double v : *values) {
+    if (std::isfinite(v)) finite.push_back(v);
+  }
+  const double mean = Mean(finite);
+  const double sd = StdDev(finite);
+  if (finite.size() < 2 || sd <= 1e-12) {
     for (double& v : *values) v = 0.0;
     return;
   }
-  for (double& v : *values) v = (v - mean) / sd;
+  for (double& v : *values) {
+    v = std::isfinite(v) ? (v - mean) / sd : 0.0;
+  }
 }
 
 void NormalizeRewards(std::vector<double>* values,
                       const std::vector<char>& valid) {
+  // Non-finite entries are treated as invalid even when masked valid:
+  // they must contribute neither to the statistics nor to the gradient.
   std::vector<double> observed;
   observed.reserve(values->size());
   for (std::size_t i = 0; i < values->size(); ++i) {
-    if (i < valid.size() && valid[i]) observed.push_back((*values)[i]);
+    if (i < valid.size() && valid[i] && std::isfinite((*values)[i])) {
+      observed.push_back((*values)[i]);
+    }
   }
   if (observed.size() < 2) {
     for (double& v : *values) v = 0.0;
@@ -42,7 +56,8 @@ void NormalizeRewards(std::vector<double>* values,
   const double mean = Mean(observed);
   const double sd = StdDev(observed);
   for (std::size_t i = 0; i < values->size(); ++i) {
-    if (i >= valid.size() || !valid[i] || sd <= 1e-12) {
+    if (i >= valid.size() || !valid[i] || !std::isfinite((*values)[i]) ||
+        sd <= 1e-12) {
       (*values)[i] = 0.0;
     } else {
       (*values)[i] = ((*values)[i] - mean) / sd;

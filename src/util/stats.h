@@ -44,13 +44,17 @@ class RunningStats {
 };
 
 /// Normalizes `values` in place to zero mean / unit standard deviation
-/// (paper Eq. 8). When the batch is constant, all entries become 0.
+/// (paper Eq. 8). Degenerate batches degrade to all-zero advantages
+/// instead of dividing by zero: constant batches, single-observation
+/// batches, and batches whose finite subset is smaller than 2. NaN/Inf
+/// entries are excluded from the statistics and forced to 0.
 void NormalizeRewards(std::vector<double>* values);
 
 /// Masked variant for degraded batches: mean/stddev are computed over
 /// entries with valid[i] != 0 only, and invalid entries are forced to 0
 /// (zero advantage) so imputed rewards cannot skew the Eq. 8 statistics.
-/// With fewer than 2 valid entries every value becomes 0.
+/// Non-finite entries count as invalid even when masked valid. With
+/// fewer than 2 valid entries every value becomes 0.
 void NormalizeRewards(std::vector<double>* values,
                       const std::vector<char>& valid);
 

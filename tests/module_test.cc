@@ -131,7 +131,9 @@ TEST(LstmTest, GradientThroughThreeSteps) {
 TEST(LstmTest, ForgetBiasInitializedToOne) {
   Rng rng(10);
   LstmCell lstm(2, 4, &rng);
-  const Tensor& bias = lstm.Parameters()[2];
+  // Parameters() returns by value; take a (shared-storage) copy instead
+  // of a reference into the destroyed temporary vector.
+  const Tensor bias = lstm.Parameters()[2];
   for (std::size_t c = 4; c < 8; ++c) {
     EXPECT_FLOAT_EQ(bias.at(0, c), 1.0f);
   }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: sanitizer build + full test suite + the robustness harnesses.
+#
+#   tools/ci_check.sh [build-dir]
+#
+# Builds with ASan/UBSan (POISONREC_SANITIZE=address;undefined), runs
+# ctest, then runs bench_fault_resilience and bench_guardrail_overhead at
+# a tiny scale so their machine-readable JSON lands under results/.
+# Override the scale knobs via the usual POISONREC_* env vars.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-san}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DPOISONREC_SANITIZE=address;undefined"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+# Small-scale harness runs; JSON outputs land in results/.
+export POISONREC_SCALE="${POISONREC_SCALE:-0.05}"
+export POISONREC_STEPS="${POISONREC_STEPS:-2}"
+export POISONREC_SAMPLES="${POISONREC_SAMPLES:-4}"
+export POISONREC_EVAL_USERS="${POISONREC_EVAL_USERS:-50}"
+export POISONREC_OUT="${POISONREC_OUT:-results}"
+mkdir -p "${POISONREC_OUT}"
+
+"${BUILD_DIR}/bench/bench_fault_resilience"
+"${BUILD_DIR}/bench/bench_guardrail_overhead"
+
+echo "ci_check: OK"

@@ -18,9 +18,22 @@
 //   --fault-ban      per-trajectory shadow-ban rate
 //   --fault-noise    Gaussian reward noise stddev
 //   --fault-stale    stale (cached) reward rate
+//   --fault-nan      NaN reward rate (corrupted feedback channel)
 //   --fault-seed     fault stream seed
 //   --retry-attempts max attempts per reward query (default 4)
 //   --checkpoint=<path> --checkpoint-every=<n> --resume
+//
+// Campaign guardrail flags (see docs/robustness.md):
+//   --guard                 enable the training-stability guardrails and
+//                           the self-healing rollback driver (requires a
+//                           --checkpoint path for the last-good state)
+//   --guard-grad-max=<f>    grad-norm explosion threshold (default 100)
+//   --guard-entropy-floor=<f> entropy collapse floor (default 1e-5)
+//   --guard-kl-max=<f>      approx-KL divergence threshold (default 5)
+//   --guard-rollbacks=<n>   consecutive-rollback budget (default 4)
+//   --guard-log=<path>      incident JSONL sink (default
+//                           <checkpoint>.incidents.jsonl)
+//   --max-grad-norm=<f>     gradient clip (default 5; 0 disables)
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -205,8 +218,12 @@ int CmdCampaign(const Flags& flags) {
   profile.shadow_ban_rate = flags.GetDouble("fault-ban", 0.0);
   profile.reward_noise_stddev = flags.GetDouble("fault-noise", 0.0);
   profile.stale_reward_rate = flags.GetDouble("fault-stale", 0.0);
+  profile.nan_reward_rate = flags.GetDouble("fault-nan", 0.0);
   profile.seed = flags.GetSize("fault-seed", 1234);
   env::FaultyEnvironment faulty(environment.get(), profile);
+
+  const std::string checkpoint = flags.Get("checkpoint", "");
+  const bool guarded = flags.Get("guard", "false") == "true";
 
   core::PoisonRecConfig config;
   config.samples_per_step = flags.GetSize("samples", 8);
@@ -215,11 +232,23 @@ int CmdCampaign(const Flags& flags) {
   config.parallel_rewards = flags.Get("parallel", "false") == "true";
   config.seed = flags.GetSize("seed", 1);
   config.retry.max_attempts = flags.GetSize("retry-attempts", 4);
+  config.max_grad_norm =
+      static_cast<float>(flags.GetDouble("max-grad-norm", 5.0));
+  if (guarded) {
+    config.guard.enabled = true;
+    config.guard.grad_norm_threshold = flags.GetDouble("guard-grad-max", 100.0);
+    config.guard.entropy_floor = flags.GetDouble("guard-entropy-floor", 1e-5);
+    config.guard.approx_kl_threshold = flags.GetDouble("guard-kl-max", 5.0);
+    config.guard.max_rollbacks = flags.GetSize("guard-rollbacks", 4);
+    config.guard.incident_log_path = flags.Get(
+        "guard-log",
+        checkpoint.empty() ? "guard.incidents.jsonl"
+                           : checkpoint + ".incidents.jsonl");
+  }
 
   core::PoisonRecAttacker attacker(environment.get(), config);
   attacker.AttachFaultyEnvironment(&faulty);
 
-  const std::string checkpoint = flags.Get("checkpoint", "");
   const std::size_t checkpoint_every = flags.GetSize("checkpoint-every", 5);
   if (flags.Get("resume", "false") == "true") {
     POISONREC_CHECK(!checkpoint.empty())
@@ -235,16 +264,41 @@ int CmdCampaign(const Flags& flags) {
   }
 
   const std::size_t total_steps = flags.GetSize("steps", 25);
-  while (attacker.steps_taken() < total_steps) {
-    const core::TrainStepStats stats = attacker.TrainStep();
-    std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
-                "failed %zu  retries %zu  imputed %zu\n",
-                stats.step, stats.mean_reward, stats.best_reward_so_far,
-                stats.loss, stats.failed_queries, stats.retries,
-                stats.imputed_rewards);
-    if (!checkpoint.empty() && (attacker.steps_taken() % checkpoint_every == 0 ||
-                                attacker.steps_taken() == total_steps)) {
-      POISONREC_CHECK_OK(attacker.SaveCheckpoint(checkpoint));
+  if (guarded) {
+    POISONREC_CHECK(!checkpoint.empty())
+        << "--guard requires --checkpoint=<path> for the last-good state";
+    const core::GuardedTrainResult result =
+        attacker.TrainGuarded(total_steps, checkpoint);
+    for (const core::TrainStepStats& stats : result.stats) {
+      std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
+                  "grad %7.3f  ent %6.3f  kl %8.5f  %s\n",
+                  stats.step, stats.mean_reward, stats.best_reward_so_far,
+                  stats.loss, stats.pre_clip_grad_norm, stats.entropy,
+                  stats.approx_kl,
+                  stats.guard.tripped() ? stats.guard.Summary().c_str()
+                                        : "clean");
+    }
+    std::printf("guardrails: %zu rollbacks, %zu incidents (%s)\n",
+                result.rollbacks, result.incidents,
+                config.guard.incident_log_path.c_str());
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "campaign aborted: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+  } else {
+    while (attacker.steps_taken() < total_steps) {
+      const core::TrainStepStats stats = attacker.TrainStep();
+      std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
+                  "failed %zu  retries %zu  imputed %zu\n",
+                  stats.step, stats.mean_reward, stats.best_reward_so_far,
+                  stats.loss, stats.failed_queries, stats.retries,
+                  stats.imputed_rewards);
+      if (!checkpoint.empty() &&
+          (attacker.steps_taken() % checkpoint_every == 0 ||
+           attacker.steps_taken() == total_steps)) {
+        POISONREC_CHECK_OK(attacker.SaveCheckpoint(checkpoint));
+      }
     }
   }
 
@@ -252,10 +306,12 @@ int CmdCampaign(const Flags& flags) {
   std::printf("campaign done: best RecNum %.0f over %zu steps\n",
               attacker.best_episode().reward, attacker.steps_taken());
   std::printf("faults: %zu attempts, %zu transient failures, %zu throttled, "
-              "%zu dropped clicks, %zu banned trajectories, %zu stale\n",
+              "%zu dropped clicks, %zu banned trajectories, %zu stale, "
+              "%zu nan rewards\n",
               fault_stats.attempts, fault_stats.transient_failures,
               fault_stats.throttled, fault_stats.dropped_clicks,
-              fault_stats.banned_trajectories, fault_stats.stale_rewards);
+              fault_stats.banned_trajectories, fault_stats.stale_rewards,
+              fault_stats.nan_rewards);
   return 0;
 }
 
