@@ -1,0 +1,51 @@
+#include "core/account_pool.h"
+
+#include "util/logging.h"
+
+namespace poisonrec::core {
+
+AccountPool::AccountPool(std::size_t num_slots, std::size_t total_accounts)
+    : total_accounts_(total_accounts), next_account_(num_slots) {
+  POISONREC_CHECK_GT(num_slots, 0u);
+  POISONREC_CHECK_GE(total_accounts, num_slots);
+  slot_account_.resize(num_slots);
+  for (std::size_t s = 0; s < num_slots; ++s) slot_account_[s] = s;
+}
+
+std::size_t AccountPool::account(std::size_t slot) const {
+  POISONREC_CHECK_LT(slot, slot_account_.size());
+  return slot_account_[slot];
+}
+
+bool AccountPool::OnBanned(std::size_t account) {
+  for (std::size_t s = 0; s < slot_account_.size(); ++s) {
+    if (slot_account_[s] != account || account == kDeadSlot) continue;
+    ++retired_;
+    if (next_account_ < total_accounts_) {
+      slot_account_[s] = next_account_++;
+    } else {
+      slot_account_[s] = kDeadSlot;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t AccountPool::live_slots() const {
+  std::size_t live = 0;
+  for (std::size_t a : slot_account_) {
+    if (a != kDeadSlot) ++live;
+  }
+  return live;
+}
+
+void AccountPool::Restore(std::vector<std::size_t> slot_accounts,
+                          std::size_t next_account, std::size_t retired) {
+  POISONREC_CHECK_EQ(slot_accounts.size(), slot_account_.size());
+  POISONREC_CHECK_LE(next_account, total_accounts_);
+  slot_account_ = std::move(slot_accounts);
+  next_account_ = next_account;
+  retired_ = retired;
+}
+
+}  // namespace poisonrec::core

@@ -25,8 +25,19 @@ namespace {
 //   best episode: f64 reward, u8 observed, u64 n_trajectories, then per
 //     trajectory u64 attacker_index, u64 n_steps, per step u64 item,
 //     u64 path_len + i32s, u64 logprob_len + f64s
+//   v2 appends the adaptive-defender campaign state:
+//   account pool: u8 enabled; when enabled u64 num_slots, u64
+//     total_accounts, u64 next_account, u64 retired, then per slot a u64
+//     account id (dead slots as u64 max)
+//   defender: u8 attached; when attached u64 blob length + the
+//     DefendedEnvironment::SerializeState payload (history, bans, sweep
+//     cursor)
+// Version history: v1 predates the account pool / defended environment
+// (PR 1-2); v1 files are rejected with kInvalidArgument rather than
+// being misparsed as v2.
 constexpr std::uint32_t kCheckpointMagic = 0x5052434bu;  // "PRCK"
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint64_t kDeadSlotTag = ~0ull;
 
 void WriteU64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -67,6 +78,16 @@ PoisonRecAttacker::PoisonRecAttacker(const env::AttackEnvironment* environment,
   POISONREC_CHECK_GE(config_.batch_size, 2u)
       << "reward normalization (Eq. 8) needs at least 2 samples";
 
+  // With a replacement pool, the environment's account space covers the
+  // reserve; the policy keeps controlling only the initial fleet.
+  num_slots_ = env_->num_attackers();
+  if (config_.pool.enabled) {
+    POISONREC_CHECK_GT(env_->num_attackers(), config_.pool.reserve_accounts)
+        << "reserve_accounts must leave at least one policy slot";
+    num_slots_ = env_->num_attackers() - config_.pool.reserve_accounts;
+    pool_ = std::make_unique<AccountPool>(num_slots_, env_->num_attackers());
+  }
+
   // Attacker knowledge: item count + popularity (crawlable), target ids.
   std::vector<data::ItemId> originals;
   {
@@ -81,9 +102,9 @@ PoisonRecAttacker::PoisonRecAttacker(const env::AttackEnvironment* environment,
                 return a < b;
               });
   }
-  policy_ = std::make_unique<Policy>(env_->num_attackers(),
-                                     env_->num_total_items(), originals,
-                                     env_->target_items(), config_.policy);
+  policy_ = std::make_unique<Policy>(num_slots_, env_->num_total_items(),
+                                     originals, env_->target_items(),
+                                     config_.policy);
   optimizer_ = std::make_unique<nn::Adam>(policy_->Parameters(),
                                           config_.learning_rate);
   if (config_.guard.incident_capacity > 0) {
@@ -96,7 +117,7 @@ Episode PoisonRecAttacker::SampleAndEvaluate() {
   Episode episode;
   episode.trajectories =
       policy_->SampleEpisode(env_->trajectory_length(), &rng_);
-  episode.reward = env_->Evaluate(ToEnvTrajectories(episode.trajectories));
+  episode.reward = env_->Evaluate(MapToAccounts(episode.trajectories));
   return episode;
 }
 
@@ -104,8 +125,76 @@ void PoisonRecAttacker::AttachFaultyEnvironment(
     const env::FaultyEnvironment* faulty, SleepFn retry_sleep) {
   POISONREC_CHECK(faulty == nullptr || &faulty->base() == env_)
       << "faulty environment must decorate the attacker's environment";
+  POISONREC_CHECK(faulty == nullptr || defended_ == nullptr)
+      << "stack the fault layer inside the DefendedEnvironment instead of "
+         "attaching both";
   faulty_ = faulty;
   retry_sleep_ = std::move(retry_sleep);
+}
+
+void PoisonRecAttacker::AttachDefendedEnvironment(
+    env::DefendedEnvironment* defended, SleepFn retry_sleep) {
+  POISONREC_CHECK(defended == nullptr || &defended->base() == env_)
+      << "defended environment must decorate the attacker's environment";
+  POISONREC_CHECK(defended == nullptr || faulty_ == nullptr)
+      << "stack the fault layer inside the DefendedEnvironment instead of "
+         "attaching both";
+  defended_ = defended;
+  retry_sleep_ = std::move(retry_sleep);
+}
+
+std::vector<env::Trajectory> PoisonRecAttacker::MapToAccounts(
+    const std::vector<SampledTrajectory>& trajectories) const {
+  if (pool_ == nullptr) return ToEnvTrajectories(trajectories);
+  std::vector<env::Trajectory> out;
+  out.reserve(trajectories.size());
+  for (const SampledTrajectory& traj : trajectories) {
+    const std::size_t account = pool_->account(traj.attacker_index);
+    if (account == AccountPool::kDeadSlot) continue;  // fleet shrank
+    env::Trajectory t;
+    t.attacker_index = account;
+    t.items.reserve(traj.steps.size());
+    for (const SampledStep& step : traj.steps) t.items.push_back(step.item);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void PoisonRecAttacker::SyncDefenderState(TrainStepStats* stats) {
+  std::vector<std::size_t> banned;
+  if (defended_ != nullptr) banned = defended_->BannedAccounts();
+  stats->banned_accounts = banned.size();
+  if (pool_ == nullptr) {
+    // Pool-less degradation: a banned slot is simply gone for good.
+    std::size_t live = num_slots_;
+    for (std::size_t account : banned) {
+      if (account < num_slots_) --live;
+    }
+    stats->effective_attackers = live;
+    return;
+  }
+  for (std::size_t account : banned) pool_->OnBanned(account);
+  stats->pool_remaining = pool_->reserve_remaining();
+  stats->effective_attackers = pool_->live_slots();
+  const std::size_t min_live = config_.pool.min_live_attackers;
+  if (min_live > 0 && pool_->live_slots() < min_live &&
+      campaign_status_.ok()) {
+    // Incident post-mortem, then abort: this is a resource failure, not a
+    // numerical anomaly — it must not trip the rollback driver.
+    GuardEvent event{GuardEventKind::kAccountPoolExhausted,
+                     static_cast<double>(pool_->live_slots()),
+                     static_cast<double>(min_live),
+                     std::to_string(pool_->retired_accounts()) +
+                         " accounts banned, reserve empty, " +
+                         std::to_string(pool_->live_slots()) + "/" +
+                         std::to_string(num_slots_) + " slots live"};
+    incidents_.Record(stats->step, event);
+    campaign_status_ = Status::ResourceExhausted(
+        "attacker pool exhausted at step " + std::to_string(stats->step) +
+        ": " + event.detail);
+    POISONREC_LOG(Warning) << "campaign aborted: "
+                           << campaign_status_.message();
+  }
 }
 
 void PoisonRecAttacker::RecordGuardEvent(TrainStepStats* stats,
@@ -162,10 +251,14 @@ nn::Tensor PoisonRecAttacker::PpoLoss(
   NormalizeRewards(&advantages, observed);
 
   // Flatten trajectories; every decision inherits its episode's advantage.
+  // Dead slots (drained account pool) are excluded: their trajectories
+  // were never injected, so Eq. 7/9 renormalizes over the surviving
+  // fleet's decisions.
   std::vector<const SampledTrajectory*> trajs;
   std::vector<double> traj_advantage;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     for (const SampledTrajectory& t : batch[i]->trajectories) {
+      if (pool_ != nullptr && !pool_->IsLive(t.attacker_index)) continue;
       trajs.push_back(&t);
       traj_advantage.push_back(advantages[i]);
     }
@@ -268,12 +361,18 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
         policy_->SampleEpisode(env_->trajectory_length(), &rng_);
   }
   std::vector<std::size_t> query_retries(episodes.size(), 0);
+  // A defended platform's ban state is order-dependent: queries evaluate
+  // sequentially there so the ban sequence is bit-identical across runs
+  // (and across a crash + resume) regardless of parallel_rewards.
+  const std::size_t eval_threads =
+      (config_.parallel_rewards && defended_ == nullptr) ? config_.num_threads
+                                                         : 1;
   ParallelFor(
-      episodes.size(), config_.parallel_rewards ? config_.num_threads : 1,
+      episodes.size(), eval_threads,
       [this, &episodes, &query_retries, &stats](std::size_t m) {
         const std::vector<env::Trajectory> trajs =
-            ToEnvTrajectories(episodes[m].trajectories);
-        if (faulty_ == nullptr) {
+            MapToAccounts(episodes[m].trajectories);
+        if (faulty_ == nullptr && defended_ == nullptr) {
           episodes[m].reward = env_->Evaluate(trajs);
           return;
         }
@@ -286,9 +385,11 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
         RetryStats retry_stats;
         StatusOr<double> result = CallWithRetry<double>(
             config_.retry,
-            [this, &trajs, query_id](std::size_t attempt) {
-              return faulty_->TryEvaluate(
-                  trajs, query_id, static_cast<std::uint32_t>(attempt));
+            [this, &trajs, query_id](std::size_t attempt) -> StatusOr<double> {
+              const std::uint32_t a = static_cast<std::uint32_t>(attempt);
+              return defended_ != nullptr
+                         ? defended_->TryEvaluate(trajs, query_id, a)
+                         : faulty_->TryEvaluate(trajs, query_id, a);
             },
             /*jitter_seed=*/query_id ^ config_.seed, &retry_stats,
             retry_sleep_);
@@ -302,6 +403,16 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
       });
 
   for (std::size_t r : query_retries) stats.retries += r;
+
+  // Adaptive-defender bookkeeping: pick up this step's bans, remap banned
+  // slots onto reserve accounts, and abort once the fleet is too thin.
+  if (defended_ != nullptr || pool_ != nullptr) {
+    SyncDefenderState(&stats);
+    if (!campaign_status_.ok()) {
+      stats.seconds = timer.ElapsedSeconds();
+      return stats;
+    }
+  }
 
   // Guard monitor (Eq. 8 input): a NaN/Inf reward must reach neither the
   // normalization statistics nor best-episode tracking — one poisoned
@@ -361,8 +472,10 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
 
   // -- K epochs of PPO updates ----------------------------------------------
   // With fewer than 2 observed rewards Eq. 8 is undefined; skip the update
-  // rather than training on fabricated advantages.
-  if (reward_stats.count() < 2) {
+  // rather than training on fabricated advantages. A fully dead fleet
+  // (pool drained with min_live_attackers == 0) has nothing to train on.
+  if (reward_stats.count() < 2 ||
+      (pool_ != nullptr && pool_->live_slots() == 0)) {
     stats.loss = 0.0;
     stats.seconds = timer.ElapsedSeconds();
     return stats;
@@ -464,7 +577,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
 std::vector<TrainStepStats> PoisonRecAttacker::Train(std::size_t steps) {
   std::vector<TrainStepStats> all;
   all.reserve(steps);
-  for (std::size_t s = 0; s < steps; ++s) {
+  for (std::size_t s = 0; s < steps && campaign_status_.ok(); ++s) {
     all.push_back(TrainStep());
   }
   return all;
@@ -488,6 +601,12 @@ GuardedTrainResult PoisonRecAttacker::TrainGuarded(
     const bool tripped = stats.guard.tripped();
     const std::string verdict = stats.guard.Summary();
     result.stats.push_back(std::move(stats));
+    if (!campaign_status_.ok()) {
+      // Resource abort (pool exhausted): not a rollbackable anomaly — the
+      // incident log already holds the post-mortem.
+      result.status = campaign_status_;
+      break;
+    }
     if (!tripped) {
       consecutive_rollbacks = 0;
       result.status = SaveCheckpoint(checkpoint_path);
@@ -579,6 +698,25 @@ Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
         for (double lp : step.old_log_probs) WriteF64(out, lp);
       }
     }
+
+    // v2: adaptive-defender campaign state (pool + platform ban state).
+    out.put(pool_ != nullptr ? 1 : 0);
+    if (pool_ != nullptr) {
+      WriteU64(out, pool_->num_slots());
+      WriteU64(out, pool_->total_accounts());
+      WriteU64(out, pool_->next_account());
+      WriteU64(out, pool_->retired_accounts());
+      for (std::size_t a : pool_->slot_accounts()) {
+        WriteU64(out, a == AccountPool::kDeadSlot ? kDeadSlotTag
+                                                  : static_cast<std::uint64_t>(a));
+      }
+    }
+    out.put(defended_ != nullptr ? 1 : 0);
+    if (defended_ != nullptr) {
+      const std::string blob = defended_->SerializeState();
+      WriteU64(out, blob.size());
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
     if (!out) return Status::IoError("write failed for " + tmp);
   }
   // Atomic publish: a crash before this point leaves any previous
@@ -602,8 +740,15 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
                                    " is not a PoisonRec attacker checkpoint");
   }
   if (header[1] != kCheckpointVersion) {
+    std::string hint;
+    if (header[1] < kCheckpointVersion) {
+      hint = " (version " + std::to_string(header[1]) +
+             " predates the account-pool / adaptive-defender state of v" +
+             std::to_string(kCheckpointVersion) +
+             "; re-run the campaign to produce a current checkpoint)";
+    }
     return Status::InvalidArgument("unsupported attacker checkpoint version " +
-                                   std::to_string(header[1]));
+                                   std::to_string(header[1]) + hint);
   }
   std::uint64_t steps = 0;
   if (!ReadU64(in, &steps)) return Status::IoError("truncated checkpoint");
@@ -697,9 +842,88 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   }
   if (!in) return Status::IoError("truncated checkpoint");
 
-  // Commit: everything parsed cleanly.
+  // v2 sections: account pool and defender state. Presence must match
+  // this attacker's configuration — a pooled checkpoint cannot restore
+  // into a pool-less attacker (or vice versa) without silently changing
+  // campaign semantics.
+  const int pool_flag = in.get();
+  if (pool_flag == std::ifstream::traits_type::eof()) {
+    return Status::IoError("truncated checkpoint");
+  }
+  if ((pool_flag != 0) != (pool_ != nullptr)) {
+    return Status::InvalidArgument(
+        pool_flag != 0
+            ? "checkpoint carries account-pool state but this attacker has "
+              "no pool configured"
+            : "this attacker has an account pool but the checkpoint has no "
+              "pool state");
+  }
+  std::vector<std::size_t> staged_slots;
+  std::uint64_t pool_next = 0;
+  std::uint64_t pool_retired = 0;
+  if (pool_flag != 0) {
+    std::uint64_t slots = 0;
+    std::uint64_t total = 0;
+    if (!ReadU64(in, &slots) || !ReadU64(in, &total) ||
+        !ReadU64(in, &pool_next) || !ReadU64(in, &pool_retired)) {
+      return Status::IoError("truncated checkpoint");
+    }
+    if (slots != pool_->num_slots() || total != pool_->total_accounts()) {
+      return Status::InvalidArgument(
+          "checkpoint pool shape " + std::to_string(slots) + "/" +
+          std::to_string(total) + " does not match configured pool " +
+          std::to_string(pool_->num_slots()) + "/" +
+          std::to_string(pool_->total_accounts()));
+    }
+    if (pool_next > total) {
+      return Status::InvalidArgument("corrupt pool state: next account " +
+                                     std::to_string(pool_next) + " > " +
+                                     std::to_string(total));
+    }
+    staged_slots.resize(slots);
+    for (std::size_t& a : staged_slots) {
+      std::uint64_t v = 0;
+      if (!ReadU64(in, &v)) return Status::IoError("truncated checkpoint");
+      if (v != kDeadSlotTag && v >= total) {
+        return Status::InvalidArgument("corrupt pool state: slot maps to "
+                                       "account " + std::to_string(v));
+      }
+      a = v == kDeadSlotTag ? AccountPool::kDeadSlot
+                            : static_cast<std::size_t>(v);
+    }
+  }
+  const int defender_flag = in.get();
+  if (defender_flag == std::ifstream::traits_type::eof()) {
+    return Status::IoError("truncated checkpoint");
+  }
+  if ((defender_flag != 0) != (defended_ != nullptr)) {
+    return Status::InvalidArgument(
+        defender_flag != 0
+            ? "checkpoint carries defender state; attach the "
+              "DefendedEnvironment before loading"
+            : "a DefendedEnvironment is attached but the checkpoint has no "
+              "defender state");
+  }
+  std::string defender_blob;
+  if (defender_flag != 0) {
+    std::uint64_t blob_len = 0;
+    if (!ReadU64(in, &blob_len)) return Status::IoError("truncated checkpoint");
+    defender_blob.resize(blob_len);
+    in.read(defender_blob.data(), static_cast<std::streamsize>(blob_len));
+    if (!in) return Status::IoError("truncated checkpoint");
+  }
+
+  // Commit: everything parsed cleanly. Fallible commits run first (the
+  // RNG deserialize stages into a local, the defender restore stages
+  // internally), so a bad payload still leaves the attacker untouched.
   Rng restored_rng(0);
   POISONREC_RETURN_NOT_OK(restored_rng.DeserializeState(rng_state));
+  if (defended_ != nullptr) {
+    POISONREC_RETURN_NOT_OK(defended_->RestoreState(defender_blob));
+  }
+  if (pool_ != nullptr) {
+    pool_->Restore(std::move(staged_slots), pool_next, pool_retired);
+  }
   POISONREC_RETURN_NOT_OK(
       optimizer_->RestoreState(adam_steps, std::move(m), std::move(v)));
   for (std::size_t i = 0; i < params.size(); ++i) {

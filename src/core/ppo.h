@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "core/account_pool.h"
 #include "core/policy.h"
 #include "core/trajectory.h"
+#include "env/defended.h"
 #include "env/environment.h"
 #include "env/fault.h"
 #include "nn/optimizer.h"
@@ -46,6 +48,12 @@ struct PoisonRecConfig {
   /// Per-query retry schedule, used when a FaultyEnvironment is attached
   /// (each of the M reward queries retries independently).
   RetryPolicy retry;
+  /// Replacement-account reserve for campaigns against an adaptive
+  /// defender (env::DefendedEnvironment). When enabled, the environment
+  /// must be built with num_attackers = policy slots + reserve_accounts;
+  /// the policy keeps its N slots and the pool remaps banned slots onto
+  /// fresh reserve accounts (core/account_pool.h).
+  AccountPoolConfig pool;
   PolicyConfig policy;
   std::uint64_t seed = 99;
 };
@@ -82,6 +90,14 @@ struct TrainStepStats {
   /// What the stability guardrails tripped on this step (empty = clean;
   /// always empty when PoisonRecConfig::guard.enabled is false).
   GuardVerdict guard;
+  /// Accounts the adaptive defender has permanently banned so far
+  /// (cumulative; 0 when no DefendedEnvironment is attached).
+  std::size_t banned_accounts = 0;
+  /// Fresh replacement accounts left in the reserve (0 without a pool).
+  std::size_t pool_remaining = 0;
+  /// Trajectory slots still mapped to live accounts at the end of the
+  /// step (equals N for an undefended campaign; 0 without defense/pool).
+  std::size_t effective_attackers = 0;
 };
 
 /// Outcome of a self-healing TrainGuarded campaign.
@@ -152,6 +168,30 @@ class PoisonRecAttacker {
   void AttachFaultyEnvironment(const env::FaultyEnvironment* faulty,
                                SleepFn retry_sleep = {});
 
+  /// Routes all subsequent reward queries through the adaptive-defender
+  /// decorator (which may itself wrap a FaultyEnvironment — attach only
+  /// the outermost decorator). `defended->base()` must be the environment
+  /// this attacker was constructed with. Reward queries are evaluated
+  /// sequentially while a defender is attached (its ban state is
+  /// order-dependent), so runs stay bit-identical regardless of
+  /// `parallel_rewards`. Mutually exclusive with
+  /// AttachFaultyEnvironment. Non-const: LoadCheckpoint restores the
+  /// defender's ban/history state alongside the attacker's.
+  void AttachDefendedEnvironment(env::DefendedEnvironment* defended,
+                                 SleepFn retry_sleep = {});
+
+  /// OK while the campaign can continue; kResourceExhausted once the
+  /// account pool drained below pool.min_live_attackers. Train and
+  /// TrainGuarded stop stepping when this is not OK.
+  const Status& campaign_status() const { return campaign_status_; }
+
+  /// The account pool (nullptr unless config().pool.enabled).
+  const AccountPool* account_pool() const { return pool_.get(); }
+
+  /// Trajectory slots the policy controls (N of the paper; smaller than
+  /// the environment's account space when a reserve pool is configured).
+  std::size_t num_slots() const { return num_slots_; }
+
   /// Persists everything TrainStep depends on — policy parameters, Adam
   /// moments, RNG state, steps taken, best episode — so a crashed run can
   /// resume bit-identically. The write is atomic (tmp file + rename): a
@@ -194,8 +234,23 @@ class PoisonRecAttacker {
   /// Returns true if clean.
   bool SweepPostStep(TrainStepStats* stats);
 
+  /// Maps sampled trajectory slots onto live platform accounts for
+  /// injection (identity without a pool); dead slots are not injected.
+  std::vector<env::Trajectory> MapToAccounts(
+      const std::vector<SampledTrajectory>& trajectories) const;
+
+  /// Pulls the defender's ban list into the pool (remapping banned slots
+  /// onto reserve accounts), fills the attrition fields of `stats`, and
+  /// aborts the campaign (kResourceExhausted + incident post-mortem)
+  /// when fewer than pool.min_live_attackers slots survive.
+  void SyncDefenderState(TrainStepStats* stats);
+
   const env::AttackEnvironment* env_;
   const env::FaultyEnvironment* faulty_ = nullptr;
+  env::DefendedEnvironment* defended_ = nullptr;
+  std::size_t num_slots_ = 0;
+  std::unique_ptr<AccountPool> pool_;
+  Status campaign_status_;
   SleepFn retry_sleep_;
   PoisonRecConfig config_;
   std::unique_ptr<Policy> policy_;

@@ -141,10 +141,16 @@ std::unique_ptr<Detector> MakeDefaultEnsemble() {
 
 double DetectionAuc(const std::vector<double>& scores,
                     const std::vector<data::UserId>& fake_users) {
-  std::unordered_set<data::UserId> fakes(fake_users.begin(),
-                                         fake_users.end());
-  POISONREC_CHECK(!fakes.empty());
-  POISONREC_CHECK_LT(fakes.size(), scores.size());
+  // Degenerate inputs yield the chance value instead of dividing by zero
+  // (or crashing): no fake users, every user fake, fake ids outside the
+  // score vector, or an empty score vector all leave zero comparable
+  // (fake, real) pairs. Constant scores are all ties and also land on
+  // 0.5 through the ordinary path.
+  std::unordered_set<data::UserId> fakes;
+  for (data::UserId f : fake_users) {
+    if (f < scores.size()) fakes.insert(f);
+  }
+  if (fakes.empty() || fakes.size() >= scores.size()) return 0.5;
   // AUC = P(score(fake) > score(real)) + 0.5 P(tie).
   double wins = 0.0;
   std::size_t pairs = 0;

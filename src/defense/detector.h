@@ -77,6 +77,8 @@ std::unique_ptr<Detector> MakeDefaultEnsemble();
 
 /// Area under the ROC curve of `scores` against the ground-truth fake
 /// user ids: 1.0 = perfect separation, 0.5 = chance. Ties contribute 0.5.
+/// Degenerate inputs (no fake users, all users fake, fake ids outside the
+/// score vector, constant scores) return the chance value 0.5.
 double DetectionAuc(const std::vector<double>& scores,
                     const std::vector<data::UserId>& fake_users);
 

@@ -1,0 +1,323 @@
+#include "env/defended.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace poisonrec::env {
+
+namespace {
+
+// SplitMix64 finalizer (same construction as fault.cc): decorrelates the
+// structured (seed, sweep, account) tuples driving ban-probability draws.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::istream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+// Defender-state framing ("PRDF", version 1) inside the blob returned by
+// SerializeState; embedded whole into attacker checkpoints.
+constexpr std::uint32_t kStateMagic = 0x50524446u;  // "PRDF"
+constexpr std::uint32_t kStateVersion = 1;
+
+}  // namespace
+
+DefendedEnvironment::DefendedEnvironment(
+    const AttackEnvironment* base, std::unique_ptr<defense::Detector> detector,
+    const DefenseProfile& profile)
+    : base_(base), detector_(std::move(detector)), profile_(profile) {
+  Init();
+}
+
+DefendedEnvironment::DefendedEnvironment(
+    const FaultyEnvironment* faulty, std::unique_ptr<defense::Detector> detector,
+    const DefenseProfile& profile)
+    : base_(faulty == nullptr ? nullptr : &faulty->base()),
+      faulty_(faulty),
+      detector_(std::move(detector)),
+      profile_(profile) {
+  Init();
+}
+
+void DefendedEnvironment::Init() {
+  POISONREC_CHECK(base_ != nullptr);
+  POISONREC_CHECK(detector_ != nullptr);
+  POISONREC_CHECK_GT(profile_.detection_interval, 0u);
+  POISONREC_CHECK(profile_.ban_probability >= 0.0 &&
+                  profile_.ban_probability <= 1.0)
+      << "ban_probability must be a probability, got "
+      << profile_.ban_probability;
+  history_.resize(base_->num_attackers());
+  banned_.assign(base_->num_attackers(), 0);
+  next_sweep_ = profile_.detection_interval;
+}
+
+void DefendedEnvironment::RunDueSweeps(std::uint64_t query_id) {
+  while (query_id >= next_sweep_) {
+    Sweep(next_sweep_);
+    next_sweep_ += profile_.detection_interval;
+  }
+}
+
+void DefendedEnvironment::Sweep(std::uint64_t sweep_query) {
+  ++stats_.sweeps;
+  if (profile_.bans_per_sweep == 0) return;
+
+  // Audit log: the expanded clean log plus every *live* account's
+  // accumulated submissions. Banned accounts' past clicks are already
+  // expunged — exactly the "past and future clicks filtered" semantics.
+  const data::Dataset& clean = base_->dataset();
+  data::Dataset audit = clean.Clone();
+  bool any_history = false;
+  for (std::size_t a = 0; a < history_.size(); ++a) {
+    if (banned_[a] || history_[a].empty()) continue;
+    audit.AddSequence(base_->AttackerUserId(a), history_[a]);
+    any_history = true;
+  }
+  if (!any_history) return;
+
+  const std::vector<double> scores = detector_->Score(audit);
+
+  // Candidates: live attacker accounts with history, above the threshold.
+  // (The platform audits *new* accounts — every attacker slot is one —
+  // so organic users are never ban candidates; see docs/robustness.md.)
+  std::vector<std::size_t> candidates;
+  for (std::size_t a = 0; a < history_.size(); ++a) {
+    if (banned_[a] || history_[a].empty()) continue;
+    if (scores[base_->AttackerUserId(a)] > profile_.suspicion_threshold) {
+      candidates.push_back(a);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this, &scores](std::size_t a, std::size_t b) {
+              const double sa = scores[base_->AttackerUserId(a)];
+              const double sb = scores[base_->AttackerUserId(b)];
+              if (sa != sb) return sa > sb;
+              return a < b;
+            });
+  if (candidates.size() > profile_.bans_per_sweep) {
+    candidates.resize(profile_.bans_per_sweep);
+  }
+
+  for (std::size_t a : candidates) {
+    if (profile_.ban_probability < 1.0) {
+      // Deterministic in (seed, sweep query id, account) — independent of
+      // how many candidates preceded this one.
+      Rng rng(Mix(Mix(profile_.seed ^ Mix(sweep_query)) ^ Mix(a + 1)));
+      if (!rng.Bernoulli(profile_.ban_probability)) continue;
+    }
+    banned_[a] = 1;
+    history_[a].clear();
+    BanEvent event;
+    event.query_id = sweep_query;
+    event.attacker_index = a;
+    event.user_id = base_->AttackerUserId(a);
+    event.suspicion = scores[event.user_id];
+    events_.push_back(event);
+    ++stats_.bans;
+    POISONREC_LOG(Info) << "defender banned account " << a << " (user "
+                        << event.user_id << ", suspicion " << event.suspicion
+                        << ") at query " << sweep_query;
+  }
+}
+
+StatusOr<double> DefendedEnvironment::TryEvaluate(
+    const std::vector<Trajectory>& trajectories, std::uint64_t query_id,
+    std::uint32_t attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  RunDueSweeps(query_id);
+
+  // The platform silently drops submissions from banned accounts: their
+  // clicks never reach the poison log, so retraining never sees them.
+  std::vector<Trajectory> delivered;
+  delivered.reserve(trajectories.size());
+  for (const Trajectory& traj : trajectories) {
+    POISONREC_CHECK_LT(traj.attacker_index, banned_.size())
+        << "trajectory for unknown account";
+    if (banned_[traj.attacker_index]) {
+      ++stats_.filtered_trajectories;
+      continue;
+    }
+    delivered.push_back(traj);
+  }
+
+  StatusOr<double> result =
+      faulty_ != nullptr ? faulty_->TryEvaluate(delivered, query_id, attempt)
+                         : StatusOr<double>(base_->Evaluate(delivered));
+  if (!result.ok()) return result;
+
+  // Record what landed, once per query id (retry attempts of the same
+  // query must not double-count the submission).
+  if (recorded_queries_.insert(query_id).second) {
+    for (const Trajectory& traj : delivered) {
+      std::vector<data::ItemId>& h = history_[traj.attacker_index];
+      h.insert(h.end(), traj.items.begin(), traj.items.end());
+      stats_.recorded_clicks += traj.items.size();
+    }
+  }
+  return result;
+}
+
+bool DefendedEnvironment::IsBanned(std::size_t attacker_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  POISONREC_CHECK_LT(attacker_index, banned_.size());
+  return banned_[attacker_index] != 0;
+}
+
+std::vector<std::size_t> DefendedEnvironment::BannedAccounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::size_t> out;
+  for (std::size_t a = 0; a < banned_.size(); ++a) {
+    if (banned_[a]) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<BanEvent> DefendedEnvironment::ban_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+DefenseStats DefendedEnvironment::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string DefendedEnvironment::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out(std::ios::binary);
+  const std::uint32_t header[2] = {kStateMagic, kStateVersion};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  WriteU64(out, history_.size());
+  for (const std::vector<data::ItemId>& h : history_) {
+    WriteU64(out, h.size());
+    for (data::ItemId item : h) WriteU64(out, item);
+  }
+  for (char b : banned_) out.put(b);
+  WriteU64(out, events_.size());
+  for (const BanEvent& e : events_) {
+    WriteU64(out, e.query_id);
+    WriteU64(out, e.attacker_index);
+    WriteU64(out, e.user_id);
+    WriteF64(out, e.suspicion);
+  }
+  WriteU64(out, recorded_queries_.size());
+  for (std::uint64_t q : recorded_queries_) WriteU64(out, q);
+  WriteU64(out, next_sweep_);
+  WriteU64(out, stats_.queries);
+  WriteU64(out, stats_.sweeps);
+  WriteU64(out, stats_.bans);
+  WriteU64(out, stats_.filtered_trajectories);
+  WriteU64(out, stats_.recorded_clicks);
+  return out.str();
+}
+
+Status DefendedEnvironment::RestoreState(const std::string& blob) {
+  std::istringstream in(blob, std::ios::binary);
+  std::uint32_t header[2] = {0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kStateMagic) {
+    return Status::InvalidArgument("not a defender state blob");
+  }
+  if (header[1] != kStateVersion) {
+    return Status::InvalidArgument("unsupported defender state version " +
+                                   std::to_string(header[1]));
+  }
+  std::uint64_t accounts = 0;
+  if (!ReadU64(in, &accounts)) {
+    return Status::IoError("truncated defender state");
+  }
+  if (accounts != history_.size()) {
+    return Status::InvalidArgument(
+        "defender state has " + std::to_string(accounts) +
+        " accounts, environment has " + std::to_string(history_.size()));
+  }
+
+  // Stage, then commit: a truncated blob must leave this object unchanged.
+  std::vector<std::vector<data::ItemId>> history(accounts);
+  for (std::vector<data::ItemId>& h : history) {
+    std::uint64_t n = 0;
+    if (!ReadU64(in, &n)) return Status::IoError("truncated defender state");
+    h.resize(n);
+    for (data::ItemId& item : h) {
+      std::uint64_t v = 0;
+      if (!ReadU64(in, &v)) return Status::IoError("truncated defender state");
+      item = static_cast<data::ItemId>(v);
+    }
+  }
+  std::vector<char> banned(accounts);
+  for (char& b : banned) {
+    const int c = in.get();
+    if (c == std::istringstream::traits_type::eof()) {
+      return Status::IoError("truncated defender state");
+    }
+    b = static_cast<char>(c);
+  }
+  std::uint64_t n_events = 0;
+  if (!ReadU64(in, &n_events)) {
+    return Status::IoError("truncated defender state");
+  }
+  std::vector<BanEvent> events(n_events);
+  for (BanEvent& e : events) {
+    std::uint64_t attacker = 0;
+    std::uint64_t user = 0;
+    if (!ReadU64(in, &e.query_id) || !ReadU64(in, &attacker) ||
+        !ReadU64(in, &user) || !ReadF64(in, &e.suspicion)) {
+      return Status::IoError("truncated defender state");
+    }
+    e.attacker_index = attacker;
+    e.user_id = user;
+  }
+  std::uint64_t n_recorded = 0;
+  if (!ReadU64(in, &n_recorded)) {
+    return Status::IoError("truncated defender state");
+  }
+  std::set<std::uint64_t> recorded;
+  for (std::uint64_t i = 0; i < n_recorded; ++i) {
+    std::uint64_t q = 0;
+    if (!ReadU64(in, &q)) return Status::IoError("truncated defender state");
+    recorded.insert(q);
+  }
+  std::uint64_t next_sweep = 0;
+  DefenseStats stats;
+  if (!ReadU64(in, &next_sweep) || !ReadU64(in, &stats.queries) ||
+      !ReadU64(in, &stats.sweeps) || !ReadU64(in, &stats.bans) ||
+      !ReadU64(in, &stats.filtered_trajectories) ||
+      !ReadU64(in, &stats.recorded_clicks)) {
+    return Status::IoError("truncated defender state");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  history_ = std::move(history);
+  banned_ = std::move(banned);
+  events_ = std::move(events);
+  recorded_queries_ = std::move(recorded);
+  next_sweep_ = next_sweep;
+  stats_ = stats;
+  return Status::OK();
+}
+
+}  // namespace poisonrec::env

@@ -12,6 +12,17 @@
 // so runs reproduce regardless of thread scheduling: the caller assigns
 // query ids (the PPO loop uses step * M + m) and parallel queries stay
 // independent.
+//
+// Shadow bans vs. permanent bans: this decorator's shadow_ban_rate is a
+// *per-query, identity-less* fault — each query independently redraws
+// which trajectories vanish, nothing is remembered, and the same account
+// lands its clicks again on the very next query. The *stateful* adversary
+// that audits accumulated behavior and removes an account forever is
+// env::DefendedEnvironment (defended.h). The two stack cleanly —
+// DefendedEnvironment over FaultyEnvironment over the base — because the
+// defended layer filters permanently banned accounts and forwards the
+// rest here with the caller's original query_id, leaving this layer's
+// (seed, query_id, attempt) draw streams untouched.
 #ifndef POISONREC_ENV_FAULT_H_
 #define POISONREC_ENV_FAULT_H_
 
@@ -41,7 +52,9 @@ struct FaultProfile {
   /// not told which clicks landed.
   double injection_drop_rate = 0.0;
   /// Per-trajectory shadow ban: a banned attacker's whole trajectory is
-  /// ignored for this query.
+  /// ignored for this query. Transient and identity-less — redrawn every
+  /// query, never remembered. Permanent, stateful account bans are
+  /// env::DefendedEnvironment's job (see the file comment).
   double shadow_ban_rate = 0.0;
   /// Gaussian observation noise added to the returned RecNum
   /// (stddev in reward units; the result is clamped at 0).

@@ -80,6 +80,8 @@ const char* GuardEventKindName(GuardEventKind kind) {
       return "entropy_collapse";
     case GuardEventKind::kKlDivergence:
       return "kl_divergence";
+    case GuardEventKind::kAccountPoolExhausted:
+      return "account_pool_exhausted";
   }
   return "?";
 }

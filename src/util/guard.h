@@ -47,6 +47,12 @@ enum class GuardEventKind : std::uint8_t {
   kEntropyCollapse = 7,
   /// Mean approx-KL(old || new) exceeded the divergence threshold.
   kKlDivergence = 8,
+  /// The attacker account pool drained below min_live_attackers (an
+  /// adaptive defender banned the fleet faster than the reserve could
+  /// replace it; campaign aborts with kResourceExhausted — see
+  /// core/account_pool.h and env/defended.h). A resource incident, not a
+  /// numerical one: TrainGuarded never rolls back on it.
+  kAccountPoolExhausted = 9,
 };
 
 /// Stable snake_case name for the JSONL log ("non_finite_reward", ...).

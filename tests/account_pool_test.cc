@@ -1,0 +1,92 @@
+// AccountPool unit tests: slot -> account mapping, deterministic
+// replacement from a finite reserve, graceful slot death when the
+// reserve drains, and snapshot/restore for checkpoints.
+#include <gtest/gtest.h>
+
+#include "core/account_pool.h"
+
+namespace poisonrec::core {
+namespace {
+
+TEST(AccountPoolTest, SeedsIdentityMappingAndFullReserve) {
+  AccountPool pool(/*num_slots=*/4, /*total_accounts=*/10);
+  EXPECT_EQ(pool.num_slots(), 4u);
+  EXPECT_EQ(pool.total_accounts(), 10u);
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    EXPECT_EQ(pool.account(slot), slot);
+    EXPECT_TRUE(pool.IsLive(slot));
+  }
+  EXPECT_EQ(pool.live_slots(), 4u);
+  EXPECT_EQ(pool.reserve_remaining(), 6u);
+  EXPECT_EQ(pool.retired_accounts(), 0u);
+}
+
+TEST(AccountPoolTest, BanRemapsToLowestUnusedReserveAccount) {
+  AccountPool pool(3, 6);
+  EXPECT_TRUE(pool.OnBanned(1));
+  EXPECT_EQ(pool.account(1), 3u);  // first reserve account
+  EXPECT_TRUE(pool.OnBanned(3));
+  EXPECT_EQ(pool.account(1), 4u);  // same slot, next reserve account
+  EXPECT_TRUE(pool.OnBanned(0));
+  EXPECT_EQ(pool.account(0), 5u);
+  EXPECT_EQ(pool.live_slots(), 3u);
+  EXPECT_EQ(pool.reserve_remaining(), 0u);
+  EXPECT_EQ(pool.retired_accounts(), 3u);
+}
+
+TEST(AccountPoolTest, BanningUnusedAccountIsIdempotentNoOp) {
+  AccountPool pool(2, 4);
+  ASSERT_TRUE(pool.OnBanned(0));  // slot 0 -> account 2
+  EXPECT_FALSE(pool.OnBanned(0));  // already retired: no-op
+  EXPECT_FALSE(pool.OnBanned(3));  // fresh reserve account, never mapped
+  EXPECT_EQ(pool.account(0), 2u);
+  EXPECT_EQ(pool.retired_accounts(), 1u);
+}
+
+TEST(AccountPoolTest, DrainedReserveKillsSlotsForGood) {
+  AccountPool pool(2, 3);  // one replacement only
+  EXPECT_TRUE(pool.OnBanned(0));  // slot 0 -> account 2
+  EXPECT_TRUE(pool.OnBanned(1));  // reserve dry: slot 1 dies
+  EXPECT_FALSE(pool.IsLive(1));
+  EXPECT_EQ(pool.account(1), AccountPool::kDeadSlot);
+  EXPECT_EQ(pool.live_slots(), 1u);
+  EXPECT_TRUE(pool.OnBanned(2));  // last live account: slot 0 dies too
+  EXPECT_EQ(pool.live_slots(), 0u);
+  EXPECT_EQ(pool.retired_accounts(), 3u);
+}
+
+TEST(AccountPoolTest, ReplacementOrderIsDeterministic) {
+  AccountPool a(3, 8);
+  AccountPool b(3, 8);
+  for (std::size_t banned : {2u, 0u, 3u, 4u}) {
+    a.OnBanned(banned);
+    b.OnBanned(banned);
+  }
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    EXPECT_EQ(a.account(slot), b.account(slot)) << "slot " << slot;
+  }
+}
+
+TEST(AccountPoolTest, RestoreRoundTripsSnapshot) {
+  AccountPool pool(3, 6);
+  pool.OnBanned(1);
+  pool.OnBanned(3);
+  const auto slots = pool.slot_accounts();
+  const std::size_t next = pool.next_account();
+  const std::size_t retired = pool.retired_accounts();
+
+  AccountPool restored(3, 6);
+  restored.Restore(slots, next, retired);
+  EXPECT_EQ(restored.account(0), pool.account(0));
+  EXPECT_EQ(restored.account(1), pool.account(1));
+  EXPECT_EQ(restored.account(2), pool.account(2));
+  EXPECT_EQ(restored.reserve_remaining(), pool.reserve_remaining());
+  EXPECT_EQ(restored.retired_accounts(), pool.retired_accounts());
+  // The restored pool continues exactly where the original would.
+  restored.OnBanned(restored.account(2));
+  pool.OnBanned(pool.account(2));
+  EXPECT_EQ(restored.account(2), pool.account(2));
+}
+
+}  // namespace
+}  // namespace poisonrec::core

@@ -198,6 +198,93 @@ TEST(CheckpointTest, CorruptOrMissingCheckpointIsRejectedCleanly) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, OldVersionCheckpointIsRejectedWithClearError) {
+  // A v1 checkpoint (pre account-pool / adaptive-defender) must be
+  // rejected as kInvalidArgument, not misparsed as the current format.
+  const std::string path = TempPath("poisonrec_v1_ckpt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint32_t header[2] = {0x5052434bu /* "PRCK" */, 1u};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    const std::uint64_t steps = 3;
+    out.write(reinterpret_cast<const char*>(&steps), sizeof(steps));
+  }
+  Fixture f;
+  PoisonRecAttacker attacker(&f.environment, Fixture::MakeAttackerConfig());
+  const Status status = attacker.LoadCheckpoint(path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version 1"), std::string::npos)
+      << status.message();
+  EXPECT_EQ(attacker.steps_taken(), 0u);
+  attacker.TrainStep();  // attacker unharmed
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, PoolConfigurationMismatchIsRejected) {
+  // An environment large enough for a 2-account reserve on 4 slots.
+  auto env_cfg = Fixture::MakeEnvConfig();
+  env_cfg.num_attackers = 6;
+  env::AttackEnvironment environment(
+      Fixture::MakeLog(), rec::MakeRecommender("ItemPop").value(), env_cfg);
+
+  auto pooled_cfg = Fixture::MakeAttackerConfig();
+  pooled_cfg.pool.enabled = true;
+  pooled_cfg.pool.reserve_accounts = 2;
+  PoisonRecAttacker pooled(&environment, pooled_cfg);
+  pooled.TrainStep();
+  const std::string path = TempPath("poisonrec_pool_mismatch_ckpt.bin");
+  ASSERT_TRUE(pooled.SaveCheckpoint(path).ok());
+
+  // A pooled checkpoint cannot restore into a pool-less attacker.
+  Fixture poolless_fixture;
+  PoisonRecAttacker poolless(&poolless_fixture.environment,
+                             Fixture::MakeAttackerConfig());
+  EXPECT_EQ(poolless.LoadCheckpoint(path).code(),
+            StatusCode::kInvalidArgument);
+
+  // Same policy shape (4 slots), different pool total (7 accounts vs 6):
+  // caught by the pool-section shape validation.
+  auto bigger_env_cfg = env_cfg;
+  bigger_env_cfg.num_attackers = 7;
+  env::AttackEnvironment bigger_environment(
+      Fixture::MakeLog(), rec::MakeRecommender("ItemPop").value(),
+      bigger_env_cfg);
+  auto bigger_pool_cfg = pooled_cfg;
+  bigger_pool_cfg.pool.reserve_accounts = 3;
+  PoisonRecAttacker mismatched(&bigger_environment, bigger_pool_cfg);
+  const Status status = mismatched.LoadCheckpoint(path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("pool"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, PooledRoundTripRestoresPoolState) {
+  auto env_cfg = Fixture::MakeEnvConfig();
+  env_cfg.num_attackers = 6;
+  env::AttackEnvironment environment(
+      Fixture::MakeLog(), rec::MakeRecommender("ItemPop").value(), env_cfg);
+  auto cfg = Fixture::MakeAttackerConfig();
+  cfg.pool.enabled = true;
+  cfg.pool.reserve_accounts = 2;
+
+  PoisonRecAttacker attacker(&environment, cfg);
+  attacker.Train(2);
+  const std::string path = TempPath("poisonrec_pooled_ckpt.bin");
+  ASSERT_TRUE(attacker.SaveCheckpoint(path).ok());
+
+  PoisonRecAttacker restored(&environment, cfg);
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  ASSERT_NE(restored.account_pool(), nullptr);
+  EXPECT_EQ(restored.account_pool()->slot_accounts(),
+            attacker.account_pool()->slot_accounts());
+  EXPECT_EQ(restored.account_pool()->reserve_remaining(),
+            attacker.account_pool()->reserve_remaining());
+  EXPECT_EQ(restored.account_pool()->retired_accounts(),
+            attacker.account_pool()->retired_accounts());
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, MismatchedPolicyShapeIsRejected) {
   Fixture f;
   PoisonRecAttacker attacker(&f.environment, Fixture::MakeAttackerConfig());

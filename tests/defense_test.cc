@@ -39,6 +39,34 @@ TEST(AucTest, TiesGiveChance) {
   EXPECT_DOUBLE_EQ(DetectionAuc(scores, {1, 3}), 0.5);
 }
 
+// Degenerate inputs: a production defender feeds DetectionAuc whatever
+// the campaign produced — including logs with no fakes left (all banned),
+// all-fake audit slices, and constant detector scores. All must return
+// the chance value 0.5 instead of crashing or dividing by zero.
+TEST(AucTest, NoFakeUsersGivesChance) {
+  EXPECT_DOUBLE_EQ(DetectionAuc({0.1, 0.4, 0.9}, {}), 0.5);
+}
+
+TEST(AucTest, AllUsersFakeGivesChance) {
+  EXPECT_DOUBLE_EQ(DetectionAuc({0.1, 0.4, 0.9}, {0, 1, 2}), 0.5);
+}
+
+TEST(AucTest, ConstantScoresGiveChance) {
+  EXPECT_DOUBLE_EQ(DetectionAuc({0.7, 0.7, 0.7, 0.7, 0.7}, {0, 4}), 0.5);
+}
+
+TEST(AucTest, OutOfRangeFakeIdsAreIgnored) {
+  // Fake ids beyond the score vector cannot be compared; when they are
+  // the only fakes the result degenerates to chance.
+  EXPECT_DOUBLE_EQ(DetectionAuc({0.1, 0.9}, {17, 99}), 0.5);
+  // In-range fakes still dominate the computation.
+  EXPECT_DOUBLE_EQ(DetectionAuc({0.1, 0.9}, {1, 99}), 1.0);
+}
+
+TEST(AucTest, EmptyScoresGiveChance) {
+  EXPECT_DOUBLE_EQ(DetectionAuc({}, {0}), 0.5);
+}
+
 TEST(ColdItemAffinityTest, FlagsColdClickers) {
   data::Dataset log(4, 10);
   log.AddSequence(0, {0, 0, 0, 1});  // popular items
@@ -171,6 +199,33 @@ TEST(MitigationTest, ZeroFractionIsIdentity) {
   std::vector<double> scores = {0.5, 0.5};
   data::Dataset filtered = RemoveSuspiciousUsers(log, scores, 0.0);
   EXPECT_EQ(filtered.num_interactions(), log.num_interactions());
+}
+
+TEST(MitigationTest, FullFractionRemovesEveryoneButKeepsCapacity) {
+  data::Dataset log(3, 6);
+  log.AddSequence(0, {0, 1});
+  log.AddSequence(1, {2, 3});
+  log.AddSequence(2, {4, 5});
+  std::vector<double> scores = {0.3, 0.1, 0.2};
+  data::Dataset filtered = RemoveSuspiciousUsers(log, scores, 1.0);
+  EXPECT_EQ(filtered.num_interactions(), 0u);
+  // Capacities are preserved so the same ranker can retrain on the
+  // filtered log without re-indexing.
+  EXPECT_EQ(filtered.num_users(), 3u);
+  EXPECT_EQ(filtered.num_items(), 6u);
+}
+
+TEST(MitigationTest, TiesAtTheCutoffBreakByUserId) {
+  // Users 1 and 3 tie at the top score, but only one removal slot exists
+  // (fraction 0.25 of 4 users): the lower user id is removed.
+  data::Dataset log(4, 5);
+  for (data::UserId u = 0; u < 4; ++u) log.AddSequence(u, {0, 1});
+  std::vector<double> scores = {0.1, 0.9, 0.2, 0.9};
+  data::Dataset filtered = RemoveSuspiciousUsers(log, scores, 0.25);
+  EXPECT_EQ(filtered.Sequence(1).size(), 0u);  // removed: tie, lower id
+  EXPECT_EQ(filtered.Sequence(3).size(), 2u);  // kept
+  EXPECT_EQ(filtered.Sequence(0).size(), 2u);
+  EXPECT_EQ(filtered.Sequence(2).size(), 2u);
 }
 
 TEST(MitigationTest, DefenseRestoresBaselineOnItemPop) {

@@ -4,8 +4,10 @@
 #   tools/ci_check.sh [build-dir]
 #
 # Builds with ASan/UBSan (POISONREC_SANITIZE=address;undefined), runs
-# ctest, then runs bench_fault_resilience and bench_guardrail_overhead at
-# a tiny scale so their machine-readable JSON lands under results/.
+# ctest, then runs bench_fault_resilience, bench_guardrail_overhead, and
+# bench_defended_attack at a tiny scale so their machine-readable JSON
+# lands under results/, and finishes with a defended-campaign smoke run
+# through the CLI (adaptive defender + replacement pool end to end).
 # Override the scale knobs via the usual POISONREC_* env vars.
 set -euo pipefail
 
@@ -29,5 +31,18 @@ mkdir -p "${POISONREC_OUT}"
 
 "${BUILD_DIR}/bench/bench_fault_resilience"
 "${BUILD_DIR}/bench/bench_guardrail_overhead"
+"${BUILD_DIR}/bench/bench_defended_attack"
+
+# Defended-campaign smoke: adaptive defender in the loop, pooled attacker,
+# crash-safe checkpointing. Must finish without exhausting the pool.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+"${BUILD_DIR}/tools/poisonrec" campaign \
+  --dataset=Steam --scale="${POISONREC_SCALE}" \
+  --steps="${POISONREC_STEPS}" --samples="${POISONREC_SAMPLES}" \
+  --eval-users="${POISONREC_EVAL_USERS}" \
+  --defense --defense-interval=4 --defense-bans=1 \
+  --pool-reserve=10 --pool-min-live=2 \
+  --checkpoint="${SMOKE_DIR}/defended.ckpt" --checkpoint-every=1
 
 echo "ci_check: OK"

@@ -4,8 +4,10 @@
 //   poisonrec quality  --ranker=BPR [--data=log.csv | --dataset=Steam]
 //   poisonrec attack   --ranker=GRU4Rec --method=poisonrec --steps=25
 //   poisonrec detect   --method=popular
-//   poisonrec campaign --steps=50 --fault-failure=0.2 --fault-drop=0.1 \
+//   poisonrec campaign --steps=50 --fault-failure=0.2 --fault-drop=0.1
 //                      --checkpoint=run.ckpt --checkpoint-every=5 [--resume]
+//   poisonrec campaign --steps=50 --defense --defense-interval=32
+//                      --defense-bans=2 --pool-reserve=20 --pool-min-live=4
 //
 // Common flags: --dataset=<Steam|MovieLens|Phone|Clothing> --scale=<f>
 //   --data=<csv>  --seed=<n>  --attackers=<N>  --length=<T>
@@ -22,6 +24,21 @@
 //   --fault-seed     fault stream seed
 //   --retry-attempts max attempts per reward query (default 4)
 //   --checkpoint=<path> --checkpoint-every=<n> --resume
+//
+// Campaign adaptive-defender flags (see docs/robustness.md):
+//   --defense                run against a DefendedEnvironment: the
+//                            platform audits accumulated behavior and
+//                            permanently bans top-suspicion fake accounts
+//   --defense-interval=<n>   queries between detection sweeps (default 64)
+//   --defense-bans=<n>       accounts banned per sweep (default 2)
+//   --defense-threshold=<f>  minimum suspicion to ban (default 0)
+//   --defense-ban-prob=<f>   per-candidate ban probability (default 1)
+//   --defense-detector=<s>   ensemble|cold|entropy|fleet (default ensemble)
+//   --defense-seed=<n>       defender decision seed (default 4321)
+//   --pool-reserve=<n>       replacement attacker accounts (default 0 =
+//                            no pool; banned slots die for good)
+//   --pool-min-live=<n>      abort (kResourceExhausted) when fewer slots
+//                            survive (default 2; pool campaigns only)
 //
 // Campaign guardrail flags (see docs/robustness.md):
 //   --guard                 enable the training-stability guardrails and
@@ -47,9 +64,11 @@
 #include "attack/conslop.h"
 #include "attack/heuristics.h"
 #include "attack/poisonrec_attack.h"
+#include "core/account_pool.h"
 #include "core/poisonrec.h"
 #include "core/ppo.h"
 #include "defense/detector.h"
+#include "env/defended.h"
 #include "env/fault.h"
 #include "rec/metrics.h"
 
@@ -105,12 +124,12 @@ data::Dataset LoadOrGenerate(const Flags& flags) {
 }
 
 std::unique_ptr<env::AttackEnvironment> BuildEnvironment(
-    const Flags& flags, data::Dataset log) {
+    const Flags& flags, data::Dataset log, std::size_t extra_accounts = 0) {
   rec::FitConfig fit;
   fit.embedding_dim = flags.GetSize("dim", 16);
   fit.seed = flags.GetSize("seed", 1) ^ 0x5u;
   env::EnvironmentConfig config;
-  config.num_attackers = flags.GetSize("attackers", 20);
+  config.num_attackers = flags.GetSize("attackers", 20) + extra_accounts;
   config.trajectory_length = flags.GetSize("length", 20);
   config.num_target_items = flags.GetSize("targets", 8);
   config.max_eval_users = flags.GetSize("eval-users", 200);
@@ -205,8 +224,19 @@ int CmdDetect(const Flags& flags) {
   return 0;
 }
 
+std::unique_ptr<defense::Detector> BuildDetector(const std::string& name) {
+  if (name == "cold") return std::make_unique<defense::ColdItemAffinityDetector>();
+  if (name == "entropy") return std::make_unique<defense::ClickEntropyDetector>();
+  if (name == "fleet") return std::make_unique<defense::FleetSimilarityDetector>();
+  POISONREC_CHECK(name == "ensemble") << "unknown detector '" << name << "'";
+  return defense::MakeDefaultEnsemble();
+}
+
 int CmdCampaign(const Flags& flags) {
-  auto environment = BuildEnvironment(flags, LoadOrGenerate(flags));
+  const bool defended = flags.Get("defense", "false") == "true";
+  const std::size_t pool_reserve = flags.GetSize("pool-reserve", 0);
+  auto environment = BuildEnvironment(flags, LoadOrGenerate(flags),
+                                      defended ? pool_reserve : 0);
   std::printf("system: %s, baseline RecNum %.0f\n",
               environment->pretrained_ranker().Name().c_str(),
               environment->BaselineRecNum());
@@ -222,6 +252,24 @@ int CmdCampaign(const Flags& flags) {
   profile.seed = flags.GetSize("fault-seed", 1234);
   env::FaultyEnvironment faulty(environment.get(), profile);
 
+  std::unique_ptr<env::DefendedEnvironment> platform;
+  if (defended) {
+    env::DefenseProfile defense;
+    defense.detection_interval = flags.GetSize("defense-interval", 64);
+    defense.bans_per_sweep = flags.GetSize("defense-bans", 2);
+    defense.suspicion_threshold = flags.GetDouble("defense-threshold", 0.0);
+    defense.ban_probability = flags.GetDouble("defense-ban-prob", 1.0);
+    defense.seed = flags.GetSize("defense-seed", 4321);
+    platform = std::make_unique<env::DefendedEnvironment>(
+        &faulty, BuildDetector(flags.Get("defense-detector", "ensemble")),
+        defense);
+    std::printf("defender: %s detector, sweep every %zu queries, "
+                "%zu bans/sweep; attacker pool reserve %zu\n",
+                flags.Get("defense-detector", "ensemble").c_str(),
+                defense.detection_interval, defense.bans_per_sweep,
+                pool_reserve);
+  }
+
   const std::string checkpoint = flags.Get("checkpoint", "");
   const bool guarded = flags.Get("guard", "false") == "true";
 
@@ -234,6 +282,11 @@ int CmdCampaign(const Flags& flags) {
   config.retry.max_attempts = flags.GetSize("retry-attempts", 4);
   config.max_grad_norm =
       static_cast<float>(flags.GetDouble("max-grad-norm", 5.0));
+  if (defended && pool_reserve > 0) {
+    config.pool.enabled = true;
+    config.pool.reserve_accounts = pool_reserve;
+    config.pool.min_live_attackers = flags.GetSize("pool-min-live", 2);
+  }
   if (guarded) {
     config.guard.enabled = true;
     config.guard.grad_norm_threshold = flags.GetDouble("guard-grad-max", 100.0);
@@ -247,7 +300,11 @@ int CmdCampaign(const Flags& flags) {
   }
 
   core::PoisonRecAttacker attacker(environment.get(), config);
-  attacker.AttachFaultyEnvironment(&faulty);
+  if (platform != nullptr) {
+    attacker.AttachDefendedEnvironment(platform.get());
+  } else {
+    attacker.AttachFaultyEnvironment(&faulty);
+  }
 
   const std::size_t checkpoint_every = flags.GetSize("checkpoint-every", 5);
   if (flags.Get("resume", "false") == "true") {
@@ -271,12 +328,18 @@ int CmdCampaign(const Flags& flags) {
         attacker.TrainGuarded(total_steps, checkpoint);
     for (const core::TrainStepStats& stats : result.stats) {
       std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
-                  "grad %7.3f  ent %6.3f  kl %8.5f  %s\n",
+                  "grad %7.3f  ent %6.3f  kl %8.5f  %s",
                   stats.step, stats.mean_reward, stats.best_reward_so_far,
                   stats.loss, stats.pre_clip_grad_norm, stats.entropy,
                   stats.approx_kl,
                   stats.guard.tripped() ? stats.guard.Summary().c_str()
                                         : "clean");
+      if (defended) {
+        std::printf("  banned %zu  live %zu  pool %zu",
+                    stats.banned_accounts, stats.effective_attackers,
+                    stats.pool_remaining);
+      }
+      std::printf("\n");
     }
     std::printf("guardrails: %zu rollbacks, %zu incidents (%s)\n",
                 result.rollbacks, result.incidents,
@@ -287,16 +350,24 @@ int CmdCampaign(const Flags& flags) {
       return 1;
     }
   } else {
-    while (attacker.steps_taken() < total_steps) {
+    while (attacker.steps_taken() < total_steps &&
+           attacker.campaign_status().ok()) {
       const core::TrainStepStats stats = attacker.TrainStep();
       std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
-                  "failed %zu  retries %zu  imputed %zu\n",
+                  "failed %zu  retries %zu  imputed %zu",
                   stats.step, stats.mean_reward, stats.best_reward_so_far,
                   stats.loss, stats.failed_queries, stats.retries,
                   stats.imputed_rewards);
+      if (defended) {
+        std::printf("  banned %zu  live %zu  pool %zu",
+                    stats.banned_accounts, stats.effective_attackers,
+                    stats.pool_remaining);
+      }
+      std::printf("\n");
       if (!checkpoint.empty() &&
           (attacker.steps_taken() % checkpoint_every == 0 ||
-           attacker.steps_taken() == total_steps)) {
+           attacker.steps_taken() == total_steps ||
+           !attacker.campaign_status().ok())) {
         POISONREC_CHECK_OK(attacker.SaveCheckpoint(checkpoint));
       }
     }
@@ -312,6 +383,36 @@ int CmdCampaign(const Flags& flags) {
               fault_stats.throttled, fault_stats.dropped_clicks,
               fault_stats.banned_trajectories, fault_stats.stale_rewards,
               fault_stats.nan_rewards);
+  if (platform != nullptr) {
+    const env::DefenseStats d = platform->stats();
+    std::printf("defender: %zu queries audited, %zu sweeps, %zu bans, "
+                "%zu filtered trajectories, %zu clicks on record\n",
+                d.queries, d.sweeps, d.bans, d.filtered_trajectories,
+                d.recorded_clicks);
+    for (const env::BanEvent& ban : platform->ban_events()) {
+      std::printf("  ban @query %zu: account %zu (user %zu), "
+                  "suspicion %.4f\n",
+                  static_cast<std::size_t>(ban.query_id), ban.attacker_index,
+                  static_cast<std::size_t>(ban.user_id), ban.suspicion);
+    }
+    if (const core::AccountPool* pool = attacker.account_pool()) {
+      std::printf("pool: %zu live slots, %zu reserve remaining, "
+                  "%zu accounts retired\n",
+                  pool->live_slots(), pool->reserve_remaining(),
+                  pool->retired_accounts());
+    }
+    if (!attacker.campaign_status().ok()) {
+      std::fprintf(stderr,
+                   "campaign aborted: %s\n"
+                   "post-mortem: the defender banned attacker accounts "
+                   "faster than the pool could replace them; raise "
+                   "--pool-reserve, lower the fleet's footprint "
+                   "(shorter/more diverse trajectories), or accept a "
+                   "smaller fleet via --pool-min-live\n",
+                   attacker.campaign_status().ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
