@@ -1,0 +1,121 @@
+// End-to-end TrainStep wall-clock comparison: the full Algorithm 1 step
+// (episode rollouts -> black-box reward queries -> K PPO epochs) at
+// num_threads=1 versus num_threads=T, same seed. Because episode
+// sampling draws from per-episode (seed, step, m) streams and the GEMM
+// kernels are row-partition deterministic, the two runs must produce
+// identical reward sequences — the bench checks that while timing.
+//
+// Emits per-phase seconds (sample/query/update) for both settings and
+// the overall speedup; JSON lands in results/train_step_timing.json.
+//
+//   POISONREC_THREADS  threaded run's thread count (default 4)
+//   POISONREC_STEPS    timed steps per setting (default 25; CI uses 2)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "nn/kernels.h"
+#include "util/timer.h"
+
+namespace poisonrec::bench {
+namespace {
+
+struct RunResult {
+  double total_seconds = 0.0;
+  double sample_seconds = 0.0;
+  double query_seconds = 0.0;
+  double update_seconds = 0.0;
+  std::vector<double> mean_rewards;
+};
+
+RunResult RunCampaign(const BenchConfig& config, std::size_t num_threads) {
+  // Kernel threading and sampling/eval threading follow the same knob,
+  // mirroring what `poisonrec campaign --num-threads` does.
+  nn::SetNumThreads(num_threads);
+  auto env = MakeEnvironment(config, data::DatasetPreset::kSteam, "ItemPop");
+  core::PoisonRecConfig pr = MakePoisonRecConfig(
+      config, core::ActionSpaceKind::kBcbtPopular, config.seed);
+  pr.num_threads = num_threads;
+  pr.parallel_sampling = true;
+  pr.parallel_rewards = num_threads > 1;
+  core::PoisonRecAttacker attacker(env.get(), pr);
+
+  RunResult result;
+  for (std::size_t s = 0; s < config.training_steps; ++s) {
+    const core::TrainStepStats stats = attacker.TrainStep();
+    result.total_seconds += stats.seconds;
+    result.sample_seconds += stats.sample_seconds;
+    result.query_seconds += stats.query_seconds;
+    result.update_seconds += stats.update_seconds;
+    result.mean_rewards.push_back(stats.mean_reward);
+  }
+  nn::SetNumThreads(0);
+  return result;
+}
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback
+                      : static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+int Main() {
+  const BenchConfig config = LoadBenchConfig();
+  const std::size_t threads = EnvSize("POISONREC_THREADS", 4);
+
+  const RunResult single = RunCampaign(config, 1);
+  const RunResult threaded = RunCampaign(config, threads);
+
+  // Determinism gate: threading must not change a single reward.
+  std::size_t mismatches = 0;
+  for (std::size_t s = 0; s < single.mean_rewards.size(); ++s) {
+    if (single.mean_rewards[s] != threaded.mean_rewards[s]) ++mismatches;
+  }
+  const double speedup = threaded.total_seconds > 0.0
+                             ? single.total_seconds / threaded.total_seconds
+                             : 0.0;
+
+  PrintTableHeader({"setting", "total_s", "sample_s", "query_s", "update_s"});
+  PrintTableRow({"threads=1", Fmt(single.total_seconds),
+                 Fmt(single.sample_seconds), Fmt(single.query_seconds),
+                 Fmt(single.update_seconds)});
+  PrintTableRow({"threads=" + std::to_string(threads),
+                 Fmt(threaded.total_seconds), Fmt(threaded.sample_seconds),
+                 Fmt(threaded.query_seconds), Fmt(threaded.update_seconds)});
+  std::printf("speedup %.2fx over %zu steps, reward mismatches %zu\n", speedup,
+              config.training_steps, mismatches);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"threads", "steps", "total_s", "sample_s", "query_s",
+                  "update_s", "speedup", "reward_mismatches"});
+  rows.push_back({"1", std::to_string(config.training_steps),
+                  Fmt(single.total_seconds), Fmt(single.sample_seconds),
+                  Fmt(single.query_seconds), Fmt(single.update_seconds), "1.0",
+                  "0"});
+  rows.push_back({std::to_string(threads),
+                  std::to_string(config.training_steps),
+                  Fmt(threaded.total_seconds), Fmt(threaded.sample_seconds),
+                  Fmt(threaded.query_seconds), Fmt(threaded.update_seconds),
+                  Fmt(speedup), std::to_string(mismatches)});
+  WriteCsvOutput(config, "train_step_timing.csv", rows);
+  WriteJsonOutput(config, "train_step_timing.json", rows);
+
+  // A thread-count-dependent reward sequence is a correctness bug, not a
+  // perf regression — fail loudly.
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() { return poisonrec::bench::Main(); }

@@ -148,7 +148,7 @@ const float* Policy::NodeFeatureData(int node_id) const {
 
 // ---------------------------------------------------------------------------
 // Sampling (fast raw-data paths; the LSTM/DNN forward uses tensor ops
-// under NoGradGuard).
+// under NoGradScope).
 // ---------------------------------------------------------------------------
 
 void Policy::SampleStepPlain(const std::vector<float>& dht, std::size_t row,
@@ -210,7 +210,7 @@ void Policy::SampleStepTree(const std::vector<float>& dht, std::size_t row,
 
 std::vector<SampledTrajectory> Policy::SampleEpisode(
     std::size_t trajectory_length, Rng* rng) const {
-  nn::NoGradGuard no_grad;
+  nn::NoGradScope no_grad;
   const std::size_t n = num_attackers_;
   std::vector<SampledTrajectory> trajs(n);
   std::vector<std::size_t> attacker_ids(n);

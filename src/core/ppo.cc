@@ -32,11 +32,18 @@ namespace {
 //   defender: u8 attached; when attached u64 blob length + the
 //     DefendedEnvironment::SerializeState payload (history, bans, sweep
 //     cursor)
+//   v3 inserts the episode-sampling stream state right after
+//   steps_taken:
+//   u64 sampling stream root seed (== config.seed; episode m of step s
+//     draws from Rng(DeriveStreamSeed(root, s, m)))
 // Version history: v1 predates the account pool / defended environment
-// (PR 1-2); v1 files are rejected with kInvalidArgument rather than
-// being misparsed as v2.
+// (PR 1-2); v2 predates per-episode sampling streams — under v2
+// sampling advanced the shared RNG, so a v2 engine blob encodes a draw
+// order that no longer exists and resuming from it would not reproduce
+// an uninterrupted run. Old versions are rejected with kInvalidArgument
+// rather than being misparsed.
 constexpr std::uint32_t kCheckpointMagic = 0x5052434bu;  // "PRCK"
-constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint32_t kCheckpointVersion = 3;
 constexpr std::uint64_t kDeadSlotTag = ~0ull;
 
 void WriteU64(std::ostream& out, std::uint64_t v) {
@@ -351,15 +358,31 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   }
 
   // -- Sample M training examples -------------------------------------------
-  // Sampling is sequential (it advances the shared RNG); the black-box
-  // reward queries are independent and may run concurrently. Retry state
-  // is per-query (own jitter stream, own stats slot), so ParallelFor
-  // iterations stay independent and results match the sequential order.
+  // Episode m of step s rolls out under its own Rng stream, derived as a
+  // pure function of (seed, s, m) — the shared generator is never
+  // advanced by sampling. That makes the M rollouts order-free: they run
+  // under ParallelFor (SampleEpisode is a read-only no-grad pass over
+  // the policy) and the sampled trajectories are bit-identical for any
+  // thread count and across checkpoint/resume.
+  Timer phase_timer;
   std::vector<Episode> episodes(config_.samples_per_step);
-  for (Episode& ep : episodes) {
-    ep.trajectories =
-        policy_->SampleEpisode(env_->trajectory_length(), &rng_);
-  }
+  const std::size_t sample_threads =
+      config_.parallel_sampling ? config_.num_threads : 1;
+  const std::uint64_t step_index = stats.step;
+  ParallelFor(episodes.size(), sample_threads,
+              [this, &episodes, step_index](std::size_t m) {
+                Rng episode_rng(
+                    DeriveStreamSeed(config_.seed, step_index, m));
+                episodes[m].trajectories = policy_->SampleEpisode(
+                    env_->trajectory_length(), &episode_rng);
+              });
+  stats.sample_seconds = phase_timer.ElapsedSeconds();
+
+  // The black-box reward queries are independent and may run
+  // concurrently. Retry state is per-query (own jitter stream, own stats
+  // slot), so ParallelFor iterations stay independent and results match
+  // the sequential order.
+  phase_timer.Reset();
   std::vector<std::size_t> query_retries(episodes.size(), 0);
   // A defended platform's ban state is order-dependent: queries evaluate
   // sequentially there so the ban sequence is bit-identical across runs
@@ -401,6 +424,8 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
           episodes[m].reward_observed = false;
         }
       });
+
+  stats.query_seconds = phase_timer.ElapsedSeconds();
 
   for (std::size_t r : query_retries) stats.retries += r;
 
@@ -480,6 +505,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
     stats.seconds = timer.ElapsedSeconds();
     return stats;
   }
+  phase_timer.Reset();
   double loss_sum = 0.0;
   double entropy_sum = 0.0;
   double kl_sum = 0.0;
@@ -570,6 +596,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
     stats.entropy = entropy_sum / static_cast<double>(diag_epochs);
     stats.approx_kl = kl_sum / static_cast<double>(diag_epochs);
   }
+  stats.update_seconds = phase_timer.ElapsedSeconds();
   stats.seconds = timer.ElapsedSeconds();
   return stats;
 }
@@ -659,6 +686,10 @@ Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
     const std::uint32_t header[2] = {kCheckpointMagic, kCheckpointVersion};
     out.write(reinterpret_cast<const char*>(header), sizeof(header));
     WriteU64(out, steps_taken_);
+    // v3: the sampling stream-derivation state. Together with
+    // steps_taken this pins every future episode's Rng stream, so a
+    // resumed campaign samples exactly what the uninterrupted one would.
+    WriteU64(out, config_.seed);
 
     const std::vector<nn::Tensor> params = policy_->Parameters();
     WriteU64(out, params.size());
@@ -743,15 +774,26 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
     std::string hint;
     if (header[1] < kCheckpointVersion) {
       hint = " (version " + std::to_string(header[1]) +
-             " predates the account-pool / adaptive-defender state of v" +
+             " predates the per-episode sampling streams of v" +
              std::to_string(kCheckpointVersion) +
-             "; re-run the campaign to produce a current checkpoint)";
+             " — its RNG state encodes a draw order that no longer "
+             "exists; re-run the campaign to produce a current checkpoint)";
     }
     return Status::InvalidArgument("unsupported attacker checkpoint version " +
                                    std::to_string(header[1]) + hint);
   }
   std::uint64_t steps = 0;
   if (!ReadU64(in, &steps)) return Status::IoError("truncated checkpoint");
+  std::uint64_t stream_seed = 0;
+  if (!ReadU64(in, &stream_seed)) {
+    return Status::IoError("truncated checkpoint");
+  }
+  if (stream_seed != config_.seed) {
+    return Status::InvalidArgument(
+        "checkpoint sampling stream seed " + std::to_string(stream_seed) +
+        " does not match configured seed " + std::to_string(config_.seed) +
+        "; resuming would change every future episode's RNG stream");
+  }
 
   // Stage everything before touching live state: a truncated or
   // mismatched file must leave the attacker unchanged.

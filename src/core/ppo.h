@@ -41,9 +41,17 @@ struct PoisonRecConfig {
   /// self-healing rollback policy of TrainGuarded (util/guard.h).
   GuardConfig guard;
   /// Evaluate the M independent reward queries of each step concurrently.
-  /// Sampling stays sequential, so results are identical either way.
+  /// Results are identical either way.
   bool parallel_rewards = false;
-  /// Worker threads for parallel evaluation (0 = hardware concurrency).
+  /// Roll out the M episodes of each step concurrently. Each episode m
+  /// of step s samples from its own Rng stream derived as a pure
+  /// function of (seed, s, m) — never from the shared generator — so
+  /// results are bit-identical for every thread count and across
+  /// checkpoint/resume.
+  bool parallel_sampling = true;
+  /// Worker threads for parallel sampling/evaluation (0 = hardware
+  /// concurrency). Kernel-level GEMM threading is a separate process
+  /// knob: nn::SetNumThreads.
   std::size_t num_threads = 0;
   /// Per-query retry schedule, used when a FaultyEnvironment is attached
   /// (each of the M reward queries retries independently).
@@ -69,6 +77,13 @@ struct TrainStepStats {
   double loss = 0.0;
   /// Wall-clock seconds for the full training step.
   double seconds = 0.0;
+  /// Phase breakdown of `seconds`: episode rollouts (policy forward),
+  /// black-box reward queries (ranker clone + retrain + top-k), and the
+  /// K PPO update epochs (recompute + backward + Adam). The three do
+  /// not sum exactly to `seconds` (bookkeeping between phases).
+  double sample_seconds = 0.0;
+  double query_seconds = 0.0;
+  double update_seconds = 0.0;
   /// Fraction of sampled clicks on target items (Figure 5 statistic).
   double target_click_ratio = 0.0;
   /// Reward queries that still failed after exhausting the retry budget.

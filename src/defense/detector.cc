@@ -177,15 +177,19 @@ data::Dataset RemoveSuspiciousUsers(const data::Dataset& log,
   POISONREC_CHECK_LE(fraction, 1.0);
   std::vector<data::UserId> order(log.num_users());
   for (data::UserId u = 0; u < order.size(); ++u) order[u] = u;
-  std::sort(order.begin(), order.end(),
-            [&scores](data::UserId a, data::UserId b) {
-              if (scores[a] != scores[b]) return scores[a] > scores[b];
-              return a < b;
-            });
   const std::size_t n_remove = static_cast<std::size_t>(
       fraction * static_cast<double>(log.num_users()));
-  std::unordered_set<data::UserId> removed(order.begin(),
-                                           order.begin() + n_remove);
+  // Only membership in the top-n_remove set matters (it feeds a hash
+  // set), and the comparator is a total order (ties by user id), so
+  // nth_element selects exactly the users the old full sort did.
+  const auto mid = order.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(n_remove, order.size()));
+  std::nth_element(order.begin(), mid, order.end(),
+                   [&scores](data::UserId a, data::UserId b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  std::unordered_set<data::UserId> removed(order.begin(), mid);
   data::Dataset filtered(log.num_users(), log.num_items());
   for (data::UserId u = 0; u < log.num_users(); ++u) {
     if (removed.count(u) > 0) continue;

@@ -110,15 +110,24 @@ void DefendedEnvironment::Sweep(std::uint64_t sweep_query) {
       candidates.push_back(a);
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [this, &scores](std::size_t a, std::size_t b) {
-              const double sa = scores[base_->AttackerUserId(a)];
-              const double sb = scores[base_->AttackerUserId(b)];
-              if (sa != sb) return sa > sb;
-              return a < b;
-            });
+  // Only the bans_per_sweep most suspicious candidates matter; the
+  // comparator is a total order (ties by slot index), so partial_sort
+  // selects and orders exactly what the old full sort did — the ban
+  // sequence is unchanged.
+  const auto most_suspicious = [this, &scores](std::size_t a, std::size_t b) {
+    const double sa = scores[base_->AttackerUserId(a)];
+    const double sb = scores[base_->AttackerUserId(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
   if (candidates.size() > profile_.bans_per_sweep) {
+    const auto mid = candidates.begin() +
+                     static_cast<std::ptrdiff_t>(profile_.bans_per_sweep);
+    std::partial_sort(candidates.begin(), mid, candidates.end(),
+                      most_suspicious);
     candidates.resize(profile_.bans_per_sweep);
+  } else {
+    std::sort(candidates.begin(), candidates.end(), most_suspicious);
   }
 
   for (std::size_t a : candidates) {

@@ -1,0 +1,159 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/parallel.h"
+
+namespace poisonrec::nn {
+
+namespace {
+
+// 0 = resolve to hardware concurrency at call time.
+std::atomic<std::size_t> g_num_threads{0};
+
+// Shared-dimension block: a kBlockK×n panel of B (256 floats wide at
+// n=64) stays resident in L1/L2 while every row of the current range
+// streams through it.
+constexpr std::size_t kBlockK = 64;
+
+// Below this many multiply-accumulates a GEMM runs single-threaded; the
+// pool handoff costs more than it saves on the tiny per-step matmuls
+// (e.g. the 1×d policy step).
+constexpr std::size_t kParallelMinWork = std::size_t{1} << 15;
+
+// axpy: crow += av * brow. Elementwise — each c[j] receives exactly one
+// add per call, with no cross-element reduction — so the compiler is
+// free to vectorize at any width without changing a single bit. The
+// __restrict qualifiers license that vectorization without runtime
+// alias checks (kernel outputs never alias their inputs).
+inline void AxpyRow(float av, const float* __restrict brow,
+                    float* __restrict crow, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+}
+
+// The *Rows workers compute rows [i0, i1) of C. Each kernel's
+// accumulation order for a given output element is a pure function of
+// that element's indices (never of the row range), which is what makes
+// row-partitioned execution bit-identical to single-threaded.
+
+void GemmNNRows(std::size_t i0, std::size_t i1, std::size_t k, std::size_t n,
+                const float* a, const float* b, float* c) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k, k0 + kBlockK);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        AxpyRow(arow[kk], b + kk * n, crow, n);
+      }
+    }
+  }
+}
+
+void GemmTNRows(std::size_t i0, std::size_t i1, std::size_t m, std::size_t k,
+                std::size_t n, const float* a, const float* b, float* c) {
+  // A stored (k×m): column i of A is the strided sequence a[p*m + i].
+  for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::size_t p1 = std::min(k, p0 + kBlockK);
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      for (std::size_t p = p0; p < p1; ++p) {
+        AxpyRow(a[p * m + i], b + p * n, crow, n);
+      }
+    }
+  }
+}
+
+void GemmNTRows(std::size_t i0, std::size_t i1, std::size_t k, std::size_t n,
+                const float* a, const float* b, float* c) {
+  // B stored (n×k): C[i][j] is a contiguous dot of A row i with B row j.
+  // Four partial sums for instruction-level parallelism; the combine
+  // order is fixed, so results are identical for every row partition.
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      std::size_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        s0 += arow[kk] * brow[kk];
+        s1 += arow[kk + 1] * brow[kk + 1];
+        s2 += arow[kk + 2] * brow[kk + 2];
+        s3 += arow[kk + 3] * brow[kk + 3];
+      }
+      float tail = 0.0f;
+      for (; kk < k; ++kk) tail += arow[kk] * brow[kk];
+      crow[j] += ((s0 + s1) + (s2 + s3)) + tail;
+    }
+  }
+}
+
+// Row-partitions [0, m) across the kernel thread budget and runs
+// `rows(i0, i1)` for each block. Rows are handed out in blocks of
+// roughly m / (threads * 4) so the atomic index counter stays cold
+// while load still balances when rows have uneven cost.
+template <typename RowsFn>
+void ForEachRowBlock(std::size_t m, std::size_t k, std::size_t n,
+                     const RowsFn& rows) {
+  const std::size_t work = m * k * n;
+  if (work < kParallelMinWork) {  // skip even the thread-budget lookup
+    rows(0, m);
+    return;
+  }
+  const std::size_t threads = std::min(GetNumThreads(), m);
+  if (threads <= 1) {
+    rows(0, m);
+    return;
+  }
+  const std::size_t block =
+      std::max<std::size_t>(1, m / (threads * 4));
+  const std::size_t num_blocks = (m + block - 1) / block;
+  ParallelFor(num_blocks, threads, [&](std::size_t bi) {
+    const std::size_t i0 = bi * block;
+    rows(i0, std::min(m, i0 + block));
+  });
+}
+
+}  // namespace
+
+void SetNumThreads(std::size_t num_threads) {
+  g_num_threads.store(num_threads, std::memory_order_relaxed);
+}
+
+std::size_t GetNumThreads() {
+  const std::size_t n = g_num_threads.load(std::memory_order_relaxed);
+  if (n != 0) return n;
+  static const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return hardware;
+}
+
+namespace kernels {
+
+void GemmNN(std::size_t m, std::size_t k, std::size_t n, const float* a,
+            const float* b, float* c) {
+  ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
+    GemmNNRows(i0, i1, k, n, a, b, c);
+  });
+}
+
+void GemmTN(std::size_t m, std::size_t k, std::size_t n, const float* a,
+            const float* b, float* c) {
+  ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
+    GemmTNRows(i0, i1, m, k, n, a, b, c);
+  });
+}
+
+void GemmNT(std::size_t m, std::size_t k, std::size_t n, const float* a,
+            const float* b, float* c) {
+  ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
+    GemmNTRows(i0, i1, k, n, a, b, c);
+  });
+}
+
+}  // namespace kernels
+
+}  // namespace poisonrec::nn

@@ -42,6 +42,9 @@ class CsrMatrix {
 
 /// Dense product A (sparse, m x k) * x (dense, k x n) -> (m x n).
 /// Backward: dx += A^T * dout. A itself is constant (no gradient).
+/// This is the only place the library exploits sparsity: the dense GEMM
+/// kernels (nn/kernels.h) carry no zero-skip branches, so matrices that
+/// are actually sparse must come through here as CsrMatrix.
 Tensor SparseMatMul(const CsrMatrix& a, const Tensor& x);
 
 }  // namespace poisonrec::nn

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/kernels.h"
+
 namespace poisonrec::nn {
 
 using internal::TensorImpl;
@@ -21,7 +23,7 @@ std::shared_ptr<TensorImpl> NewNode(std::size_t rows, std::size_t cols) {
 }
 
 bool TrackGrad(std::initializer_list<const Tensor*> inputs) {
-  if (!g_grad_enabled) return false;
+  if (!GradMode::Enabled()) return false;
   for (const Tensor* t : inputs) {
     if (t->requires_grad()) return true;
   }
@@ -43,13 +45,17 @@ void Attach(const std::shared_ptr<TensorImpl>& out,
 
 }  // namespace
 
-bool GradEnabled() { return g_grad_enabled; }
+bool GradMode::Enabled() { return g_grad_enabled; }
 
-NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
-  g_grad_enabled = false;
+void GradMode::SetEnabled(bool enabled) { g_grad_enabled = enabled; }
+
+bool GradEnabled() { return GradMode::Enabled(); }
+
+NoGradGuard::NoGradGuard() : previous_(GradMode::Enabled()) {
+  GradMode::SetEnabled(false);
 }
 
-NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+NoGradGuard::~NoGradGuard() { GradMode::SetEnabled(previous_); }
 
 // ---------------------------------------------------------------------------
 // Factories
@@ -191,19 +197,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << b.ShapeString();
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   auto out = NewNode(m, n);
-  const float* ad = a.data().data();
-  const float* bd = b.data().data();
-  float* od = out->data.data();
-  // i-k-j loop order for cache-friendly access to b.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = ad[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = bd + kk * n;
-      float* orow = od + i * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmNN(m, k, n, a.data().data(), b.data().data(),
+                  out->data.data());
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
     TensorImpl* ai = a.impl().get();
@@ -211,29 +206,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     TensorImpl* oi = out.get();
     Attach(out, {&a, &b}, [ai, bi, oi, m, k, n]() {
       if (ai->requires_grad) {
-        // dA = dC * B^T
-        for (std::size_t i = 0; i < m; ++i) {
-          for (std::size_t kk = 0; kk < k; ++kk) {
-            float acc = 0.0f;
-            const float* grow = oi->grad.data() + i * n;
-            const float* brow = bi->data.data() + kk * n;
-            for (std::size_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            ai->grad[i * k + kk] += acc;
-          }
-        }
+        // dA(m×k) += dC(m×n) · Bᵀ (B stored k×n).
+        kernels::GemmNT(m, n, k, oi->grad.data(), bi->data.data(),
+                        ai->grad.data());
       }
       if (bi->requires_grad) {
-        // dB = A^T * dC
-        for (std::size_t i = 0; i < m; ++i) {
-          const float* arow = ai->data.data() + i * k;
-          const float* grow = oi->grad.data() + i * n;
-          for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            float* bgrow = bi->grad.data() + kk * n;
-            for (std::size_t j = 0; j < n; ++j) bgrow[j] += av * grow[j];
-          }
-        }
+        // dB(k×n) += Aᵀ · dC (A stored m×k).
+        kernels::GemmTN(k, m, n, ai->data.data(), oi->grad.data(),
+                        bi->grad.data());
       }
     });
   }

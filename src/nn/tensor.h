@@ -48,11 +48,26 @@ struct TensorImpl {
 
 }  // namespace internal
 
-/// True when ops should record the autograd tape (default). Toggle with
-/// NoGradGuard in inference/sampling paths to skip bookkeeping.
+/// Thread-local gradient-recording mode (the PyTorch GradMode idiom).
+/// While disabled, ops skip graph-node bookkeeping entirely: no parent
+/// edges, no backward closures, no grad buffers — outputs are plain
+/// leaves. Inference and sampling paths (Policy::SampleEpisode, the
+/// neural rankers' Score/top-k) run under a disabled scope, which also
+/// makes them safe to call concurrently on shared parameters (reads
+/// only, no tape mutation).
+class GradMode {
+ public:
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+};
+
+/// True when ops should record the autograd tape (default). Shorthand
+/// for GradMode::Enabled(); toggle with NoGradScope in inference and
+/// sampling paths to skip bookkeeping.
 bool GradEnabled();
 
-/// RAII scope that disables gradient recording.
+/// RAII scope that disables gradient recording on this thread and
+/// restores the previous mode on destruction (nests correctly).
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -63,6 +78,9 @@ class NoGradGuard {
  private:
   bool previous_;
 };
+
+/// Preferred name for the inference-mode scope.
+using NoGradScope = NoGradGuard;
 
 /// Value-semantics handle to an autograd node. Copying a Tensor aliases the
 /// underlying buffer (like a shared_ptr); use DeepCopy for a detached copy.

@@ -126,7 +126,7 @@ void AutoRec::Update(const data::Dataset& poison) {
 std::vector<double> AutoRec::Score(
     data::UserId user, const std::vector<data::ItemId>& candidates) const {
   POISONREC_CHECK(net_ != nullptr) << "Score before Fit";
-  nn::NoGradGuard no_grad;
+  nn::NoGradScope no_grad;
   nn::Tensor x = nn::Tensor::FromData(1, num_items_, UserVector(user));
   nn::Tensor recon = Reconstruct(x);
   std::vector<double> scores;

@@ -149,7 +149,7 @@ void Gru4Rec::Update(const data::Dataset& poison) {
 std::vector<double> Gru4Rec::Score(
     data::UserId user, const std::vector<data::ItemId>& candidates) const {
   POISONREC_CHECK(net_ != nullptr) << "Score before Fit";
-  nn::NoGradGuard no_grad;
+  nn::NoGradScope no_grad;
   std::vector<data::ItemId> seq;
   if (user < history_.size()) seq = history_[user];
   nn::Tensor h = Encode(seq);

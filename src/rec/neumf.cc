@@ -142,7 +142,7 @@ void NeuMf::Update(const data::Dataset& poison) {
 std::vector<double> NeuMf::Score(
     data::UserId user, const std::vector<data::ItemId>& candidates) const {
   POISONREC_CHECK(net_ != nullptr) << "Score before Fit";
-  nn::NoGradGuard no_grad;
+  nn::NoGradScope no_grad;
   std::vector<std::size_t> users(candidates.size(), user);
   std::vector<std::size_t> items(candidates.begin(), candidates.end());
   nn::Tensor logits = ForwardLogits(users, items);

@@ -100,7 +100,7 @@ nn::Tensor Ngcf::Propagate() const {
 }
 
 void Ngcf::RefreshCache() {
-  nn::NoGradGuard no_grad;
+  nn::NoGradScope no_grad;
   cached_final_ = Propagate().DeepCopy();
 }
 

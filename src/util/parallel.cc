@@ -1,12 +1,147 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace poisonrec {
+
+namespace {
+
+// True while this thread is executing inside a ParallelFor body —
+// either as a pool helper or as the submitting thread participating in
+// its own job. Nested ParallelFor calls check it and run inline: the
+// submitting thread holds the pool's submit mutex for the duration of
+// its job, so a re-entrant submission would self-deadlock.
+thread_local bool t_in_parallel_region = false;
+
+// One in-flight ParallelFor. Indices are handed out one at a time from
+// `next`; a worker exception flips `cancelled` so remaining indices are
+// abandoned, and the first exception is stashed for the submitting
+// thread to rethrow.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::size_t max_helpers = 0;  // helper threads allowed to join (caller excluded)
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;  // written once, guarded by `cancelled` CAS
+  std::size_t joined = 0;          // helpers that picked up this job (pool mutex)
+  std::size_t active = 0;          // helpers still running it (pool mutex)
+};
+
+// Lazily grown pool of parked helper threads. Only one job runs at a
+// time (`submit_mutex_`); the submitting thread publishes the job, works
+// on it itself, then waits for every helper that joined to drain.
+// Because helpers register under `mutex_` while the job pointer is still
+// published, and the submitter unpublishes it under the same mutex
+// before waiting, a helper can never touch the stack-allocated Job after
+// ParallelFor returns.
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: workers may outlive exit hooks
+    return *pool;
+  }
+
+  void Run(std::size_t count, std::size_t num_threads,
+           const std::function<void(std::size_t)>& fn) {
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    Job job;
+    job.fn = &fn;
+    job.count = count;
+    job.max_helpers = num_threads - 1;  // the caller is the Nth participant
+    EnsureHelpers(job.max_helpers);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_ = &job;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    Work(&job);  // caller participates; guarantees progress with zero helpers
+    std::unique_lock<std::mutex> lock(mutex_);
+    current_ = nullptr;  // no new helper may join from here on
+    done_cv_.wait(lock, [&job] { return job.active == 0; });
+    std::exception_ptr error = job.first_error;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+  }
+
+  std::size_t ThreadCount() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threads_.size();
+  }
+
+ private:
+  // Helpers are capped well above any sane num_threads request but low
+  // enough that a pathological caller cannot exhaust process limits.
+  static constexpr std::size_t kMaxHelpers = 64;
+
+  void EnsureHelpers(std::size_t wanted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wanted = std::min(wanted, kMaxHelpers);
+    while (threads_.size() < wanted) {
+      threads_.emplace_back([this] { HelperLoop(); });
+    }
+  }
+
+  void HelperLoop() {
+    t_in_parallel_region = true;  // helpers only ever run inside jobs
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return current_ != nullptr && epoch_ != seen_epoch;
+        });
+        seen_epoch = epoch_;
+        job = current_;
+        if (job->joined >= job->max_helpers) continue;  // job already fully staffed
+        ++job->joined;
+        ++job->active;
+      }
+      Work(job);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --job->active;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  static void Work(Job* job) {
+    for (;;) {
+      if (job->cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job->count) return;
+      try {
+        (*job->fn)(i);
+      } catch (...) {
+        bool expected = false;
+        if (job->cancelled.compare_exchange_strong(expected, true)) {
+          job->first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  }
+
+  std::mutex submit_mutex_;  // serializes whole jobs
+  std::mutex mutex_;         // guards current_/epoch_/threads_ and Job counters
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* current_ = nullptr;
+  std::uint64_t epoch_ = 0;  // bumped per job so a helper joins each job at most once
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
 
 void ParallelFor(std::size_t count, std::size_t num_threads,
                  const std::function<void(std::size_t)>& fn) {
@@ -15,37 +150,27 @@ void ParallelFor(std::size_t count, std::size_t num_threads,
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   num_threads = std::min(num_threads, count);
-  if (num_threads <= 1 || count == 1) {
+  // Nested calls run inline: the enclosing ParallelFor already owns the
+  // pool (and, on the submitting thread, its submit mutex), so the
+  // inner loop's indices just execute in order on this thread.
+  if (num_threads <= 1 || count == 1 || t_in_parallel_region) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  // A worker exception must surface on the calling thread, not terminate
-  // the process: capture the first one, stop handing out work, rethrow
-  // after the join.
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::atomic<bool> cancelled{false};
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&]() {
-      while (!cancelled.load(std::memory_order_relaxed)) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          cancelled.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-    });
+  t_in_parallel_region = true;  // the caller participates in the job
+  try {
+    ThreadPool::Global().Run(count, num_threads, fn);
+  } catch (...) {
+    t_in_parallel_region = false;
+    throw;
   }
-  for (std::thread& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+  t_in_parallel_region = false;
 }
+
+bool InParallelWorker() { return t_in_parallel_region; }
+
+namespace internal {
+std::size_t PoolThreadCount() { return ThreadPool::Global().ThreadCount(); }
+}  // namespace internal
 
 }  // namespace poisonrec

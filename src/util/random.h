@@ -94,6 +94,28 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64 finalizer: a bijective avalanche mix (Steele et al.,
+/// "Fast splittable pseudorandom number generators").
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of child stream `index` within stream family
+/// `stream` of a root `seed`, as a pure function of its arguments: no
+/// generator state is consumed, so any subset of child streams can be
+/// created in any order (or in parallel) and the result is identical.
+/// Used to give every episode rollout of a train step its own Rng —
+/// child m of step s is Rng(DeriveStreamSeed(seed, s, m)) — which makes
+/// parallel sampling deterministic and checkpoint/resume exact: the
+/// derivation state is just (seed, step).
+inline std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream,
+                                      std::uint64_t index) {
+  return SplitMix64(SplitMix64(seed ^ SplitMix64(stream)) + index);
+}
+
 /// Precomputed cumulative table for repeated Zipf draws over a fixed
 /// support size. P(rank = r) ∝ 1/(r+1)^exponent.
 class ZipfTable {

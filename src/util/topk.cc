@@ -14,8 +14,12 @@ std::vector<std::size_t> TopKIndices(const std::vector<double>& scores,
     std::sort(idx.begin(), idx.end(), better);
     return idx;
   }
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
-                    idx.end(), better);
+  // Select-then-sort: O(n + k log k) versus partial_sort's O(n log k).
+  // `better` is a total order (ties broken by index), so the selected
+  // set and its final ordering are identical to a full sort.
+  const auto mid = idx.begin() + static_cast<std::ptrdiff_t>(k);
+  std::nth_element(idx.begin(), mid, idx.end(), better);
+  std::sort(idx.begin(), mid, better);
   idx.resize(k);
   return idx;
 }

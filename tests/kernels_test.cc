@@ -1,0 +1,236 @@
+// Tests for the dense GEMM kernel layer (nn/kernels.h) and the
+// GradMode/NoGradScope inference switch: kernel-vs-reference
+// equivalence over randomized shapes, bit-identical threaded vs
+// single-threaded execution, and tape-free no-grad outputs.
+#include "nn/kernels.h"
+
+#include <cstddef>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/tensor.h"
+#include "util/random.h"
+
+namespace poisonrec::nn {
+namespace {
+
+using kernels::GemmNN;
+using kernels::GemmNT;
+using kernels::GemmTN;
+
+// Restores the process-wide kernel thread budget on scope exit so a
+// failing test cannot leak its override into later tests.
+class ThreadBudgetOverride {
+ public:
+  explicit ThreadBudgetOverride(std::size_t n) { SetNumThreads(n); }
+  ~ThreadBudgetOverride() { SetNumThreads(0); }
+};
+
+std::vector<float> RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng) {
+  std::vector<float> m(rows * cols);
+  for (float& v : m) v = static_cast<float>(rng->Uniform(-1.0, 1.0));
+  return m;
+}
+
+// Naive O(m·k·n) references, one per transpose variant. Accumulate into
+// c like the kernels do.
+void RefGemmNN(std::size_t m, std::size_t k, std::size_t n,
+               const std::vector<float>& a, const std::vector<float>& b,
+               std::vector<float>* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      (*c)[i * n + j] += static_cast<float>(acc);
+    }
+  }
+}
+
+void RefGemmTN(std::size_t m, std::size_t k, std::size_t n,
+               const std::vector<float>& a, const std::vector<float>& b,
+               std::vector<float>* c) {
+  // A stored (k×m): C[i][j] = sum_p A[p][i] * B[p][j].
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[p * m + i]) * b[p * n + j];
+      }
+      (*c)[i * n + j] += static_cast<float>(acc);
+    }
+  }
+}
+
+void RefGemmNT(std::size_t m, std::size_t k, std::size_t n,
+               const std::vector<float>& a, const std::vector<float>& b,
+               std::vector<float>* c) {
+  // B stored (n×k): C[i][j] = sum_kk A[i][kk] * B[j][kk].
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[j * k + kk];
+      }
+      (*c)[i * n + j] += static_cast<float>(acc);
+    }
+  }
+}
+
+void ExpectNear(const std::vector<float>& got, const std::vector<float>& want,
+                float tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol) << "element " << i;
+  }
+}
+
+TEST(KernelsTest, GemmNNMatchesReferenceOverRandomShapes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = rng.Index(40) + 1;
+    const std::size_t k = rng.Index(40) + 1;
+    const std::size_t n = rng.Index(40) + 1;
+    const std::vector<float> a = RandomMatrix(m, k, &rng);
+    const std::vector<float> b = RandomMatrix(k, n, &rng);
+    std::vector<float> got(m * n, 0.5f);  // nonzero: checks accumulate semantics
+    std::vector<float> want = got;
+    GemmNN(m, k, n, a.data(), b.data(), got.data());
+    RefGemmNN(m, k, n, a, b, &want);
+    ExpectNear(got, want, 1e-4f);
+  }
+}
+
+TEST(KernelsTest, GemmTNMatchesReferenceOverRandomShapes) {
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = rng.Index(40) + 1;
+    const std::size_t k = rng.Index(40) + 1;
+    const std::size_t n = rng.Index(40) + 1;
+    const std::vector<float> a = RandomMatrix(k, m, &rng);
+    const std::vector<float> b = RandomMatrix(k, n, &rng);
+    std::vector<float> got(m * n, -0.25f);
+    std::vector<float> want = got;
+    GemmTN(m, k, n, a.data(), b.data(), got.data());
+    RefGemmTN(m, k, n, a, b, &want);
+    ExpectNear(got, want, 1e-4f);
+  }
+}
+
+TEST(KernelsTest, GemmNTMatchesReferenceOverRandomShapes) {
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = rng.Index(40) + 1;
+    const std::size_t k = rng.Index(40) + 1;
+    const std::size_t n = rng.Index(40) + 1;
+    const std::vector<float> a = RandomMatrix(m, k, &rng);
+    const std::vector<float> b = RandomMatrix(n, k, &rng);
+    std::vector<float> got(m * n, 1.0f);
+    std::vector<float> want = got;
+    GemmNT(m, k, n, a.data(), b.data(), got.data());
+    RefGemmNT(m, k, n, a, b, &want);
+    ExpectNear(got, want, 1e-4f);
+  }
+}
+
+// The determinism contract: threaded kernels must be bit-identical to
+// single-threaded, not merely close. Shapes are chosen above the
+// parallel threshold (m·k·n >= 2^15) with row counts that do not divide
+// evenly into blocks.
+TEST(KernelsTest, ThreadedGemmIsBitIdenticalToSingleThreaded) {
+  Rng rng(44);
+  const std::size_t m = 97, k = 53, n = 71;
+  ASSERT_GE(m * k * n, std::size_t{1} << 15);
+  const std::vector<float> a = RandomMatrix(m, k, &rng);
+  const std::vector<float> bnn = RandomMatrix(k, n, &rng);
+  const std::vector<float> btn = RandomMatrix(k, m, &rng);  // A for TN
+  const std::vector<float> bnt = RandomMatrix(n, k, &rng);  // B for NT
+
+  std::vector<float> single_nn(m * n, 0.0f), single_tn(m * n, 0.0f),
+      single_nt(m * n, 0.0f);
+  {
+    ThreadBudgetOverride one_thread(1);
+    GemmNN(m, k, n, a.data(), bnn.data(), single_nn.data());
+    GemmTN(m, k, n, btn.data(), bnn.data(), single_tn.data());
+    GemmNT(m, k, n, a.data(), bnt.data(), single_nt.data());
+  }
+  for (std::size_t threads : {2, 4, 7}) {
+    ThreadBudgetOverride many(threads);
+    std::vector<float> got_nn(m * n, 0.0f), got_tn(m * n, 0.0f),
+        got_nt(m * n, 0.0f);
+    GemmNN(m, k, n, a.data(), bnn.data(), got_nn.data());
+    GemmTN(m, k, n, btn.data(), bnn.data(), got_tn.data());
+    GemmNT(m, k, n, a.data(), bnt.data(), got_nt.data());
+    EXPECT_EQ(got_nn, single_nn) << "GemmNN, " << threads << " threads";
+    EXPECT_EQ(got_tn, single_tn) << "GemmTN, " << threads << " threads";
+    EXPECT_EQ(got_nt, single_nt) << "GemmNT, " << threads << " threads";
+  }
+}
+
+TEST(KernelsTest, MatMulForwardAndBackwardUseKernelsCorrectly) {
+  // End-to-end through the tensor op: gradients must match the
+  // numerical gradient, which pins both backward kernel mappings
+  // (dA = dC·Bᵀ via GemmNT, dB = Aᵀ·dC via GemmTN).
+  Rng rng(55);
+  Tensor a = Tensor::Rand(4, 6, -1.0f, 1.0f, &rng, /*requires_grad=*/true);
+  Tensor b = Tensor::Rand(6, 5, -1.0f, 1.0f, &rng, /*requires_grad=*/true);
+  Tensor loss = Sum(MatMul(a, b));
+  loss.Backward();
+
+  const std::vector<float> da_num = NumericalGradient(
+      [&b](const Tensor& x) { return Sum(MatMul(x, b)).item(); }, a);
+  const std::vector<float> db_num = NumericalGradient(
+      [&a](const Tensor& x) { return Sum(MatMul(a, x)).item(); }, b);
+  for (std::size_t i = 0; i < da_num.size(); ++i) {
+    EXPECT_NEAR(a.grad()[i], da_num[i], 5e-2f) << "dA element " << i;
+  }
+  for (std::size_t i = 0; i < db_num.size(); ++i) {
+    EXPECT_NEAR(b.grad()[i], db_num[i], 5e-2f) << "dB element " << i;
+  }
+}
+
+TEST(KernelsTest, SetNumThreadsRoundTripsAndZeroMeansHardware) {
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3u);
+  SetNumThreads(0);
+  EXPECT_GE(GetNumThreads(), 1u);  // resolved, never 0
+}
+
+TEST(NoGradScopeTest, LeavesNoGraphNodes) {
+  Rng rng(66);
+  Tensor a = Tensor::Rand(3, 4, -1.0f, 1.0f, &rng, /*requires_grad=*/true);
+  Tensor b = Tensor::Rand(4, 2, -1.0f, 1.0f, &rng, /*requires_grad=*/true);
+  Tensor out;
+  {
+    NoGradScope no_grad;
+    out = Sigmoid(MatMul(a, b));
+  }
+  EXPECT_FALSE(out.requires_grad());
+  EXPECT_TRUE(out.impl()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(out.impl()->backward_fn));
+  EXPECT_TRUE(out.impl()->grad.empty());
+
+  // Outside the scope the same expression records the tape again.
+  Tensor tracked = Sigmoid(MatMul(a, b));
+  EXPECT_TRUE(tracked.requires_grad());
+  EXPECT_FALSE(tracked.impl()->parents.empty());
+}
+
+TEST(NoGradScopeTest, NestsAndRestoresCorrectly) {
+  EXPECT_TRUE(GradMode::Enabled());
+  {
+    NoGradScope outer;
+    EXPECT_FALSE(GradMode::Enabled());
+    {
+      NoGradScope inner;
+      EXPECT_FALSE(GradMode::Enabled());
+    }
+    EXPECT_FALSE(GradMode::Enabled());  // inner exit must not re-enable
+  }
+  EXPECT_TRUE(GradMode::Enabled());
+  EXPECT_TRUE(GradEnabled());  // shorthand stays in sync
+}
+
+}  // namespace
+}  // namespace poisonrec::nn

@@ -101,6 +101,39 @@ TEST(ParallelForTest, UsableAfterWorkerException) {
   EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ParallelForTest, PoolPersistsAcrossCalls) {
+  // The pool is spawn-once: helper threads stick around after a call
+  // instead of being joined, so later calls reuse them.
+  ParallelFor(64, 4, [](std::size_t) {});
+  const std::size_t after_first = internal::PoolThreadCount();
+  EXPECT_GE(after_first, 3u);  // caller + >=3 helpers for 4-way execution
+  ParallelFor(64, 4, [](std::size_t) {});
+  EXPECT_EQ(internal::PoolThreadCount(), after_first);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  std::vector<std::atomic<int>> visits(6 * 8);
+  ParallelFor(6, 3, [&visits](std::size_t outer) {
+    ParallelFor(8, 4, [&visits, outer](std::size_t inner) {
+      ++visits[outer * 8 + inner];
+    });
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, InParallelWorkerFlag) {
+  EXPECT_FALSE(InParallelWorker());
+  std::atomic<int> inside_sightings{0};
+  ParallelFor(32, 4, [&inside_sightings](std::size_t) {
+    if (InParallelWorker()) ++inside_sightings;
+  });
+  // Every index executes inside the parallel region — on a helper or on
+  // the participating caller — and the flag must reset once the region
+  // ends.
+  EXPECT_EQ(inside_sightings.load(), 32);
+  EXPECT_FALSE(InParallelWorker());
+}
+
 TEST(ParallelRewards, TrainingIsIdenticalToSequential) {
   auto make_env = []() {
     data::SyntheticConfig cfg;
@@ -139,6 +172,97 @@ TEST(ParallelRewards, TrainingIsIdenticalToSequential) {
     EXPECT_DOUBLE_EQ(a.mean_reward, b.mean_reward) << "step " << step;
     EXPECT_DOUBLE_EQ(a.loss, b.loss) << "step " << step;
   }
+}
+
+std::unique_ptr<env::AttackEnvironment> MakeSamplingEnv() {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 80;
+  cfg.num_interactions = 1000;
+  cfg.seed = 3;
+  env::EnvironmentConfig env_cfg;
+  env_cfg.num_attackers = 6;
+  env_cfg.trajectory_length = 6;
+  env_cfg.num_target_items = 3;
+  env_cfg.num_candidate_originals = 20;
+  env_cfg.seed = 11;
+  return std::make_unique<env::AttackEnvironment>(
+      data::GenerateSynthetic(cfg), rec::MakeRecommender("ItemPop").value(),
+      env_cfg);
+}
+
+void ExpectSameTrajectories(const std::vector<core::SampledTrajectory>& a,
+                            const std::vector<core::SampledTrajectory>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].attacker_index, b[t].attacker_index);
+    ASSERT_EQ(a[t].steps.size(), b[t].steps.size());
+    for (std::size_t s = 0; s < a[t].steps.size(); ++s) {
+      EXPECT_EQ(a[t].steps[s].item, b[t].steps[s].item);
+      EXPECT_EQ(a[t].steps[s].path, b[t].steps[s].path);
+      ASSERT_EQ(a[t].steps[s].old_log_probs.size(),
+                b[t].steps[s].old_log_probs.size());
+      for (std::size_t p = 0; p < a[t].steps[s].old_log_probs.size(); ++p) {
+        EXPECT_DOUBLE_EQ(a[t].steps[s].old_log_probs[p],
+                         b[t].steps[s].old_log_probs[p]);
+      }
+    }
+  }
+}
+
+// Episode sampling draws from per-episode streams derived from
+// (seed, step, m), so the sampled trajectories — and everything
+// downstream of them — are bit-identical whether the M rollouts run on
+// one thread or many, with parallel sampling on or off.
+TEST(ParallelSampling, TrainStepIsThreadCountInvariant) {
+  auto env_seq = MakeSamplingEnv();
+  auto env_par = MakeSamplingEnv();
+
+  core::PoisonRecConfig cfg;
+  cfg.samples_per_step = 6;
+  cfg.batch_size = 6;
+  cfg.update_epochs = 2;
+  cfg.policy.embedding_dim = 8;
+  cfg.seed = 5;
+
+  cfg.parallel_sampling = false;
+  cfg.num_threads = 1;
+  core::PoisonRecAttacker sequential(env_seq.get(), cfg);
+  cfg.parallel_sampling = true;
+  cfg.num_threads = 4;
+  core::PoisonRecAttacker threaded(env_par.get(), cfg);
+
+  for (int step = 0; step < 3; ++step) {
+    auto a = sequential.TrainStep();
+    auto b = threaded.TrainStep();
+    EXPECT_DOUBLE_EQ(a.mean_reward, b.mean_reward) << "step " << step;
+    EXPECT_DOUBLE_EQ(a.max_reward, b.max_reward) << "step " << step;
+    EXPECT_DOUBLE_EQ(a.min_reward, b.min_reward) << "step " << step;
+    EXPECT_DOUBLE_EQ(a.loss, b.loss) << "step " << step;
+    ExpectSameTrajectories(sequential.best_episode().trajectories,
+                           threaded.best_episode().trajectories);
+  }
+}
+
+// Per-phase timing satellite: the breakdown must be populated and not
+// (detectably) exceed the step total.
+TEST(ParallelSampling, TrainStepReportsPhaseTimings) {
+  auto env = MakeSamplingEnv();
+  core::PoisonRecConfig cfg;
+  cfg.samples_per_step = 4;
+  cfg.batch_size = 4;
+  cfg.update_epochs = 1;
+  cfg.policy.embedding_dim = 8;
+  cfg.seed = 7;
+  core::PoisonRecAttacker attacker(env.get(), cfg);
+  const core::TrainStepStats stats = attacker.TrainStep();
+  EXPECT_GE(stats.sample_seconds, 0.0);
+  EXPECT_GE(stats.query_seconds, 0.0);
+  EXPECT_GE(stats.update_seconds, 0.0);
+  EXPECT_GT(stats.sample_seconds + stats.query_seconds + stats.update_seconds,
+            0.0);
+  EXPECT_LE(stats.sample_seconds + stats.query_seconds + stats.update_seconds,
+            stats.seconds + 1e-6);
 }
 
 }  // namespace

@@ -33,6 +33,11 @@ mkdir -p "${POISONREC_OUT}"
 "${BUILD_DIR}/bench/bench_guardrail_overhead"
 "${BUILD_DIR}/bench/bench_defended_attack"
 
+# Perf smoke: quick-mode kernel microbench + the end-to-end TrainStep
+# timing comparison (which exits nonzero if threading changes a reward).
+POISONREC_REPEATS=2 "${BUILD_DIR}/bench/bench_kernels"
+"${BUILD_DIR}/bench/bench_train_step_timing"
+
 # Defended-campaign smoke: adaptive defender in the loop, pooled attacker,
 # crash-safe checkpointing. Must finish without exhausting the pool.
 SMOKE_DIR="$(mktemp -d)"

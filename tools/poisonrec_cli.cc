@@ -12,6 +12,10 @@
 // Common flags: --dataset=<Steam|MovieLens|Phone|Clothing> --scale=<f>
 //   --data=<csv>  --seed=<n>  --attackers=<N>  --length=<T>
 //   --targets=<k> --dim=<e>   --eval-users=<n>
+//   --num-threads=<n> worker threads for episode sampling, parallel
+//                     reward evaluation (--parallel), and the GEMM
+//                     kernels (0 = hardware concurrency). Results are
+//                     bit-identical for every thread count.
 //
 // Campaign fault flags (all rates in [0,1], default 0 = off):
 //   --fault-failure  transient query failure rate (kUnavailable)
@@ -70,6 +74,7 @@
 #include "defense/detector.h"
 #include "env/defended.h"
 #include "env/fault.h"
+#include "nn/kernels.h"
 #include "rec/metrics.h"
 
 namespace poisonrec::cli {
@@ -160,6 +165,7 @@ std::unique_ptr<attack::AttackMethod> BuildMethod(const Flags& flags) {
   config.batch_size = config.samples_per_step;
   config.policy.embedding_dim = flags.GetSize("dim", 16);
   config.parallel_rewards = flags.Get("parallel", "false") == "true";
+  config.num_threads = flags.GetSize("num-threads", 0);
   return std::make_unique<attack::PoisonRecAttack>(
       config, flags.GetSize("steps", 25));
 }
@@ -278,6 +284,7 @@ int CmdCampaign(const Flags& flags) {
   config.batch_size = config.samples_per_step;
   config.policy.embedding_dim = flags.GetSize("dim", 16);
   config.parallel_rewards = flags.Get("parallel", "false") == "true";
+  config.num_threads = flags.GetSize("num-threads", 0);
   config.seed = flags.GetSize("seed", 1);
   config.retry.max_attempts = flags.GetSize("retry-attempts", 4);
   config.max_grad_norm =
@@ -328,10 +335,12 @@ int CmdCampaign(const Flags& flags) {
         attacker.TrainGuarded(total_steps, checkpoint);
     for (const core::TrainStepStats& stats : result.stats) {
       std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
-                  "grad %7.3f  ent %6.3f  kl %8.5f  %s",
+                  "grad %7.3f  ent %6.3f  kl %8.5f  "
+                  "sec %5.2f (smp %4.2f qry %4.2f upd %4.2f)  %s",
                   stats.step, stats.mean_reward, stats.best_reward_so_far,
                   stats.loss, stats.pre_clip_grad_norm, stats.entropy,
-                  stats.approx_kl,
+                  stats.approx_kl, stats.seconds, stats.sample_seconds,
+                  stats.query_seconds, stats.update_seconds,
                   stats.guard.tripped() ? stats.guard.Summary().c_str()
                                         : "clean");
       if (defended) {
@@ -354,9 +363,12 @@ int CmdCampaign(const Flags& flags) {
            attacker.campaign_status().ok()) {
       const core::TrainStepStats stats = attacker.TrainStep();
       std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
+                  "sec %5.2f (smp %4.2f qry %4.2f upd %4.2f)  "
                   "failed %zu  retries %zu  imputed %zu",
                   stats.step, stats.mean_reward, stats.best_reward_so_far,
-                  stats.loss, stats.failed_queries, stats.retries,
+                  stats.loss, stats.seconds, stats.sample_seconds,
+                  stats.query_seconds, stats.update_seconds,
+                  stats.failed_queries, stats.retries,
                   stats.imputed_rewards);
       if (defended) {
         std::printf("  banned %zu  live %zu  pool %zu",
@@ -428,6 +440,9 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv);
+  // Kernel-level GEMM threading is a process-wide knob; the same flag
+  // also feeds PoisonRecConfig::num_threads for sampling/evaluation.
+  nn::SetNumThreads(flags.GetSize("num-threads", 0));
   if (command == "datagen") return CmdDatagen(flags);
   if (command == "quality") return CmdQuality(flags);
   if (command == "attack") return CmdAttack(flags);
