@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/json.h"
 #include "util/csv.h"
 #include "util/logging.h"
 
@@ -146,40 +147,6 @@ void WriteCsvOutput(const BenchConfig& config, const std::string& name,
   }
 }
 
-namespace {
-
-/// A cell is emitted as a bare JSON number only when strtod consumes it
-/// entirely and the value is finite (JSON has no NaN/Inf literals).
-bool IsJsonNumber(const std::string& cell) {
-  if (cell.empty()) return false;
-  char* end = nullptr;
-  const double value = std::strtod(cell.c_str(), &end);
-  return end == cell.c_str() + cell.size() && std::isfinite(value);
-}
-
-void AppendJsonString(const std::string& cell, std::string* out) {
-  out->push_back('"');
-  for (char c : cell) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          *out += buffer;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-}  // namespace
-
 void WriteJsonOutput(const BenchConfig& config, const std::string& name,
                      const std::vector<std::vector<std::string>>& rows) {
   const std::string path = config.out_dir + "/" + name;
@@ -190,12 +157,12 @@ void WriteJsonOutput(const BenchConfig& config, const std::string& name,
       body += "  {";
       for (std::size_t c = 0; c < keys.size() && c < rows[r].size(); ++c) {
         if (c > 0) body += ", ";
-        AppendJsonString(keys[c], &body);
+        obs::AppendJsonString(&body, keys[c]);
         body += ": ";
-        if (IsJsonNumber(rows[r][c])) {
+        if (obs::IsJsonNumberLiteral(rows[r][c])) {
           body += rows[r][c];
         } else {
-          AppendJsonString(rows[r][c], &body);
+          obs::AppendJsonString(&body, rows[r][c]);
         }
       }
       body += r + 1 < rows.size() ? "},\n" : "}\n";

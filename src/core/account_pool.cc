@@ -1,8 +1,28 @@
 #include "core/account_pool.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace poisonrec::core {
+
+namespace {
+
+/// Keeps the fleet-attrition gauges current on every pool transition so
+/// a metrics scrape mid-step still sees the fleet's true size (the
+/// per-step event stream only samples at step boundaries).
+void UpdatePoolGauges(const AccountPool& pool) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Gauge* const live = reg.GetGauge("poisonrec_pool_live_slots");
+  static obs::Gauge* const reserve =
+      reg.GetGauge("poisonrec_pool_reserve_remaining");
+  static obs::Gauge* const retired =
+      reg.GetGauge("poisonrec_pool_retired_accounts");
+  live->Set(static_cast<double>(pool.live_slots()));
+  reserve->Set(static_cast<double>(pool.reserve_remaining()));
+  retired->Set(static_cast<double>(pool.retired_accounts()));
+}
+
+}  // namespace
 
 AccountPool::AccountPool(std::size_t num_slots, std::size_t total_accounts)
     : total_accounts_(total_accounts), next_account_(num_slots) {
@@ -10,6 +30,7 @@ AccountPool::AccountPool(std::size_t num_slots, std::size_t total_accounts)
   POISONREC_CHECK_GE(total_accounts, num_slots);
   slot_account_.resize(num_slots);
   for (std::size_t s = 0; s < num_slots; ++s) slot_account_[s] = s;
+  UpdatePoolGauges(*this);
 }
 
 std::size_t AccountPool::account(std::size_t slot) const {
@@ -26,6 +47,7 @@ bool AccountPool::OnBanned(std::size_t account) {
     } else {
       slot_account_[s] = kDeadSlot;
     }
+    UpdatePoolGauges(*this);
     return true;
   }
   return false;
@@ -46,6 +68,7 @@ void AccountPool::Restore(std::vector<std::size_t> slot_accounts,
   slot_account_ = std::move(slot_accounts);
   next_account_ = next_account;
   retired_ = retired;
+  UpdatePoolGauges(*this);
 }
 
 }  // namespace poisonrec::core

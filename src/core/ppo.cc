@@ -7,10 +7,12 @@
 #include <fstream>
 #include <limits>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/stats.h"
-#include "util/timer.h"
 
 namespace poisonrec::core {
 
@@ -204,10 +206,124 @@ void PoisonRecAttacker::SyncDefenderState(TrainStepStats* stats) {
   }
 }
 
+void PoisonRecAttacker::EmitStepTelemetry(const TrainStepStats& stats) {
+  // Metric pointers are fetched once per process (the registry returns
+  // stable addresses); after that each line is a relaxed atomic op.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* const steps_total =
+      reg.GetCounter("poisonrec_ppo_steps_total");
+  static obs::Counter* const retries_total =
+      reg.GetCounter("poisonrec_ppo_retries_total");
+  static obs::Counter* const failed_total =
+      reg.GetCounter("poisonrec_ppo_failed_queries_total");
+  static obs::Counter* const imputed_total =
+      reg.GetCounter("poisonrec_ppo_imputed_rewards_total");
+  static obs::Gauge* const reward_mean =
+      reg.GetGauge("poisonrec_ppo_reward_mean");
+  static obs::Gauge* const reward_best =
+      reg.GetGauge("poisonrec_ppo_reward_best");
+  static obs::Gauge* const entropy = reg.GetGauge("poisonrec_ppo_entropy");
+  static obs::Gauge* const approx_kl = reg.GetGauge("poisonrec_ppo_approx_kl");
+  static obs::Gauge* const grad_norm = reg.GetGauge("poisonrec_ppo_grad_norm");
+  static obs::Gauge* const banned =
+      reg.GetGauge("poisonrec_defense_banned_accounts");
+  static obs::Gauge* const pool_remaining =
+      reg.GetGauge("poisonrec_pool_reserve_remaining");
+  static obs::Gauge* const effective =
+      reg.GetGauge("poisonrec_pool_effective_attackers");
+  static obs::Histogram* const reward_hist =
+      reg.GetHistogram("poisonrec_ppo_reward");
+  static obs::Histogram* const entropy_hist =
+      reg.GetHistogram("poisonrec_ppo_entropy");
+  static obs::Histogram* const grad_norm_hist =
+      reg.GetHistogram("poisonrec_ppo_grad_norm");
+  static obs::Histogram* const step_seconds =
+      reg.GetHistogram("poisonrec_ppo_step_seconds");
+  steps_total->Increment();
+  retries_total->Increment(stats.retries);
+  failed_total->Increment(stats.failed_queries);
+  imputed_total->Increment(stats.imputed_rewards);
+  reward_mean->Set(stats.mean_reward);
+  reward_best->Set(stats.best_reward_so_far);
+  entropy->Set(stats.entropy);
+  approx_kl->Set(stats.approx_kl);
+  grad_norm->Set(stats.pre_clip_grad_norm);
+  banned->Set(static_cast<double>(stats.banned_accounts));
+  pool_remaining->Set(static_cast<double>(stats.pool_remaining));
+  effective->Set(static_cast<double>(stats.effective_attackers));
+  reward_hist->Observe(stats.mean_reward);
+  entropy_hist->Observe(stats.entropy);
+  grad_norm_hist->Observe(stats.pre_clip_grad_norm);
+  step_seconds->Observe(stats.seconds);
+
+  if (event_log_ == nullptr) return;
+  {
+    obs::JsonObjectBuilder b;
+    b.Str("type", "step")
+        .Int("step", stats.step)
+        .Num("reward_mean", stats.mean_reward)
+        .Num("reward_max", stats.max_reward)
+        .Num("reward_best", stats.best_reward_so_far)
+        .Num("loss", stats.loss)
+        .Num("entropy", stats.entropy)
+        .Num("approx_kl", stats.approx_kl)
+        .Num("grad_norm", stats.pre_clip_grad_norm)
+        .Num("target_click_ratio", stats.target_click_ratio)
+        .Num("seconds", stats.seconds)
+        .Num("sample_seconds", stats.sample_seconds)
+        .Num("query_seconds", stats.query_seconds)
+        .Num("update_seconds", stats.update_seconds)
+        .Num("other_seconds", stats.other_seconds)
+        .Int("retries", stats.retries)
+        .Int("failed_queries", stats.failed_queries)
+        .Int("imputed_rewards", stats.imputed_rewards)
+        .Int("guard_trips", stats.guard.events.size())
+        .Int("banned_accounts", stats.banned_accounts)
+        .Int("pool_remaining", stats.pool_remaining)
+        .Int("effective_attackers", stats.effective_attackers);
+    event_log_->Append(std::move(b).Finish());
+  }
+  if (defended_ != nullptr) {
+    const std::vector<env::BanEvent> bans = defended_->ban_events();
+    // A TrainGuarded rollback restores the defender's state, which can
+    // shrink the ban list; follow the cursor down so the re-run's bans
+    // are streamed again rather than skipped.
+    if (bans.size() < ban_events_emitted_) ban_events_emitted_ = bans.size();
+    for (std::size_t i = ban_events_emitted_; i < bans.size(); ++i) {
+      obs::JsonObjectBuilder b;
+      b.Str("type", "ban")
+          .Int("step", stats.step)
+          .Int("query_id", bans[i].query_id)
+          .Int("attacker_index", bans[i].attacker_index)
+          .Int("user_id", bans[i].user_id)
+          .Num("suspicion", bans[i].suspicion);
+      event_log_->Append(std::move(b).Finish());
+    }
+    ban_events_emitted_ = bans.size();
+  }
+}
+
+void PoisonRecAttacker::EmitCheckpointEvent(const char* op,
+                                            const std::string& path,
+                                            bool ok) const {
+  if (event_log_ == nullptr) return;
+  obs::JsonObjectBuilder b;
+  b.Str("type", "checkpoint")
+      .Str("op", op)
+      .Str("path", path)
+      .Bool("ok", ok)
+      .Int("steps_taken", steps_taken_);
+  event_log_->Append(std::move(b).Finish());
+}
+
 void PoisonRecAttacker::RecordGuardEvent(TrainStepStats* stats,
                                          GuardEventKind kind, double value,
                                          double threshold,
                                          std::string detail) {
+  static obs::Counter* const guard_trips =
+      obs::MetricsRegistry::Global().GetCounter(
+          "poisonrec_guard_trips_total");
+  guard_trips->Increment();
   GuardEvent event{kind, value, threshold, std::move(detail)};
   incidents_.Record(stats->step, event);
   POISONREC_LOG(Warning) << "guard tripped at step " << stats->step << ": "
@@ -337,10 +453,20 @@ nn::Tensor PoisonRecAttacker::PpoLoss(
 }
 
 TrainStepStats PoisonRecAttacker::TrainStep() {
-  Timer timer;
+  // The step span encloses the three phase spans below; phase timings in
+  // `stats` are read straight off the spans, so the Chrome trace and the
+  // printed/streamed numbers are the same measurement. Whatever the
+  // phases don't cover is the step's bookkeeping, reported explicitly.
+  obs::TraceSpan step_span("ppo/step");
   TrainStepStats stats;
   stats.step = ++steps_taken_;
   const GuardConfig& guard = config_.guard;
+  const auto finish = [&step_span, this](TrainStepStats& s) {
+    s.seconds = step_span.Stop();
+    s.other_seconds = std::max(0.0, s.seconds - s.sample_seconds -
+                                        s.query_seconds - s.update_seconds);
+    EmitStepTelemetry(s);
+  };
 
   // Guard monitor: a corrupted policy samples garbage trajectories;
   // catch that before burning M reward queries on it.
@@ -352,7 +478,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
                        std::to_string(sweep.bad()) + "/" +
                            std::to_string(sweep.checked) +
                            " non-finite before sampling");
-      stats.seconds = timer.ElapsedSeconds();
+      finish(stats);
       return stats;
     }
   }
@@ -364,7 +490,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   // under ParallelFor (SampleEpisode is a read-only no-grad pass over
   // the policy) and the sampled trajectories are bit-identical for any
   // thread count and across checkpoint/resume.
-  Timer phase_timer;
+  obs::TraceSpan sample_span("ppo/sample");
   std::vector<Episode> episodes(config_.samples_per_step);
   const std::size_t sample_threads =
       config_.parallel_sampling ? config_.num_threads : 1;
@@ -376,13 +502,13 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
                 episodes[m].trajectories = policy_->SampleEpisode(
                     env_->trajectory_length(), &episode_rng);
               });
-  stats.sample_seconds = phase_timer.ElapsedSeconds();
+  stats.sample_seconds = sample_span.Stop();
 
   // The black-box reward queries are independent and may run
   // concurrently. Retry state is per-query (own jitter stream, own stats
   // slot), so ParallelFor iterations stay independent and results match
   // the sequential order.
-  phase_timer.Reset();
+  obs::TraceSpan query_span("ppo/query");
   std::vector<std::size_t> query_retries(episodes.size(), 0);
   // A defended platform's ban state is order-dependent: queries evaluate
   // sequentially there so the ban sequence is bit-identical across runs
@@ -425,7 +551,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
         }
       });
 
-  stats.query_seconds = phase_timer.ElapsedSeconds();
+  stats.query_seconds = query_span.Stop();
 
   for (std::size_t r : query_retries) stats.retries += r;
 
@@ -434,7 +560,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   if (defended_ != nullptr || pool_ != nullptr) {
     SyncDefenderState(&stats);
     if (!campaign_status_.ok()) {
-      stats.seconds = timer.ElapsedSeconds();
+      finish(stats);
       return stats;
     }
   }
@@ -453,7 +579,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
       }
     }
     if (stats.guard.tripped()) {
-      stats.seconds = timer.ElapsedSeconds();
+      finish(stats);
       return stats;
     }
   }
@@ -502,10 +628,10 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   if (reward_stats.count() < 2 ||
       (pool_ != nullptr && pool_->live_slots() == 0)) {
     stats.loss = 0.0;
-    stats.seconds = timer.ElapsedSeconds();
+    finish(stats);
     return stats;
   }
-  phase_timer.Reset();
+  obs::TraceSpan update_span("ppo/update");
   double loss_sum = 0.0;
   double entropy_sum = 0.0;
   double kl_sum = 0.0;
@@ -596,8 +722,8 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
     stats.entropy = entropy_sum / static_cast<double>(diag_epochs);
     stats.approx_kl = kl_sum / static_cast<double>(diag_epochs);
   }
-  stats.update_seconds = phase_timer.ElapsedSeconds();
-  stats.seconds = timer.ElapsedSeconds();
+  stats.update_seconds = update_span.Stop();
+  finish(stats);
   return stats;
 }
 
@@ -652,6 +778,18 @@ GuardedTrainResult PoisonRecAttacker::TrainGuarded(
     steps_taken_ = burned_step;
     ++result.rollbacks;
     ++consecutive_rollbacks;
+    static obs::Counter* const rollbacks_total =
+        obs::MetricsRegistry::Global().GetCounter(
+            "poisonrec_ppo_rollbacks_total");
+    rollbacks_total->Increment();
+    if (event_log_ != nullptr) {
+      obs::JsonObjectBuilder b;
+      b.Str("type", "rollback")
+          .Int("step", burned_step)
+          .Str("verdict", verdict)
+          .Int("consecutive", consecutive_rollbacks);
+      event_log_->Append(std::move(b).Finish());
+    }
     if (consecutive_rollbacks > config_.guard.max_rollbacks) {
       result.status = Status::FailedPrecondition(
           "guard rollback budget exhausted (" +
@@ -679,6 +817,8 @@ GuardedTrainResult PoisonRecAttacker::TrainGuarded(
 }
 
 Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
+  POISONREC_TRACE_SPAN("ppo/checkpoint_save");
+  const Status status = [&]() -> Status {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -759,9 +899,14 @@ Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
     return Status::IoError("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();
+  }();
+  EmitCheckpointEvent("save", path, status.ok());
+  return status;
 }
 
 Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
+  POISONREC_TRACE_SPAN("ppo/checkpoint_load");
+  const Status status = [&]() -> Status {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::uint32_t header[2] = {0, 0};
@@ -975,6 +1120,9 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   steps_taken_ = steps;
   best_episode_ = std::move(best);
   return Status::OK();
+  }();
+  EmitCheckpointEvent("load", path, status.ok());
+  return status;
 }
 
 }  // namespace poisonrec::core

@@ -18,6 +18,7 @@
 #include "env/environment.h"
 #include "env/fault.h"
 #include "nn/optimizer.h"
+#include "obs/event_log.h"
 #include "util/guard.h"
 #include "util/retry.h"
 #include "util/status.h"
@@ -79,11 +80,15 @@ struct TrainStepStats {
   double seconds = 0.0;
   /// Phase breakdown of `seconds`: episode rollouts (policy forward),
   /// black-box reward queries (ranker clone + retrain + top-k), and the
-  /// K PPO update epochs (recompute + backward + Adam). The three do
-  /// not sum exactly to `seconds` (bookkeeping between phases).
+  /// K PPO update epochs (recompute + backward + Adam). Each phase is
+  /// measured by its obs::TraceSpan, so the per-step trace and these
+  /// numbers are one measurement. The bookkeeping between phases
+  /// (imputation, defender sync, best-episode tracking) is accounted
+  /// explicitly as `other_seconds`; the four always sum to `seconds`.
   double sample_seconds = 0.0;
   double query_seconds = 0.0;
   double update_seconds = 0.0;
+  double other_seconds = 0.0;
   /// Fraction of sampled clicks on target items (Figure 5 statistic).
   double target_click_ratio = 0.0;
   /// Reward queries that still failed after exhausting the retry budget.
@@ -162,6 +167,18 @@ class PoisonRecAttacker {
 
   /// Incidents recorded by the stability guardrails (util/guard.h).
   const IncidentLog& incident_log() const { return incidents_; }
+
+  /// Attaches the unified campaign event stream (docs/observability.md).
+  /// Every TrainStep then appends one {"type":"step",...} record, guard
+  /// incidents mirror in as {"type":"guard",...}, defender bans as
+  /// {"type":"ban",...}, and checkpoint saves/loads and TrainGuarded
+  /// rollbacks as {"type":"checkpoint"/"rollback",...}. Not owned;
+  /// nullptr detaches. The registry metrics (poisonrec_ppo_*) are
+  /// updated regardless — they are process-global.
+  void SetEventLog(obs::EventLog* event_log) {
+    event_log_ = event_log;
+    incidents_.set_event_log(event_log);
+  }
 
   /// Highest-reward episode observed so far.
   const Episode& best_episode() const { return best_episode_; }
@@ -260,6 +277,18 @@ class PoisonRecAttacker {
   /// when fewer than pool.min_live_attackers slots survive.
   void SyncDefenderState(TrainStepStats* stats);
 
+  /// End-of-step telemetry fan-out: updates the process-global metrics
+  /// registry, appends the {"type":"step",...} record, and emits one
+  /// {"type":"ban",...} record per defender ban not yet streamed
+  /// (rollback-safe: a restored defender shrinks ban_events(), and the
+  /// emission cursor follows it down).
+  void EmitStepTelemetry(const TrainStepStats& stats);
+
+  /// Appends a {"type":"checkpoint","op":...} record (no-op when no
+  /// event log is attached).
+  void EmitCheckpointEvent(const char* op, const std::string& path,
+                           bool ok) const;
+
   const env::AttackEnvironment* env_;
   const env::FaultyEnvironment* faulty_ = nullptr;
   env::DefendedEnvironment* defended_ = nullptr;
@@ -274,6 +303,9 @@ class PoisonRecAttacker {
   Episode best_episode_;
   std::size_t steps_taken_ = 0;
   IncidentLog incidents_;
+  obs::EventLog* event_log_ = nullptr;
+  /// How many of defended_->ban_events() have been streamed already.
+  std::size_t ban_events_emitted_ = 0;
 };
 
 }  // namespace poisonrec::core

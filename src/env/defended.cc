@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace poisonrec::env {
 
 namespace {
+
+/// Process-global mirrors of the defender activity counters (the
+/// attacker-facing view lives in DefenseStats; these feed the campaign
+/// metrics snapshot without plumbing the instance around).
+struct DefenseCounters {
+  obs::Counter* queries;
+  obs::Counter* sweeps;
+  obs::Counter* bans;
+  obs::Counter* filtered_trajectories;
+  obs::Counter* recorded_clicks;
+};
+
+const DefenseCounters& Counters() {
+  static const DefenseCounters counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    DefenseCounters c;
+    c.queries = reg.GetCounter("poisonrec_defense_queries_total");
+    c.sweeps = reg.GetCounter("poisonrec_defense_sweeps_total");
+    c.bans = reg.GetCounter("poisonrec_defense_bans_total");
+    c.filtered_trajectories =
+        reg.GetCounter("poisonrec_defense_filtered_trajectories_total");
+    c.recorded_clicks =
+        reg.GetCounter("poisonrec_defense_recorded_clicks_total");
+    return c;
+  }();
+  return counters;
+}
 
 // SplitMix64 finalizer (same construction as fault.cc): decorrelates the
 // structured (seed, sweep, account) tuples driving ban-probability draws.
@@ -83,6 +111,7 @@ void DefendedEnvironment::RunDueSweeps(std::uint64_t query_id) {
 
 void DefendedEnvironment::Sweep(std::uint64_t sweep_query) {
   ++stats_.sweeps;
+  Counters().sweeps->Increment();
   if (profile_.bans_per_sweep == 0) return;
 
   // Audit log: the expanded clean log plus every *live* account's
@@ -146,6 +175,7 @@ void DefendedEnvironment::Sweep(std::uint64_t sweep_query) {
     event.suspicion = scores[event.user_id];
     events_.push_back(event);
     ++stats_.bans;
+    Counters().bans->Increment();
     POISONREC_LOG(Info) << "defender banned account " << a << " (user "
                         << event.user_id << ", suspicion " << event.suspicion
                         << ") at query " << sweep_query;
@@ -157,6 +187,7 @@ StatusOr<double> DefendedEnvironment::TryEvaluate(
     std::uint32_t attempt) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.queries;
+  Counters().queries->Increment();
   RunDueSweeps(query_id);
 
   // The platform silently drops submissions from banned accounts: their
@@ -168,6 +199,7 @@ StatusOr<double> DefendedEnvironment::TryEvaluate(
         << "trajectory for unknown account";
     if (banned_[traj.attacker_index]) {
       ++stats_.filtered_trajectories;
+      Counters().filtered_trajectories->Increment();
       continue;
     }
     delivered.push_back(traj);
@@ -185,6 +217,7 @@ StatusOr<double> DefendedEnvironment::TryEvaluate(
       std::vector<data::ItemId>& h = history_[traj.attacker_index];
       h.insert(h.end(), traj.items.begin(), traj.items.end());
       stats_.recorded_clicks += traj.items.size();
+      Counters().recorded_clicks->Increment(traj.items.size());
     }
   }
   return result;

@@ -3,12 +3,47 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace poisonrec::env {
 
 namespace {
+
+/// Process-global mirrors of the per-instance fault counters, so a
+/// metrics snapshot shows platform unreliability without having to
+/// reach into every decorator instance. Fetched once, then each bump is
+/// a relaxed sharded add alongside the member atomic's.
+struct FaultCounters {
+  obs::Counter* attempts;
+  obs::Counter* transient_failures;
+  obs::Counter* throttled;
+  obs::Counter* dropped_clicks;
+  obs::Counter* banned_trajectories;
+  obs::Counter* stale_rewards;
+  obs::Counter* nan_rewards;
+  obs::Counter* successes;
+};
+
+const FaultCounters& Counters() {
+  static const FaultCounters counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    FaultCounters c;
+    c.attempts = reg.GetCounter("poisonrec_fault_attempts_total");
+    c.transient_failures =
+        reg.GetCounter("poisonrec_fault_transient_failures_total");
+    c.throttled = reg.GetCounter("poisonrec_fault_throttled_total");
+    c.dropped_clicks = reg.GetCounter("poisonrec_fault_dropped_clicks_total");
+    c.banned_trajectories =
+        reg.GetCounter("poisonrec_fault_banned_trajectories_total");
+    c.stale_rewards = reg.GetCounter("poisonrec_fault_stale_rewards_total");
+    c.nan_rewards = reg.GetCounter("poisonrec_fault_nan_rewards_total");
+    c.successes = reg.GetCounter("poisonrec_fault_successes_total");
+    return c;
+  }();
+  return counters;
+}
 
 /// SplitMix64 finalizer: decorrelates structured (seed, id, attempt)
 /// tuples into independent-looking Rng seeds.
@@ -48,12 +83,14 @@ StatusOr<double> FaultyEnvironment::TryEvaluate(
     const std::vector<Trajectory>& trajectories, std::uint64_t query_id,
     std::uint32_t attempt) const {
   attempts_.fetch_add(1, std::memory_order_relaxed);
+  Counters().attempts->Increment();
 
   // Attempt-level fault: transient failure, independent across attempts.
   Rng attempt_rng(MixSeed(profile_.seed, query_id, attempt + 1));
   if (profile_.query_failure_rate > 0.0 &&
       attempt_rng.Bernoulli(profile_.query_failure_rate)) {
     transient_failures_.fetch_add(1, std::memory_order_relaxed);
+    Counters().transient_failures->Increment();
     return Status::Unavailable("transient query failure (query " +
                                std::to_string(query_id) + ", attempt " +
                                std::to_string(attempt) + ")");
@@ -67,6 +104,7 @@ StatusOr<double> FaultyEnvironment::TryEvaluate(
                          query_rng.Bernoulli(profile_.throttle_rate);
   if (throttled && attempt < profile_.throttle_cooldown_attempts) {
     throttled_.fetch_add(1, std::memory_order_relaxed);
+    Counters().throttled->Increment();
     return Status::ResourceExhausted(
         "throttled (query " + std::to_string(query_id) + "; cool-down " +
         std::to_string(profile_.throttle_cooldown_attempts) + " attempts)");
@@ -102,6 +140,8 @@ StatusOr<double> FaultyEnvironment::TryEvaluate(
   }
   dropped_clicks_.fetch_add(dropped, std::memory_order_relaxed);
   banned_trajectories_.fetch_add(banned, std::memory_order_relaxed);
+  Counters().dropped_clicks->Increment(dropped);
+  Counters().banned_trajectories->Increment(banned);
 
   double reward = base_->Evaluate(delivered);
 
@@ -117,6 +157,7 @@ StatusOr<double> FaultyEnvironment::TryEvaluate(
     std::lock_guard<std::mutex> lock(stale_mutex_);
     if (stale && has_last_reward_) {
       stale_rewards_.fetch_add(1, std::memory_order_relaxed);
+      Counters().stale_rewards->Increment();
       reward = last_reward_;
     } else {
       last_reward_ = reward;
@@ -132,10 +173,12 @@ StatusOr<double> FaultyEnvironment::TryEvaluate(
   if (profile_.nan_reward_rate > 0.0 &&
       query_rng.Uniform() < profile_.nan_reward_rate) {
     nan_rewards_.fetch_add(1, std::memory_order_relaxed);
+    Counters().nan_rewards->Increment();
     reward = std::numeric_limits<double>::quiet_NaN();
   }
 
   successes_.fetch_add(1, std::memory_order_relaxed);
+  Counters().successes->Increment();
   return reward;
 }
 

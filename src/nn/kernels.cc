@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace poisonrec::nn {
@@ -111,10 +113,25 @@ void ForEachRowBlock(std::size_t m, std::size_t k, std::size_t n,
   const std::size_t block =
       std::max<std::size_t>(1, m / (threads * 4));
   const std::size_t num_blocks = (m + block - 1) / block;
+  // Span only around the threaded branch: these are the regions the
+  // perf backlog (ROADMAP.md) needs to see, and the tiny single-threaded
+  // matmuls are far too frequent to trace individually.
+  POISONREC_TRACE_SPAN("gemm/threaded");
   ParallelFor(num_blocks, threads, [&](std::size_t bi) {
     const std::size_t i0 = bi * block;
     rows(i0, std::min(m, i0 + block));
   });
+}
+
+// Call/flop accounting shared by the three variants. The counters are
+// sharded (obs::Counter), so the two relaxed adds here stay off any
+// contended cache line even when every pool worker issues GEMMs.
+inline void CountGemm(obs::Counter* calls, std::size_t m, std::size_t k,
+                      std::size_t n) {
+  static obs::Counter* const flops =
+      obs::MetricsRegistry::Global().GetCounter("poisonrec_gemm_flops_total");
+  calls->Increment();
+  flops->Increment(static_cast<std::uint64_t>(2) * m * k * n);
 }
 
 }  // namespace
@@ -135,6 +152,10 @@ namespace kernels {
 
 void GemmNN(std::size_t m, std::size_t k, std::size_t n, const float* a,
             const float* b, float* c) {
+  static obs::Counter* const calls =
+      obs::MetricsRegistry::Global().GetCounter(
+          "poisonrec_gemm_nn_calls_total");
+  CountGemm(calls, m, k, n);
   ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
     GemmNNRows(i0, i1, k, n, a, b, c);
   });
@@ -142,6 +163,10 @@ void GemmNN(std::size_t m, std::size_t k, std::size_t n, const float* a,
 
 void GemmTN(std::size_t m, std::size_t k, std::size_t n, const float* a,
             const float* b, float* c) {
+  static obs::Counter* const calls =
+      obs::MetricsRegistry::Global().GetCounter(
+          "poisonrec_gemm_tn_calls_total");
+  CountGemm(calls, m, k, n);
   ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
     GemmTNRows(i0, i1, m, k, n, a, b, c);
   });
@@ -149,6 +174,10 @@ void GemmTN(std::size_t m, std::size_t k, std::size_t n, const float* a,
 
 void GemmNT(std::size_t m, std::size_t k, std::size_t n, const float* a,
             const float* b, float* c) {
+  static obs::Counter* const calls =
+      obs::MetricsRegistry::Global().GetCounter(
+          "poisonrec_gemm_nt_calls_total");
+  CountGemm(calls, m, k, n);
   ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
     GemmNTRows(i0, i1, k, n, a, b, c);
   });

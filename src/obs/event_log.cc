@@ -1,0 +1,59 @@
+#include "obs/event_log.h"
+
+namespace poisonrec::obs {
+
+bool EventLog::Open(const std::string& path, bool truncate,
+                    FlushPolicy flush) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) return false;
+  path_ = path;
+  flush_ = flush;
+  lines_written_ = 0;
+  return true;
+}
+
+bool EventLog::Append(std::string_view line) {
+  // Build the full record outside the lock; a single fwrite of the
+  // complete line (stdio writes are themselves atomic per call against
+  // other FILE* users) keeps concurrent appends from interleaving.
+  std::string record;
+  record.reserve(line.size() + 1);
+  record.append(line);
+  record.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return false;
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return false;
+  }
+  if (flush_ == FlushPolicy::kEveryLine && std::fflush(file_) != 0) {
+    return false;
+  }
+  ++lines_written_;
+  return true;
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool EventLog::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
+std::uint64_t EventLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_written_;
+}
+
+}  // namespace poisonrec::obs

@@ -1,0 +1,67 @@
+// Append-only structured event stream: one JSONL file unifying what the
+// campaign previously scattered across stdout and ad-hoc sinks — guard
+// incidents, defender BanEvents, fault/retry outcomes, checkpoint
+// save/load, and per-step TrainStepStats records.
+//
+// Contract:
+//   * One event per line; every line is a complete JSON object with at
+//     least a "type" key (docs/observability.md lists the schemas).
+//   * Append(line) is atomic with respect to concurrent Append calls:
+//     the full line plus '\n' goes out in a single fwrite under a mutex,
+//     so a reader tailing the file never sees interleaved halves.
+//   * Crash-durable by default: FlushPolicy::kEveryLine fflushes after
+//     each write, so everything up to the last completed Append survives
+//     a crash (the same guarantee util/guard's incident sink had before
+//     it migrated here). kOnClose trades that for throughput.
+//
+// The producer side builds lines with obs::JsonObjectBuilder; EventLog
+// itself does not validate JSON.
+#ifndef POISONREC_OBS_EVENT_LOG_H_
+#define POISONREC_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace poisonrec::obs {
+
+class EventLog {
+ public:
+  enum class FlushPolicy { kEveryLine, kOnClose };
+
+  EventLog() = default;
+  ~EventLog() { Close(); }
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens `path` for writing (truncating by default; pass
+  /// truncate=false to append, as the guard incident sink does).
+  /// False if the file cannot be opened; the log stays closed.
+  bool Open(const std::string& path, bool truncate = true,
+            FlushPolicy flush = FlushPolicy::kEveryLine);
+
+  /// Writes `line` plus a trailing '\n' as one atomic append. `line`
+  /// must be a complete JSON object without the newline. Returns false
+  /// (and drops the event) if the log is closed or the write fails.
+  bool Append(std::string_view line);
+
+  /// Flushes and closes. Safe to call repeatedly.
+  void Close();
+
+  bool is_open() const;
+  std::uint64_t lines_written() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  FlushPolicy flush_ = FlushPolicy::kEveryLine;
+  std::string path_;
+  std::uint64_t lines_written_ = 0;
+};
+
+}  // namespace poisonrec::obs
+
+#endif  // POISONREC_OBS_EVENT_LOG_H_

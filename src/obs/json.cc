@@ -1,0 +1,109 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace poisonrec::obs {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (std::isnan(v)) {
+    *out += "\"nan\"";
+  } else if (std::isinf(v)) {
+    *out += v > 0 ? "\"inf\"" : "\"-inf\"";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+  }
+}
+
+void AppendJsonNumber(std::string* out, std::uint64_t v) {
+  *out += std::to_string(v);
+}
+
+bool IsJsonNumberLiteral(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && std::isfinite(value);
+}
+
+void JsonObjectBuilder::Key(std::string_view key) {
+  if (!first_) out_ += ",";
+  first_ = false;
+  AppendJsonString(&out_, key);
+  out_ += ":";
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Str(std::string_view key,
+                                          std::string_view value) {
+  Key(key);
+  AppendJsonString(&out_, value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Num(std::string_view key, double value) {
+  Key(key);
+  AppendJsonNumber(&out_, value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Int(std::string_view key,
+                                          std::uint64_t value) {
+  Key(key);
+  AppendJsonNumber(&out_, value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Bool(std::string_view key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Raw(std::string_view key,
+                                          std::string_view json) {
+  Key(key);
+  out_ += json;
+  return *this;
+}
+
+std::string JsonObjectBuilder::Finish() && {
+  out_ += "}";
+  return std::move(out_);
+}
+
+}  // namespace poisonrec::obs

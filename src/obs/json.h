@@ -1,0 +1,62 @@
+// Shared JSON fragment writer for every machine-readable artifact the
+// project emits: guard incident lines (util/guard), the unified campaign
+// event stream (obs/event_log), metrics snapshots (obs/metrics), Chrome
+// trace exports (obs/trace), and the bench harness JSON outputs
+// (bench/common). One escaping/number policy everywhere means one place
+// to get it right: control characters are \u-escaped and NaN/Inf — which
+// JSON has no literals for — are emitted as the strings "nan"/"inf"/
+// "-inf" so any strict parser can read the output.
+//
+// This header is foundation-level: it depends on nothing else in the
+// project, so util/ can use it without a dependency cycle.
+#ifndef POISONREC_OBS_JSON_H_
+#define POISONREC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace poisonrec::obs {
+
+/// Appends `s` as a quoted, escaped JSON string.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Appends `v` as a JSON number with round-trip precision (%.17g).
+/// Non-finite values become the strings "nan" / "inf" / "-inf".
+void AppendJsonNumber(std::string* out, double v);
+
+/// Appends `v` as a bare JSON integer (no quoting needed).
+void AppendJsonNumber(std::string* out, std::uint64_t v);
+
+/// True when `cell` parses *entirely* as a finite number, i.e. it may be
+/// emitted as a bare JSON number rather than a quoted string. Used by
+/// emitters that serialize pre-stringified tables (bench/common).
+bool IsJsonNumberLiteral(const std::string& cell);
+
+/// Incrementally builds one JSON object — the single-line event records
+/// of obs::EventLog and the per-metric entries of the registry snapshot.
+/// Keys are appended in call order; no nesting support beyond what the
+/// caller composes via Raw().
+class JsonObjectBuilder {
+ public:
+  JsonObjectBuilder() : out_("{") {}
+
+  JsonObjectBuilder& Str(std::string_view key, std::string_view value);
+  JsonObjectBuilder& Num(std::string_view key, double value);
+  JsonObjectBuilder& Int(std::string_view key, std::uint64_t value);
+  JsonObjectBuilder& Bool(std::string_view key, bool value);
+  /// Appends `json` verbatim as the value (caller guarantees validity).
+  JsonObjectBuilder& Raw(std::string_view key, std::string_view json);
+
+  /// Closes the object and returns it. The builder is spent afterwards.
+  std::string Finish() &&;
+
+ private:
+  void Key(std::string_view key);
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace poisonrec::obs
+
+#endif  // POISONREC_OBS_JSON_H_

@@ -1,0 +1,210 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace poisonrec::obs {
+
+namespace internal {
+
+struct TraceEvent {
+  const char* name;
+  std::chrono::steady_clock::time_point begin;
+  std::chrono::steady_clock::time_point end;
+};
+
+struct ThreadTraceRing {
+  explicit ThreadTraceRing(std::uint64_t tid, std::size_t capacity)
+      : tid(tid), events(capacity) {}
+
+  const std::uint64_t tid;
+  std::vector<TraceEvent> events;
+  std::size_t next = 0;     // write cursor
+  std::size_t size = 0;     // retained events, <= events.size()
+  std::size_t dropped = 0;  // overwritten events
+};
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<std::size_t> g_ring_capacity{std::size_t{1} << 16};
+
+struct TraceRegistry {
+  std::mutex mu;
+  // unique_ptr keeps ring addresses stable across vector growth, which
+  // is what makes the thread_local raw-pointer cache safe.
+  std::vector<std::unique_ptr<internal::ThreadTraceRing>> rings;
+};
+
+TraceRegistry& Registry() {
+  static TraceRegistry* registry = new TraceRegistry();  // never freed
+  return *registry;
+}
+
+}  // namespace
+
+namespace internal {
+
+ThreadTraceRing* ThisThreadRing() {
+  thread_local ThreadTraceRing* ring = [] {
+    TraceRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    const std::uint64_t tid =
+        static_cast<std::uint64_t>(registry.rings.size()) + 1;
+    registry.rings.push_back(std::make_unique<ThreadTraceRing>(
+        tid, std::max<std::size_t>(16, g_ring_capacity.load(
+                                           std::memory_order_relaxed))));
+    return registry.rings.back().get();
+  }();
+  return ring;
+}
+
+void RecordSpan(ThreadTraceRing* ring, const char* name,
+                std::chrono::steady_clock::time_point begin,
+                std::chrono::steady_clock::time_point end) {
+  // Single-writer per ring (the owning thread); the registry mutex is
+  // only taken by readers (export/clear), which briefly lock around the
+  // whole ring list. Recording races with export are acceptable — a
+  // torn read yields at worst one garbled span in a diagnostic export —
+  // but ClearTrace() is documented as quiescent-only.
+  TraceEvent& slot = ring->events[ring->next];
+  slot.name = name;
+  slot.begin = begin;
+  slot.end = end;
+  ring->next = (ring->next + 1) % ring->events.size();
+  if (ring->size < ring->events.size()) {
+    ++ring->size;
+  } else {
+    ++ring->dropped;
+  }
+}
+
+}  // namespace internal
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceRingCapacity(std::size_t capacity) {
+  g_ring_capacity.store(std::max<std::size_t>(16, capacity),
+                        std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& ring : registry.rings) {
+    ring->next = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::size_t TraceEventCount() {
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::size_t total = 0;
+  for (const auto& ring : registry.rings) total += ring->size;
+  return total;
+}
+
+std::size_t TraceDroppedCount() {
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::size_t total = 0;
+  for (const auto& ring : registry.rings) total += ring->dropped;
+  return total;
+}
+
+std::string ChromeTraceJson() {
+  struct FlatEvent {
+    const char* name;
+    std::uint64_t tid;
+    std::int64_t ts_us;   // relative to the earliest span in the export
+    std::int64_t dur_us;
+  };
+
+  std::vector<FlatEvent> flat;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::time_point::max();
+  {
+    TraceRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& ring : registry.rings) {
+      const std::size_t capacity = ring->events.size();
+      // Oldest retained event sits at `next` once the ring has wrapped.
+      const std::size_t start =
+          ring->size == capacity ? ring->next : 0;
+      for (std::size_t i = 0; i < ring->size; ++i) {
+        const internal::TraceEvent& e =
+            ring->events[(start + i) % capacity];
+        flat.push_back(FlatEvent{e.name, ring->tid, 0, 0});
+        epoch = std::min(epoch, e.begin);
+        auto& back = flat.back();
+        back.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         e.begin.time_since_epoch())
+                         .count();
+        back.dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          e.end - e.begin)
+                          .count();
+      }
+    }
+  }
+  if (!flat.empty()) {
+    const std::int64_t epoch_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            epoch.time_since_epoch())
+            .count();
+    for (auto& e : flat) e.ts_us -= epoch_us;
+  }
+  // Chrome's complete-event ("ph":"X") nesting rule: enclosing spans
+  // must come first, so order by start ascending then duration
+  // descending (a parent starting at the same ts as its child is wider).
+  std::sort(flat.begin(), flat.end(),
+            [](const FlatEvent& a, const FlatEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              return a.tid < b.tid;
+            });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const FlatEvent& e : flat) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"ph\":\"X\",\"ts\":";
+    AppendJsonNumber(&out, static_cast<std::uint64_t>(e.ts_us));
+    out += ",\"dur\":";
+    AppendJsonNumber(&out, static_cast<std::uint64_t>(e.dur_us));
+    out += ",\"pid\":1,\"tid\":";
+    AppendJsonNumber(&out, e.tid);
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson() + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace poisonrec::obs

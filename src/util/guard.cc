@@ -1,64 +1,15 @@
 #include "util/guard.h"
 
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 
+#include "obs/json.h"
 #include "util/logging.h"
 
 namespace poisonrec {
 
-namespace {
-
-/// JSON string escaping for the detail field (quotes, backslashes,
-/// control characters).
-void AppendJsonString(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-/// JSON has no NaN/Inf literals; emit those as strings so the log stays
-/// parseable by any JSON reader.
-void AppendJsonNumber(std::string* out, double v) {
-  if (std::isnan(v)) {
-    *out += "\"nan\"";
-  } else if (std::isinf(v)) {
-    *out += v > 0 ? "\"inf\"" : "\"-inf\"";
-  } else {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    *out += buf;
-  }
-}
-
-}  // namespace
+using obs::AppendJsonNumber;
+using obs::AppendJsonString;
 
 const char* GuardEventKindName(GuardEventKind kind) {
   switch (kind) {
@@ -158,18 +109,28 @@ void IncidentLog::set_capacity(std::size_t capacity) {
   while (incidents_.size() > capacity_) incidents_.pop_front();
 }
 
+void IncidentLog::set_sink_path(std::string path) {
+  if (path != sink_path_) {
+    sink_.Close();
+    sink_warned_ = false;
+  }
+  sink_path_ = std::move(path);
+}
+
 void IncidentLog::Record(std::size_t step, const GuardEvent& event) {
   GuardIncident incident{step, event};
   if (!sink_path_.empty()) {
-    std::ofstream out(sink_path_, std::ios::app);
-    if (out) {
-      out << IncidentToJson(incident) << "\n";
-    } else if (!sink_warned_) {
+    if (!sink_.is_open() && !sink_warned_ &&
+        !sink_.Open(sink_path_, /*truncate=*/false)) {
       sink_warned_ = true;
       POISONREC_LOG(Warning) << "incident log sink " << sink_path_
                              << " is not writable; keeping incidents "
                                 "in memory only";
     }
+    if (sink_.is_open()) sink_.Append(IncidentToJson(incident));
+  }
+  if (event_log_ != nullptr) {
+    event_log_->Append(IncidentToEventJson(incident));
   }
   incidents_.push_back(std::move(incident));
   ++total_recorded_;
@@ -194,6 +155,17 @@ std::string IncidentToJson(const GuardIncident& incident) {
   AppendJsonString(&out, incident.event.detail);
   out += "}";
   return out;
+}
+
+std::string IncidentToEventJson(const GuardIncident& incident) {
+  obs::JsonObjectBuilder b;
+  b.Str("type", "guard")
+      .Int("step", incident.step)
+      .Str("kind", GuardEventKindName(incident.event.kind))
+      .Num("value", incident.event.value)
+      .Num("threshold", incident.event.threshold)
+      .Str("detail", incident.event.detail);
+  return std::move(b).Finish();
 }
 
 std::string IncidentLog::ToJsonl() const {

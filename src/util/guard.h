@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "util/status.h"
 
 namespace poisonrec {
@@ -145,8 +146,14 @@ class IncidentLog {
   explicit IncidentLog(std::size_t capacity = 256);
 
   void set_capacity(std::size_t capacity);
-  /// Empty path disables the on-disk sink.
-  void set_sink_path(std::string path) { sink_path_ = std::move(path); }
+  /// Empty path disables the on-disk sink. The sink file is opened in
+  /// append mode (via an owned obs::EventLog with per-line flush) on the
+  /// first Record after this call.
+  void set_sink_path(std::string path);
+  /// Additionally mirrors every incident into the unified campaign event
+  /// stream as a {"type":"guard",...} record. Not owned; nullptr
+  /// detaches. Independent of the dedicated sink above.
+  void set_event_log(obs::EventLog* event_log) { event_log_ = event_log; }
 
   void Record(std::size_t step, const GuardEvent& event);
 
@@ -170,11 +177,17 @@ class IncidentLog {
   std::deque<GuardIncident> incidents_;
   std::size_t total_recorded_ = 0;
   std::string sink_path_;
+  obs::EventLog sink_;  // lazily opened at sink_path_ (append mode)
   bool sink_warned_ = false;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 /// Serializes one incident as a single JSON line (no trailing newline).
 std::string IncidentToJson(const GuardIncident& incident);
+
+/// Same incident as a unified-event-stream record: identical fields plus
+/// a leading "type":"guard" discriminator.
+std::string IncidentToEventJson(const GuardIncident& incident);
 
 }  // namespace poisonrec
 

@@ -4,10 +4,13 @@
 #   tools/ci_check.sh [build-dir]
 #
 # Builds with ASan/UBSan (POISONREC_SANITIZE=address;undefined), runs
-# ctest, then runs bench_fault_resilience, bench_guardrail_overhead, and
+# ctest, then runs bench_fault_resilience, bench_guardrail_overhead,
+# bench_obs_overhead (gates telemetry cost at <3%/step), and
 # bench_defended_attack at a tiny scale so their machine-readable JSON
-# lands under results/, and finishes with a defended-campaign smoke run
-# through the CLI (adaptive defender + replacement pool end to end).
+# lands under results/, runs a defended-campaign smoke through the CLI
+# (adaptive defender + replacement pool end to end), and finishes with a
+# fully instrumented campaign whose telemetry artifacts (--metrics-out /
+# --trace-out / --events-out) are checked by tools/validate_telemetry.py.
 # Override the scale knobs via the usual POISONREC_* env vars.
 set -euo pipefail
 
@@ -31,6 +34,7 @@ mkdir -p "${POISONREC_OUT}"
 
 "${BUILD_DIR}/bench/bench_fault_resilience"
 "${BUILD_DIR}/bench/bench_guardrail_overhead"
+"${BUILD_DIR}/bench/bench_obs_overhead"
 "${BUILD_DIR}/bench/bench_defended_attack"
 
 # Perf smoke: quick-mode kernel microbench + the end-to-end TrainStep
@@ -49,5 +53,28 @@ trap 'rm -rf "${SMOKE_DIR}"' EXIT
   --defense --defense-interval=4 --defense-bans=1 \
   --pool-reserve=10 --pool-min-live=2 \
   --checkpoint="${SMOKE_DIR}/defended.ckpt" --checkpoint-every=1
+
+# Telemetry smoke: instrumented campaign with enough adversity that every
+# pillar lights up — a moderate NaN-reward rate trips the guard on some
+# steps (guard + rollback events) while leaving most steps to run their
+# PPO update (ppo/update spans), and the defender's sweeps ban attacker
+# accounts (ban events). The run is seeded, so the validated artifact
+# contents are reproducible.
+"${BUILD_DIR}/tools/poisonrec" campaign \
+  --dataset=Steam --scale="${POISONREC_SCALE}" \
+  --steps=10 --samples="${POISONREC_SAMPLES}" \
+  --eval-users="${POISONREC_EVAL_USERS}" \
+  --fault-nan=0.08 --guard --guard-rollbacks=50 \
+  --checkpoint="${SMOKE_DIR}/telemetry.ckpt" \
+  --defense --defense-interval=2 --defense-bans=1 \
+  --pool-reserve=10 --pool-min-live=2 \
+  --metrics-out="${SMOKE_DIR}/metrics.json" \
+  --trace-out="${SMOKE_DIR}/trace.json" \
+  --events-out="${SMOKE_DIR}/events.jsonl"
+python3 tools/validate_telemetry.py \
+  --metrics "${SMOKE_DIR}/metrics.json" \
+  --trace "${SMOKE_DIR}/trace.json" \
+  --events "${SMOKE_DIR}/events.jsonl" \
+  --require-event-types step,guard,ban,checkpoint,campaign_begin,campaign_end
 
 echo "ci_check: OK"

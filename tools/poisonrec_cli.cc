@@ -55,6 +55,15 @@
 //   --guard-log=<path>      incident JSONL sink (default
 //                           <checkpoint>.incidents.jsonl)
 //   --max-grad-norm=<f>     gradient clip (default 5; 0 disables)
+//
+// Campaign telemetry flags (see docs/observability.md):
+//   --metrics-out=<path>    write a metrics-registry JSON snapshot at the
+//                           end of the run
+//   --trace-out=<path>      enable trace spans and write Chrome
+//                           trace_event JSON at the end of the run (open
+//                           in chrome://tracing or ui.perfetto.dev)
+//   --events-out=<path>     stream the unified JSONL event log (step,
+//                           guard, ban, rollback, checkpoint events)
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -75,6 +84,10 @@
 #include "env/defended.h"
 #include "env/fault.h"
 #include "nn/kernels.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rec/metrics.h"
 
 namespace poisonrec::cli {
@@ -238,8 +251,74 @@ std::unique_ptr<defense::Detector> BuildDetector(const std::string& name) {
   return defense::MakeDefaultEnsemble();
 }
 
+/// End-of-campaign telemetry fan-out: summary table on stdout plus the
+/// optional snapshot files. Called on every CmdCampaign exit path so an
+/// aborted campaign still leaves its telemetry behind (that is exactly
+/// when the post-mortem needs it).
+void FinalizeTelemetry(const std::string& metrics_out,
+                       const std::string& trace_out,
+                       const std::string& events_out,
+                       obs::EventLog* event_log) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static const char* const kSummaryCounters[] = {
+      "poisonrec_ppo_steps_total",
+      "poisonrec_ppo_retries_total",
+      "poisonrec_ppo_failed_queries_total",
+      "poisonrec_ppo_imputed_rewards_total",
+      "poisonrec_ppo_rollbacks_total",
+      "poisonrec_guard_trips_total",
+      "poisonrec_defense_sweeps_total",
+      "poisonrec_defense_bans_total",
+      "poisonrec_fault_transient_failures_total",
+      "poisonrec_fault_throttled_total",
+      "poisonrec_gemm_nn_calls_total",
+      "poisonrec_gemm_tn_calls_total",
+      "poisonrec_gemm_nt_calls_total",
+      "poisonrec_gemm_flops_total",
+  };
+  std::printf("telemetry summary\n");
+  std::printf("  %-44s %16s\n", "metric", "value");
+  for (const char* name : kSummaryCounters) {
+    std::printf("  %-44s %16llu\n", name,
+                static_cast<unsigned long long>(
+                    reg.GetCounter(name)->Value()));
+  }
+  if (!metrics_out.empty()) {
+    if (reg.WriteJson(metrics_out)) {
+      std::printf("  metrics snapshot -> %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics snapshot %s\n",
+                   metrics_out.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    if (obs::WriteChromeTrace(trace_out)) {
+      std::printf("  chrome trace (%zu spans, %zu dropped) -> %s\n",
+                  obs::TraceEventCount(), obs::TraceDroppedCount(),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_out.c_str());
+    }
+  }
+  if (event_log != nullptr && event_log->is_open()) {
+    std::printf("  event stream (%llu lines) -> %s\n",
+                static_cast<unsigned long long>(event_log->lines_written()),
+                events_out.c_str());
+    event_log->Close();
+  }
+}
+
 int CmdCampaign(const Flags& flags) {
   const bool defended = flags.Get("defense", "false") == "true";
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string events_out = flags.Get("events-out", "");
+  if (!trace_out.empty()) obs::SetTracingEnabled(true);
+  obs::EventLog event_log;
+  if (!events_out.empty()) {
+    POISONREC_CHECK(event_log.Open(events_out))
+        << "cannot open --events-out=" << events_out;
+  }
   const std::size_t pool_reserve = flags.GetSize("pool-reserve", 0);
   auto environment = BuildEnvironment(flags, LoadOrGenerate(flags),
                                       defended ? pool_reserve : 0);
@@ -312,6 +391,17 @@ int CmdCampaign(const Flags& flags) {
   } else {
     attacker.AttachFaultyEnvironment(&faulty);
   }
+  if (event_log.is_open()) {
+    attacker.SetEventLog(&event_log);
+    obs::JsonObjectBuilder b;
+    b.Str("type", "campaign_begin")
+        .Int("steps", flags.GetSize("steps", 25))
+        .Int("samples_per_step", config.samples_per_step)
+        .Int("seed", config.seed)
+        .Bool("defense", defended)
+        .Bool("guard", guarded);
+    event_log.Append(std::move(b).Finish());
+  }
 
   const std::size_t checkpoint_every = flags.GetSize("checkpoint-every", 5);
   if (flags.Get("resume", "false") == "true") {
@@ -327,6 +417,18 @@ int CmdCampaign(const Flags& flags) {
     }
   }
 
+  const auto finalize = [&](const char* outcome) {
+    if (event_log.is_open()) {
+      obs::JsonObjectBuilder b;
+      b.Str("type", "campaign_end")
+          .Str("outcome", outcome)
+          .Num("best_reward", attacker.best_episode().reward)
+          .Int("steps_taken", attacker.steps_taken());
+      event_log.Append(std::move(b).Finish());
+    }
+    FinalizeTelemetry(metrics_out, trace_out, events_out, &event_log);
+  };
+
   const std::size_t total_steps = flags.GetSize("steps", 25);
   if (guarded) {
     POISONREC_CHECK(!checkpoint.empty())
@@ -336,11 +438,12 @@ int CmdCampaign(const Flags& flags) {
     for (const core::TrainStepStats& stats : result.stats) {
       std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
                   "grad %7.3f  ent %6.3f  kl %8.5f  "
-                  "sec %5.2f (smp %4.2f qry %4.2f upd %4.2f)  %s",
+                  "sec %5.2f (smp %4.2f qry %4.2f upd %4.2f oth %4.2f)  %s",
                   stats.step, stats.mean_reward, stats.best_reward_so_far,
                   stats.loss, stats.pre_clip_grad_norm, stats.entropy,
                   stats.approx_kl, stats.seconds, stats.sample_seconds,
                   stats.query_seconds, stats.update_seconds,
+                  stats.other_seconds,
                   stats.guard.tripped() ? stats.guard.Summary().c_str()
                                         : "clean");
       if (defended) {
@@ -356,6 +459,7 @@ int CmdCampaign(const Flags& flags) {
     if (!result.status.ok()) {
       std::fprintf(stderr, "campaign aborted: %s\n",
                    result.status.ToString().c_str());
+      finalize("aborted");
       return 1;
     }
   } else {
@@ -363,12 +467,12 @@ int CmdCampaign(const Flags& flags) {
            attacker.campaign_status().ok()) {
       const core::TrainStepStats stats = attacker.TrainStep();
       std::printf("step %3zu  mean %7.1f  best %7.1f  loss %8.4f  "
-                  "sec %5.2f (smp %4.2f qry %4.2f upd %4.2f)  "
+                  "sec %5.2f (smp %4.2f qry %4.2f upd %4.2f oth %4.2f)  "
                   "failed %zu  retries %zu  imputed %zu",
                   stats.step, stats.mean_reward, stats.best_reward_so_far,
                   stats.loss, stats.seconds, stats.sample_seconds,
                   stats.query_seconds, stats.update_seconds,
-                  stats.failed_queries, stats.retries,
+                  stats.other_seconds, stats.failed_queries, stats.retries,
                   stats.imputed_rewards);
       if (defended) {
         std::printf("  banned %zu  live %zu  pool %zu",
@@ -422,9 +526,11 @@ int CmdCampaign(const Flags& flags) {
                    "(shorter/more diverse trajectories), or accept a "
                    "smaller fleet via --pool-min-live\n",
                    attacker.campaign_status().ToString().c_str());
+      finalize("aborted");
       return 1;
     }
   }
+  finalize("ok");
   return 0;
 }
 

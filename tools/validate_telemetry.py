@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validate the three telemetry artifacts a campaign run emits.
+
+Usage:
+  tools/validate_telemetry.py --metrics m.json --trace t.json --events e.jsonl \
+      [--require-event-types step,guard,ban] [--require-spans ppo/sample,...]
+
+Checks (any failure exits 1 with a message naming the file and reason):
+  * metrics JSON: top-level {"counters","gauges","histograms"}; counters are
+    non-negative integers; histograms carry count/sum/min/max and bucket
+    entries with ge < lt; the required PPO series are present.
+  * trace JSON: Chrome trace_event format — {"traceEvents":[...]}, every
+    event a complete ("ph":"X") event with name/ts/dur/pid/tid; required
+    span names present.
+  * events JSONL: every line parses as a JSON object with a "type" key;
+    required event types present; "step" events carry the stats schema.
+
+Used by tools/ci_check.sh after the instrumented campaign smoke run; also
+handy interactively after any --metrics-out/--trace-out/--events-out run.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+# Metric series the PPO loop always exports (docs/observability.md).
+REQUIRED_COUNTERS = [
+    "poisonrec_ppo_steps_total",
+    "poisonrec_ppo_retries_total",
+    "poisonrec_ppo_failed_queries_total",
+]
+REQUIRED_GAUGES = [
+    "poisonrec_ppo_reward_mean",
+    "poisonrec_ppo_reward_best",
+    "poisonrec_ppo_entropy",
+    "poisonrec_ppo_grad_norm",
+    "poisonrec_defense_banned_accounts",
+]
+REQUIRED_HISTOGRAMS = [
+    "poisonrec_ppo_reward",
+    "poisonrec_ppo_entropy",
+    "poisonrec_ppo_grad_norm",
+    "poisonrec_ppo_step_seconds",
+]
+
+# Keys every {"type":"step"} event record carries (core/ppo.cc).
+STEP_EVENT_KEYS = [
+    "step", "reward_mean", "reward_max", "reward_best", "loss", "entropy",
+    "approx_kl", "grad_norm", "seconds", "sample_seconds", "query_seconds",
+    "update_seconds", "other_seconds", "retries", "failed_queries",
+]
+
+
+def check_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing object section {section!r}")
+            return
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} is not a non-negative int: {value!r}")
+    for name in REQUIRED_COUNTERS:
+        if name not in doc["counters"]:
+            fail(f"{path}: required counter {name!r} missing")
+    for name in REQUIRED_GAUGES:
+        if name not in doc["gauges"]:
+            fail(f"{path}: required gauge {name!r} missing")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in doc["histograms"]:
+            fail(f"{path}: required histogram {name!r} missing")
+    for name, hist in doc["histograms"].items():
+        for key in ("count", "sum", "min", "max", "buckets"):
+            if key not in hist:
+                fail(f"{path}: histogram {name!r} missing {key!r}")
+                break
+        else:
+            total = 0
+            for bucket in hist["buckets"]:
+                ge, lt = bucket.get("ge"), bucket.get("lt")
+                if not (isinstance(ge, (int, float)) and
+                        (lt == "inf" or isinstance(lt, (int, float)))):
+                    fail(f"{path}: histogram {name!r} has malformed bucket "
+                         f"{bucket!r}")
+                elif lt != "inf" and not ge < lt:
+                    fail(f"{path}: histogram {name!r} bucket bounds not "
+                         f"ordered: {bucket!r}")
+                total += bucket.get("count", 0)
+            if total != hist["count"]:
+                fail(f"{path}: histogram {name!r} bucket counts sum to "
+                     f"{total}, expected count={hist['count']}")
+    print(f"{path}: {len(doc['counters'])} counters, {len(doc['gauges'])} "
+          f"gauges, {len(doc['histograms'])} histograms")
+
+
+def check_trace(path, require_spans):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing traceEvents array")
+        return
+    names = collections.Counter()
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event #{i} missing {key!r}: {e!r}")
+                return
+        if e["ph"] != "X":
+            fail(f"{path}: event #{i} is not a complete event: ph={e['ph']!r}")
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail(f"{path}: event #{i} has negative ts/dur: {e!r}")
+        names[e["name"]] += 1
+    for span in require_spans:
+        if names[span] == 0:
+            fail(f"{path}: required span {span!r} absent "
+                 f"(have: {sorted(names)})")
+    print(f"{path}: {len(events)} spans across "
+          f"{len(set(e['tid'] for e in events))} thread(s): "
+          f"{dict(sorted(names.items()))}")
+
+
+def check_events(path, require_types):
+    types = collections.Counter()
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: not readable: {e}")
+        return
+    if not lines:
+        fail(f"{path}: empty event stream")
+        return
+    for lineno, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: unparseable line: {e}")
+            continue
+        if not isinstance(record, dict) or "type" not in record:
+            fail(f"{path}:{lineno}: record has no 'type' key")
+            continue
+        types[record["type"]] += 1
+        if record["type"] == "step":
+            missing = [k for k in STEP_EVENT_KEYS if k not in record]
+            if missing:
+                fail(f"{path}:{lineno}: step event missing keys {missing}")
+    for t in require_types:
+        if types[t] == 0:
+            fail(f"{path}: required event type {t!r} absent "
+                 f"(have: {dict(sorted(types.items()))})")
+    print(f"{path}: {len(lines)} events: {dict(sorted(types.items()))}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="metrics snapshot JSON (m.json)")
+    parser.add_argument("--trace", help="Chrome trace JSON (t.json)")
+    parser.add_argument("--events", help="structured event JSONL (e.jsonl)")
+    parser.add_argument("--require-event-types", default="step",
+                        help="comma-separated event types that must appear")
+    parser.add_argument("--require-spans",
+                        default="ppo/step,ppo/sample,ppo/query,ppo/update",
+                        help="comma-separated span names that must appear")
+    args = parser.parse_args()
+    if not (args.metrics or args.trace or args.events):
+        parser.error("nothing to validate: pass --metrics/--trace/--events")
+
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.trace:
+        spans = [s for s in args.require_spans.split(",") if s]
+        check_trace(args.trace, spans)
+    if args.events:
+        types = [t for t in args.require_event_types.split(",") if t]
+        check_events(args.events, types)
+
+    if FAILURES:
+        print(f"validate_telemetry: {len(FAILURES)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("validate_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
