@@ -1,0 +1,131 @@
+// Fleet orchestration harness: runs the same campaign sweep under the
+// supervised orchestrator at increasing worker counts and reports
+// wall-clock scaling plus the orchestration overhead (journal +
+// supervision + per-step durable checkpoints) relative to the summed
+// campaign runtimes. Also asserts the orchestrator's core determinism
+// property: per-step committed rewards are bit-identical at every
+// concurrency level.
+//
+// Output: results/fleet_scaling.{csv,json} with one row per worker
+// count.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "orch/fleet.h"
+#include "orch/spec.h"
+
+namespace poisonrec::bench {
+namespace {
+
+orch::FleetPlan MakePlan(const BenchConfig& config) {
+  orch::FleetPlan plan;
+  plan.name = "bench-fleet";
+  const std::vector<std::string> presets = {"clean", "clean", "flaky",
+                                            "flaky"};
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    orch::CampaignSpec spec;
+    spec.id = "campaign" + std::to_string(i) + "-" + presets[i];
+    spec.fault_preset = presets[i];
+    spec.fault = *orch::FaultPresetProfile(presets[i]);
+    spec.fault.seed = 1234 + i;
+    spec.steps = config.training_steps;
+    spec.samples_per_step = config.samples_per_step;
+    spec.attackers = config.num_attackers;
+    spec.trajectory_length = config.trajectory_length;
+    spec.num_target_items = config.num_target_items;
+    spec.embedding_dim = config.embedding_dim;
+    spec.max_eval_users = config.max_eval_users;
+    spec.seed = config.seed + i * 101;
+    plan.campaigns.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+int Run() {
+  const BenchConfig config = LoadBenchConfig();
+  const data::Dataset log = MakeDataset(config, data::DatasetPreset::kSteam);
+  const orch::FleetPlan plan = MakePlan(config);
+  std::printf("fleet scaling: %zu campaigns x %zu steps, dataset scale "
+              "%.2f\n",
+              plan.campaigns.size(), config.training_steps, config.scale);
+
+  const std::string work_dir =
+      (std::filesystem::temp_directory_path() / "poisonrec_bench_fleet")
+          .string();
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"workers", "wall_seconds", "campaign_seconds_sum",
+                  "overhead_ratio", "speedup", "done", "identical"});
+  PrintTableHeader(
+      {"workers", "wall s", "sum s", "overhead", "speedup", "identical"});
+
+  double serial_wall = 0.0;
+  std::map<std::string, std::map<std::uint64_t, double>> reference;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    std::filesystem::remove_all(work_dir);
+    orch::FleetOptions options;
+    options.journal_path = work_dir + "/journal.jsonl";
+    options.checkpoint_dir = work_dir + "/ckpts";
+    options.report_json_path.clear();
+    options.report_csv_path.clear();
+    options.max_concurrent = workers;
+    orch::FleetOrchestrator orchestrator(plan, &log, options);
+    const orch::FleetResult result = orchestrator.Run();
+    if (result.ExitCode() != 0) {
+      std::fprintf(stderr, "fleet run failed at %zu workers: %s\n", workers,
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    double campaign_sum = 0.0;
+    bool identical = true;
+    for (const orch::CampaignOutcome& outcome : result.outcomes) {
+      campaign_sum += outcome.wall_seconds;
+      if (workers == 1) {
+        reference[outcome.id] = outcome.step_rewards;
+      } else if (reference[outcome.id] != outcome.step_rewards) {
+        identical = false;
+      }
+    }
+    if (workers == 1) serial_wall = result.wall_seconds;
+    const double overhead =
+        campaign_sum > 0.0 ? result.wall_seconds * workers / campaign_sum
+                           : 0.0;
+    const double speedup =
+        result.wall_seconds > 0.0 ? serial_wall / result.wall_seconds : 0.0;
+    const auto seconds = [](double v) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+      return std::string(buffer);
+    };
+    PrintTableRow({std::to_string(workers), seconds(result.wall_seconds),
+                   seconds(campaign_sum), seconds(overhead),
+                   seconds(speedup), identical ? "yes" : "NO"});
+    rows.push_back({std::to_string(workers),
+                    std::to_string(result.wall_seconds),
+                    std::to_string(campaign_sum), std::to_string(overhead),
+                    std::to_string(speedup), std::to_string(result.done),
+                    identical ? "1" : "0"});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "fleet run at %zu workers produced different step "
+                   "rewards than the serial run\n",
+                   workers);
+      return 1;
+    }
+  }
+  std::filesystem::remove_all(work_dir);
+  WriteCsvOutput(config, "fleet_scaling.csv", rows);
+  WriteJsonOutput(config, "fleet_scaling.json", rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace poisonrec::bench
+
+int main() { return poisonrec::bench::Run(); }

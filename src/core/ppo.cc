@@ -10,6 +10,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fsio.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -461,11 +462,15 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   TrainStepStats stats;
   stats.step = ++steps_taken_;
   const GuardConfig& guard = config_.guard;
+  // Liveness beacon for stall watchdogs: once at step entry and again
+  // after each phase, so a supervisor can tell "long step" from "stuck".
+  if (heartbeat_) heartbeat_();
   const auto finish = [&step_span, this](TrainStepStats& s) {
     s.seconds = step_span.Stop();
     s.other_seconds = std::max(0.0, s.seconds - s.sample_seconds -
                                         s.query_seconds - s.update_seconds);
     EmitStepTelemetry(s);
+    if (heartbeat_) heartbeat_();
   };
 
   // Guard monitor: a corrupted policy samples garbage trajectories;
@@ -503,6 +508,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
                     env_->trajectory_length(), &episode_rng);
               });
   stats.sample_seconds = sample_span.Stop();
+  if (heartbeat_) heartbeat_();
 
   // The black-box reward queries are independent and may run
   // concurrently. Retry state is per-query (own jitter stream, own stats
@@ -541,7 +547,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
                          : faulty_->TryEvaluate(trajs, query_id, a);
             },
             /*jitter_seed=*/query_id ^ config_.seed, &retry_stats,
-            retry_sleep_);
+            retry_sleep_, cancel_);
         query_retries[m] = retry_stats.retries;
         if (result.ok()) {
           episodes[m].reward = *result;
@@ -552,6 +558,7 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
       });
 
   stats.query_seconds = query_span.Stop();
+  if (heartbeat_) heartbeat_();
 
   for (std::size_t r : query_retries) stats.retries += r;
 
@@ -731,6 +738,7 @@ std::vector<TrainStepStats> PoisonRecAttacker::Train(std::size_t steps) {
   std::vector<TrainStepStats> all;
   all.reserve(steps);
   for (std::size_t s = 0; s < steps && campaign_status_.ok(); ++s) {
+    if (InterruptRequested()) break;
     all.push_back(TrainStep());
   }
   return all;
@@ -750,6 +758,14 @@ GuardedTrainResult PoisonRecAttacker::TrainGuarded(
   const std::size_t target = steps_taken_ + steps;
   std::size_t consecutive_rollbacks = 0;
   while (steps_taken_ < target) {
+    // Soft stop (graceful fleet shutdown) and hard cancel both interrupt
+    // at the step boundary; the previous step is already checkpointed,
+    // so a restart resumes exactly here.
+    if (InterruptRequested()) {
+      result.status = Status::Cancelled("campaign interrupted at step " +
+                                        std::to_string(steps_taken_));
+      break;
+    }
     TrainStepStats stats = TrainStep();
     const bool tripped = stats.guard.tripped();
     const std::string verdict = stats.guard.Summary();
@@ -760,10 +776,25 @@ GuardedTrainResult PoisonRecAttacker::TrainGuarded(
       result.status = campaign_status_;
       break;
     }
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      // Hard cancel mid-step: in-flight reward queries were interrupted
+      // (kCancelled → imputed rewards), so this step's update is not
+      // trustworthy. Do NOT checkpoint it — the on-disk state stays at
+      // the last clean boundary and a restart replays the step with
+      // fresh, deterministic queries.
+      result.status = Status::Cancelled(
+          "campaign aborted mid-step " + std::to_string(steps_taken_) +
+          "; step discarded, checkpoint remains at step " +
+          std::to_string(steps_taken_ - 1));
+      break;
+    }
     if (!tripped) {
       consecutive_rollbacks = 0;
       result.status = SaveCheckpoint(checkpoint_path);
       if (!result.status.ok()) break;
+      // The step is durable from this point on; only now may the fleet
+      // journal (or any other observer) claim it as committed progress.
+      if (step_committed_) step_committed_(result.stats.back());
       continue;
     }
 
@@ -890,14 +921,26 @@ Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
     }
     if (!out) return Status::IoError("write failed for " + tmp);
   }
-  // Atomic publish: a crash before this point leaves any previous
+  // Durable atomic publish: fsync the payload before the rename (so the
+  // published name can never refer to unwritten data after a power
+  // loss), rename, then fsync the parent directory (so the rename
+  // itself survives). A crash before the rename leaves any previous
   // checkpoint at `path` untouched.
+  {
+    const Status synced = FsyncFile(tmp);
+    if (!synced.ok()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return synced;
+    }
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
     return Status::IoError("cannot rename " + tmp + " to " + path);
   }
+  POISONREC_RETURN_NOT_OK(FsyncParentDirectory(path));
   return Status::OK();
   }();
   EmitCheckpointEvent("save", path, status.ok());
@@ -911,7 +954,13 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   if (!in) return Status::IoError("cannot open " + path);
   std::uint32_t header[2] = {0, 0};
   in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in || header[0] != kCheckpointMagic) {
+  if (!in) {
+    // Zero-length or short file: the writer (or the filesystem, after a
+    // crash without the fsync path) lost the payload.
+    return Status::DataLoss(path + " is truncated: shorter than the " +
+                            "checkpoint header");
+  }
+  if (header[0] != kCheckpointMagic) {
     return Status::InvalidArgument(path +
                                    " is not a PoisonRec attacker checkpoint");
   }
@@ -928,10 +977,10 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
                                    std::to_string(header[1]) + hint);
   }
   std::uint64_t steps = 0;
-  if (!ReadU64(in, &steps)) return Status::IoError("truncated checkpoint");
+  if (!ReadU64(in, &steps)) return Status::DataLoss("truncated checkpoint");
   std::uint64_t stream_seed = 0;
   if (!ReadU64(in, &stream_seed)) {
-    return Status::IoError("truncated checkpoint");
+    return Status::DataLoss("truncated checkpoint");
   }
   if (stream_seed != config_.seed) {
     return Status::InvalidArgument(
@@ -944,7 +993,7 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   // mismatched file must leave the attacker unchanged.
   std::vector<nn::Tensor> params = policy_->Parameters();
   std::uint64_t count = 0;
-  if (!ReadU64(in, &count)) return Status::IoError("truncated checkpoint");
+  if (!ReadU64(in, &count)) return Status::DataLoss("truncated checkpoint");
   if (count != params.size()) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(count) + " tensors, policy has " +
@@ -955,7 +1004,7 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
     std::uint64_t rows = 0;
     std::uint64_t cols = 0;
     if (!ReadU64(in, &rows) || !ReadU64(in, &cols)) {
-      return Status::IoError("truncated checkpoint");
+      return Status::DataLoss("truncated checkpoint");
     }
     if (rows != params[i].rows() || cols != params[i].cols()) {
       return Status::InvalidArgument(
@@ -965,44 +1014,44 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
     }
     staged_params[i].resize(params[i].size());
     if (!ReadFloats(in, &staged_params[i])) {
-      return Status::IoError("truncated checkpoint payload");
+      return Status::DataLoss("truncated checkpoint payload");
     }
   }
 
   std::uint64_t adam_steps = 0;
-  if (!ReadU64(in, &adam_steps)) return Status::IoError("truncated checkpoint");
+  if (!ReadU64(in, &adam_steps)) return Status::DataLoss("truncated checkpoint");
   std::vector<std::vector<float>> m(params.size());
   std::vector<std::vector<float>> v(params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     m[i].resize(params[i].size());
-    if (!ReadFloats(in, &m[i])) return Status::IoError("truncated checkpoint");
+    if (!ReadFloats(in, &m[i])) return Status::DataLoss("truncated checkpoint");
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
     v[i].resize(params[i].size());
-    if (!ReadFloats(in, &v[i])) return Status::IoError("truncated checkpoint");
+    if (!ReadFloats(in, &v[i])) return Status::DataLoss("truncated checkpoint");
   }
 
   std::uint64_t rng_len = 0;
-  if (!ReadU64(in, &rng_len)) return Status::IoError("truncated checkpoint");
+  if (!ReadU64(in, &rng_len)) return Status::DataLoss("truncated checkpoint");
   std::string rng_state(rng_len, '\0');
   in.read(rng_state.data(), static_cast<std::streamsize>(rng_len));
-  if (!in) return Status::IoError("truncated checkpoint");
+  if (!in) return Status::DataLoss("truncated checkpoint");
 
   Episode best;
   std::uint64_t n_traj = 0;
-  if (!ReadF64(in, &best.reward)) return Status::IoError("truncated checkpoint");
+  if (!ReadF64(in, &best.reward)) return Status::DataLoss("truncated checkpoint");
   const int observed = in.get();
   if (observed == std::ifstream::traits_type::eof()) {
-    return Status::IoError("truncated checkpoint");
+    return Status::DataLoss("truncated checkpoint");
   }
   best.reward_observed = observed != 0;
-  if (!ReadU64(in, &n_traj)) return Status::IoError("truncated checkpoint");
+  if (!ReadU64(in, &n_traj)) return Status::DataLoss("truncated checkpoint");
   best.trajectories.resize(n_traj);
   for (SampledTrajectory& traj : best.trajectories) {
     std::uint64_t attacker = 0;
     std::uint64_t n_steps = 0;
     if (!ReadU64(in, &attacker) || !ReadU64(in, &n_steps)) {
-      return Status::IoError("truncated checkpoint");
+      return Status::DataLoss("truncated checkpoint");
     }
     traj.attacker_index = attacker;
     traj.steps.resize(n_steps);
@@ -1010,7 +1059,7 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
       std::uint64_t item = 0;
       std::uint64_t path_len = 0;
       if (!ReadU64(in, &item) || !ReadU64(in, &path_len)) {
-        return Status::IoError("truncated checkpoint");
+        return Status::DataLoss("truncated checkpoint");
       }
       step.item = item;
       step.path.resize(path_len);
@@ -1020,14 +1069,14 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
         node = n32;
       }
       std::uint64_t lp_len = 0;
-      if (!ReadU64(in, &lp_len)) return Status::IoError("truncated checkpoint");
+      if (!ReadU64(in, &lp_len)) return Status::DataLoss("truncated checkpoint");
       step.old_log_probs.resize(lp_len);
       for (double& lp : step.old_log_probs) {
-        if (!ReadF64(in, &lp)) return Status::IoError("truncated checkpoint");
+        if (!ReadF64(in, &lp)) return Status::DataLoss("truncated checkpoint");
       }
     }
   }
-  if (!in) return Status::IoError("truncated checkpoint");
+  if (!in) return Status::DataLoss("truncated checkpoint");
 
   // v2 sections: account pool and defender state. Presence must match
   // this attacker's configuration — a pooled checkpoint cannot restore
@@ -1035,7 +1084,7 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   // campaign semantics.
   const int pool_flag = in.get();
   if (pool_flag == std::ifstream::traits_type::eof()) {
-    return Status::IoError("truncated checkpoint");
+    return Status::DataLoss("truncated checkpoint");
   }
   if ((pool_flag != 0) != (pool_ != nullptr)) {
     return Status::InvalidArgument(
@@ -1053,7 +1102,7 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
     std::uint64_t total = 0;
     if (!ReadU64(in, &slots) || !ReadU64(in, &total) ||
         !ReadU64(in, &pool_next) || !ReadU64(in, &pool_retired)) {
-      return Status::IoError("truncated checkpoint");
+      return Status::DataLoss("truncated checkpoint");
     }
     if (slots != pool_->num_slots() || total != pool_->total_accounts()) {
       return Status::InvalidArgument(
@@ -1070,7 +1119,7 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
     staged_slots.resize(slots);
     for (std::size_t& a : staged_slots) {
       std::uint64_t v = 0;
-      if (!ReadU64(in, &v)) return Status::IoError("truncated checkpoint");
+      if (!ReadU64(in, &v)) return Status::DataLoss("truncated checkpoint");
       if (v != kDeadSlotTag && v >= total) {
         return Status::InvalidArgument("corrupt pool state: slot maps to "
                                        "account " + std::to_string(v));
@@ -1081,7 +1130,7 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   }
   const int defender_flag = in.get();
   if (defender_flag == std::ifstream::traits_type::eof()) {
-    return Status::IoError("truncated checkpoint");
+    return Status::DataLoss("truncated checkpoint");
   }
   if ((defender_flag != 0) != (defended_ != nullptr)) {
     return Status::InvalidArgument(
@@ -1094,10 +1143,10 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   std::string defender_blob;
   if (defender_flag != 0) {
     std::uint64_t blob_len = 0;
-    if (!ReadU64(in, &blob_len)) return Status::IoError("truncated checkpoint");
+    if (!ReadU64(in, &blob_len)) return Status::DataLoss("truncated checkpoint");
     defender_blob.resize(blob_len);
     in.read(defender_blob.data(), static_cast<std::streamsize>(blob_len));
-    if (!in) return Status::IoError("truncated checkpoint");
+    if (!in) return Status::DataLoss("truncated checkpoint");
   }
 
   // Commit: everything parsed cleanly. Fallible commits run first (the

@@ -6,7 +6,9 @@
 #ifndef POISONREC_CORE_PPO_H_
 #define POISONREC_CORE_PPO_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "env/fault.h"
 #include "nn/optimizer.h"
 #include "obs/event_log.h"
+#include "util/cancel.h"
 #include "util/guard.h"
 #include "util/retry.h"
 #include "util/status.h"
@@ -168,6 +171,48 @@ class PoisonRecAttacker {
   /// Incidents recorded by the stability guardrails (util/guard.h).
   const IncidentLog& incident_log() const { return incidents_; }
 
+  // -- Supervision hooks (src/orch) -----------------------------------------
+  // A campaign supervisor wires these before Train/TrainGuarded so a
+  // fleet watchdog can observe and interrupt the campaign from another
+  // thread. All hooks are optional; nullptr/empty detaches.
+
+  /// Hard-abort token. Polled at every step boundary and passed into the
+  /// per-query retry loops, so a campaign parked in a fault-blackout
+  /// backoff sleep unblocks the moment the token fires. TrainGuarded
+  /// returns kCancelled and does NOT checkpoint the interrupted step —
+  /// the on-disk checkpoint stays at the last clean boundary, which is
+  /// exactly what a restart resumes from. Not owned.
+  void SetCancelToken(const CancelToken* cancel) { cancel_ = cancel; }
+
+  /// Soft-stop flag (graceful fleet shutdown). Checked only between
+  /// steps: the in-flight step completes and — under TrainGuarded — is
+  /// checkpointed before the loop returns kCancelled. Not owned.
+  void SetStopFlag(const std::atomic<bool>* stop) { stop_flag_ = stop; }
+
+  /// Liveness beacon for stall watchdogs: invoked at the start of every
+  /// step and after each phase (sample, query, update). Must be cheap
+  /// and thread-safe against concurrent readers of whatever it updates.
+  void SetHeartbeat(std::function<void()> heartbeat) {
+    heartbeat_ = std::move(heartbeat);
+  }
+
+  /// Invoked by TrainGuarded after a clean step has been checkpointed —
+  /// i.e. once the step is durable and will not be rolled back. The
+  /// fleet journal records step progress from exactly this point, so a
+  /// journal record never claims progress the checkpoint doesn't have.
+  void SetStepCommittedCallback(
+      std::function<void(const TrainStepStats&)> callback) {
+    step_committed_ = std::move(callback);
+  }
+
+  /// True when a supervisor has requested interruption (soft stop flag
+  /// or hard cancel token).
+  bool InterruptRequested() const {
+    return (stop_flag_ != nullptr &&
+            stop_flag_->load(std::memory_order_acquire)) ||
+           (cancel_ != nullptr && cancel_->cancelled());
+  }
+
   /// Attaches the unified campaign event stream (docs/observability.md).
   /// Every TrainStep then appends one {"type":"step",...} record, guard
   /// incidents mirror in as {"type":"guard",...}, defender bans as
@@ -303,6 +348,10 @@ class PoisonRecAttacker {
   Episode best_episode_;
   std::size_t steps_taken_ = 0;
   IncidentLog incidents_;
+  const CancelToken* cancel_ = nullptr;
+  const std::atomic<bool>* stop_flag_ = nullptr;
+  std::function<void()> heartbeat_;
+  std::function<void(const TrainStepStats&)> step_committed_;
   obs::EventLog* event_log_ = nullptr;
   /// How many of defended_->ban_events() have been streamed already.
   std::size_t ban_events_emitted_ = 0;

@@ -1,0 +1,337 @@
+#include "orch/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace poisonrec::orch {
+
+namespace {
+
+/// Serializes one campaign outcome as a JSON object for the report.
+std::string OutcomeJson(const CampaignOutcome& outcome) {
+  std::string rewards = "[";
+  bool first = true;
+  for (const auto& [step, reward] : outcome.step_rewards) {
+    if (!first) rewards += ",";
+    first = false;
+    rewards += "[";
+    obs::AppendJsonNumber(&rewards, step);
+    rewards += ",";
+    obs::AppendJsonNumber(&rewards, reward);
+    rewards += "]";
+  }
+  rewards += "]";
+  obs::JsonObjectBuilder b;
+  b.Str("id", outcome.id)
+      .Str("state", CampaignStateName(outcome.state))
+      .Int("steps_completed", outcome.steps_completed)
+      .Int("restarts", outcome.restarts)
+      .Int("rollbacks", outcome.rollbacks)
+      .Num("best_reward", outcome.best_reward)
+      .Num("wall_seconds", outcome.wall_seconds)
+      .Bool("interrupted", outcome.interrupted)
+      .Bool("recovered", outcome.recovered_from_journal)
+      .Str("detail", outcome.detail)
+      .Raw("step_rewards", rewards);
+  return std::move(b).Finish();
+}
+
+std::string FormatDouble(double v) {
+  std::string out;
+  obs::AppendJsonNumber(&out, v);
+  return out;
+}
+
+/// CSV cells are comma-split without quoting (util/csv), so free-text
+/// details must not introduce field breaks.
+std::string CsvSafe(std::string text) {
+  std::replace(text.begin(), text.end(), ',', ';');
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  return text;
+}
+
+}  // namespace
+
+int FleetResult::ExitCode() const {
+  if (!status.ok()) return 1;
+  if (quarantined + failed + interrupted > 0) return 2;
+  return 0;
+}
+
+FleetOrchestrator::FleetOrchestrator(FleetPlan plan,
+                                     const data::Dataset* dataset,
+                                     FleetOptions options)
+    : plan_(std::move(plan)),
+      dataset_(dataset),
+      options_(std::move(options)) {
+  POISONREC_CHECK(dataset_ != nullptr);
+}
+
+Status FleetOrchestrator::WriteJsonReport(const FleetResult& result) const {
+  std::string campaigns = "[";
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    if (i > 0) campaigns += ",";
+    campaigns += OutcomeJson(result.outcomes[i]);
+  }
+  campaigns += "]";
+  obs::JsonObjectBuilder summary;
+  summary.Int("campaigns", result.outcomes.size())
+      .Int("done", result.done)
+      .Int("quarantined", result.quarantined)
+      .Int("failed", result.failed)
+      .Int("interrupted", result.interrupted)
+      .Int("recovered", result.recovered)
+      .Num("wall_seconds", result.wall_seconds)
+      .Int("exit_code", static_cast<std::uint64_t>(result.ExitCode()));
+  obs::JsonObjectBuilder report;
+  report.Str("type", "fleet_report")
+      .Str("plan", result.plan_name)
+      .Str("dataset", plan_.dataset)
+      .Raw("summary", std::move(summary).Finish())
+      .Raw("campaigns", campaigns);
+  std::ofstream out(options_.report_json_path,
+                    std::ios::out | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open fleet report " +
+                           options_.report_json_path);
+  }
+  out << std::move(report).Finish() << "\n";
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing fleet report " +
+                           options_.report_json_path);
+  }
+  return Status::OK();
+}
+
+Status FleetOrchestrator::WriteCsvReport(const FleetResult& result) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"campaign_id", "state", "steps_completed", "restarts",
+                  "rollbacks", "best_reward", "wall_seconds", "interrupted",
+                  "recovered", "detail"});
+  for (const CampaignOutcome& outcome : result.outcomes) {
+    rows.push_back({CsvSafe(outcome.id), CampaignStateName(outcome.state),
+                    std::to_string(outcome.steps_completed),
+                    std::to_string(outcome.restarts),
+                    std::to_string(outcome.rollbacks),
+                    FormatDouble(outcome.best_reward),
+                    FormatDouble(outcome.wall_seconds),
+                    outcome.interrupted ? "1" : "0",
+                    outcome.recovered_from_journal ? "1" : "0",
+                    CsvSafe(outcome.detail)});
+  }
+  return WriteCsv(options_.report_csv_path, rows);
+}
+
+FleetResult FleetOrchestrator::Run() {
+  FleetResult result;
+  result.plan_name = plan_.name;
+  const std::uint64_t start_ticks = internal::NowTicks();
+
+  result.status = ValidatePlan(plan_);
+  if (!result.status.ok()) return result;
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.checkpoint_dir, ec);
+  if (ec) {
+    result.status = Status::IoError("cannot create checkpoint directory " +
+                                    options_.checkpoint_dir + ": " +
+                                    ec.message());
+    return result;
+  }
+  const std::filesystem::path journal_dir =
+      std::filesystem::path(options_.journal_path).parent_path();
+  if (!journal_dir.empty()) {
+    std::filesystem::create_directories(journal_dir, ec);
+  }
+
+  // --resume replays the journal before reopening it in append mode, so
+  // the recovery history and the new run share one file.
+  std::map<std::string, CampaignReplay> replay;
+  if (options_.resume && std::filesystem::exists(options_.journal_path)) {
+    StatusOr<std::map<std::string, CampaignReplay>> replayed =
+        FleetJournal::ReplayFile(options_.journal_path);
+    if (!replayed.ok()) {
+      result.status = replayed.status();
+      return result;
+    }
+    replay = std::move(replayed).value();
+    POISONREC_LOG(Info) << "fleet resume: replayed " << replay.size()
+                        << " campaign(s) from " << options_.journal_path;
+  }
+  result.status = journal_.Open(options_.journal_path,
+                                /*truncate=*/!options_.resume);
+  if (!result.status.ok()) return result;
+
+  const std::size_t n = plan_.campaigns.size();
+  std::vector<std::unique_ptr<CampaignSupervisor>> supervisors;
+  supervisors.reserve(n);
+  for (const CampaignSpec& spec : plan_.campaigns) {
+    SupervisorOptions supervisor_options;
+    supervisor_options.checkpoint_dir = options_.checkpoint_dir;
+    supervisor_options.journal = &journal_;
+    supervisor_options.fleet_stop = &stop_;
+    supervisor_options.retry_sleep = options_.retry_sleep;
+    supervisor_options.restart_sleep = options_.restart_sleep;
+    const auto it = replay.find(spec.id);
+    if (it != replay.end()) {
+      supervisor_options.replay = it->second;
+    } else if (options_.resume) {
+      POISONREC_LOG(Info) << "fleet resume: campaign " << spec.id
+                          << " has no journal history; scheduling fresh";
+    }
+    supervisors.push_back(std::make_unique<CampaignSupervisor>(
+        spec, dataset_, std::move(supervisor_options)));
+    if (it == replay.end()) {
+      CampaignJournalRecord record;
+      record.campaign_id = spec.id;
+      record.state = CampaignState::kPending;
+      journal_.Record(record);
+    }
+  }
+
+  // Priority queue: highest priority first, plan order as the tiebreak.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return plan_.campaigns[a].priority >
+                            plan_.campaigns[b].priority;
+                   });
+
+  // Watchdog: polls running supervisors and hard-cancels stalled or
+  // overdue attempts. Deadline beats stall when both are tripped — the
+  // deadline verdict (quarantine) is the stricter one.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog([this, &watchdog_stop, &supervisors] {
+    while (!watchdog_stop.load(std::memory_order_acquire)) {
+      for (const auto& supervisor : supervisors) {
+        if (!supervisor->running()) continue;
+        const CampaignSpec& spec = supervisor->spec();
+        if (spec.deadline_seconds > 0.0 &&
+            supervisor->SecondsSinceStart() > spec.deadline_seconds) {
+          supervisor->Abort(
+              "deadline exceeded (" +
+                  std::to_string(spec.deadline_seconds) + "s wall clock)",
+              /*allow_restart=*/false);
+        } else if (spec.stall_timeout_seconds > 0.0 &&
+                   supervisor->SecondsSinceHeartbeat() >
+                       spec.stall_timeout_seconds) {
+          supervisor->Abort(
+              "stall: no heartbeat for " +
+                  std::to_string(spec.stall_timeout_seconds) + "s",
+              /*allow_restart=*/true);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::max(options_.watchdog_poll_seconds, 0.001)));
+    }
+  });
+
+  std::vector<CampaignOutcome> outcomes(n);
+  std::vector<char> ran(n, 0);
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(options_.max_concurrent, n));
+  // Workers are the global pool's one job; each campaign's internals are
+  // single-threaded (MakeAttackerConfig), so no nested-parallelism
+  // inversion and the structure stays fork-safe for crash tests.
+  ParallelFor(workers, workers, [&](std::size_t) {
+    while (true) {
+      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= order.size()) return;
+      const std::size_t index = order[slot];
+      // Supervisor::Run handles a raised stop flag itself (terminal
+      // replayed campaigns still surface as recovered; unstarted ones
+      // journal nothing and report pending/interrupted).
+      try {
+        outcomes[index] = supervisors[index]->Run();
+      } catch (const std::exception& e) {
+        CampaignOutcome outcome;
+        outcome.id = plan_.campaigns[index].id;
+        outcome.state = CampaignState::kFailed;
+        outcome.detail = std::string("uncaught exception: ") + e.what();
+        CampaignJournalRecord record;
+        record.campaign_id = outcome.id;
+        record.state = CampaignState::kFailed;
+        record.detail = outcome.detail;
+        journal_.Record(record);
+        outcomes[index] = std::move(outcome);
+      }
+      ran[index] = 1;
+    }
+  });
+
+  watchdog_stop.store(true, std::memory_order_release);
+  watchdog.join();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ran[i]) {
+      // Defensive: with the queue drained this cannot happen, but a
+      // worker that died mid-pop must not leave a default outcome.
+      CampaignOutcome& outcome = outcomes[i];
+      outcome.id = plan_.campaigns[i].id;
+      outcome.state = CampaignState::kPending;
+      outcome.interrupted = true;
+      outcome.detail = "never scheduled";
+    }
+  }
+
+  result.outcomes = std::move(outcomes);
+  for (const CampaignOutcome& outcome : result.outcomes) {
+    if (outcome.recovered_from_journal) ++result.recovered;
+    if (outcome.interrupted) {
+      ++result.interrupted;
+      continue;
+    }
+    switch (outcome.state) {
+      case CampaignState::kDone:
+        ++result.done;
+        break;
+      case CampaignState::kQuarantined:
+        ++result.quarantined;
+        break;
+      case CampaignState::kFailed:
+        ++result.failed;
+        break;
+      default:
+        ++result.interrupted;
+        break;
+    }
+  }
+  result.wall_seconds = internal::ElapsedSecondsSince(start_ticks);
+
+  obs::MetricsRegistry::Global()
+      .GetGauge("poisonrec_fleet_last_run_campaigns")
+      ->Set(static_cast<double>(n));
+  obs::MetricsRegistry::Global()
+      .GetGauge("poisonrec_fleet_last_run_wall_seconds")
+      ->Set(result.wall_seconds);
+
+  if (!options_.report_json_path.empty()) {
+    const Status report = WriteJsonReport(result);
+    if (!report.ok()) result.status = report;
+  }
+  if (!options_.report_csv_path.empty()) {
+    const Status report = WriteCsvReport(result);
+    if (!report.ok()) result.status = report;
+  }
+  journal_.Close();
+  return result;
+}
+
+}  // namespace poisonrec::orch

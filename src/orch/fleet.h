@@ -1,0 +1,117 @@
+// Fleet orchestrator: runs a FleetPlan's campaigns under supervision
+// with bounded concurrency, a stall/deadline watchdog, a crash-durable
+// journal, and a consolidated report.
+//
+// Lifecycle of one `poisonrec fleet` run:
+//
+//   1. Validate the plan and create the checkpoint directory.
+//   2. On --resume, replay the journal: campaigns already in a terminal
+//      state (done/quarantined/failed) are reported as recovered without
+//      re-running; unfinished ones are re-scheduled from their last
+//      durable checkpoint.
+//   3. Pop campaigns off a priority queue (priority desc, plan order as
+//      tiebreak) onto `max_concurrent` workers. Each campaign runs inside
+//      a CampaignSupervisor (orch/supervisor.h).
+//   4. A watchdog thread polls every running supervisor: a heartbeat gap
+//      past `stall_timeout_seconds` hard-cancels the attempt with the
+//      restart budget available; a wall-clock overrun past
+//      `deadline_seconds` hard-cancels with restarts disallowed
+//      (quarantine).
+//   5. RequestShutdown (wired to SIGINT/SIGTERM by the CLI) soft-stops
+//      the fleet: running campaigns checkpoint at the next step boundary
+//      and journal `checkpointed`; queued campaigns are left pending.
+//      Both are picked up by a later `fleet --resume`.
+//   6. Write results/fleet_report.{json,csv} summarising every campaign.
+//
+// Exit-code contract (FleetResult::ExitCode): 0 = every campaign done;
+// 2 = partial (quarantined, failed, or interrupted campaigns remain);
+// 1 = fatal orchestrator error (bad plan, journal/report I/O failure).
+#ifndef POISONREC_ORCH_FLEET_H_
+#define POISONREC_ORCH_FLEET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "orch/journal.h"
+#include "orch/spec.h"
+#include "orch/supervisor.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace poisonrec::orch {
+
+struct FleetOptions {
+  /// JSONL write-ahead journal; replayed by --resume after a crash.
+  std::string journal_path = "results/fleet_journal.jsonl";
+  /// Directory of per-campaign v3 checkpoints (`<id>.ckpt`).
+  std::string checkpoint_dir = "results/fleet_checkpoints";
+  /// Consolidated report paths; empty skips that format.
+  std::string report_json_path = "results/fleet_report.json";
+  std::string report_csv_path = "results/fleet_report.csv";
+  /// Replay the journal and re-schedule only unfinished campaigns.
+  bool resume = false;
+  /// Campaigns running at once. Campaign internals are single-threaded
+  /// (orch/spec.h MakeAttackerConfig), so this is the fleet's only
+  /// parallelism knob.
+  std::size_t max_concurrent = 2;
+  /// Watchdog poll cadence. Small enough that sub-second stall timeouts
+  /// in tests fire promptly.
+  double watchdog_poll_seconds = 0.02;
+  /// Test seams forwarded to every supervisor ({} = really sleep).
+  SleepFn retry_sleep;
+  SleepFn restart_sleep;
+};
+
+struct FleetResult {
+  std::string plan_name;
+  /// One outcome per plan campaign, in plan order.
+  std::vector<CampaignOutcome> outcomes;
+  std::size_t done = 0;
+  std::size_t quarantined = 0;
+  std::size_t failed = 0;
+  /// Interrupted by shutdown (resumable: checkpointed or still pending).
+  std::size_t interrupted = 0;
+  /// Terminal outcomes recovered from the journal without re-running.
+  std::size_t recovered = 0;
+  double wall_seconds = 0.0;
+  /// Orchestrator-level status (plan validation, journal/report I/O).
+  /// Individual campaign failures do NOT make this non-OK.
+  Status status;
+  /// 1 fatal, 2 partial fleet, 0 all campaigns done.
+  int ExitCode() const;
+};
+
+class FleetOrchestrator {
+ public:
+  /// `dataset` must outlive the orchestrator; the plan is copied.
+  FleetOrchestrator(FleetPlan plan, const data::Dataset* dataset,
+                    FleetOptions options);
+
+  /// Runs the fleet to completion (or to shutdown). Call once.
+  FleetResult Run();
+
+  /// Async-signal-safe graceful shutdown: a single atomic store. Running
+  /// campaigns stop at the next step boundary, already checkpointed.
+  void RequestShutdown() { stop_.store(true, std::memory_order_release); }
+
+  bool shutdown_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Status WriteJsonReport(const FleetResult& result) const;
+  Status WriteCsvReport(const FleetResult& result) const;
+
+  FleetPlan plan_;
+  const data::Dataset* dataset_;
+  FleetOptions options_;
+  std::atomic<bool> stop_{false};
+  FleetJournal journal_;
+};
+
+}  // namespace poisonrec::orch
+
+#endif  // POISONREC_ORCH_FLEET_H_

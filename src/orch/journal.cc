@@ -1,0 +1,120 @@
+#include "orch/journal.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "orch/json_reader.h"
+
+namespace poisonrec::orch {
+
+const char* CampaignStateName(CampaignState state) {
+  switch (state) {
+    case CampaignState::kPending: return "pending";
+    case CampaignState::kRunning: return "running";
+    case CampaignState::kCheckpointed: return "checkpointed";
+    case CampaignState::kDone: return "done";
+    case CampaignState::kQuarantined: return "quarantined";
+    case CampaignState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+StatusOr<CampaignState> ParseCampaignState(const std::string& name) {
+  for (const CampaignState state :
+       {CampaignState::kPending, CampaignState::kRunning,
+        CampaignState::kCheckpointed, CampaignState::kDone,
+        CampaignState::kQuarantined, CampaignState::kFailed}) {
+    if (name == CampaignStateName(state)) return state;
+  }
+  return Status::InvalidArgument("unknown campaign state \"" + name + "\"");
+}
+
+bool IsTerminal(CampaignState state) {
+  return state == CampaignState::kDone ||
+         state == CampaignState::kQuarantined ||
+         state == CampaignState::kFailed;
+}
+
+Status FleetJournal::Open(const std::string& path, bool truncate) {
+  if (!log_.Open(path, truncate)) {
+    return Status::IoError("cannot open fleet journal " + path);
+  }
+  return Status::OK();
+}
+
+bool FleetJournal::Record(const CampaignJournalRecord& record) {
+  obs::JsonObjectBuilder b;
+  b.Str("type", "campaign")
+      .Str("id", record.campaign_id)
+      .Str("state", CampaignStateName(record.state))
+      .Int("step", record.step)
+      .Num("reward", record.reward)
+      .Num("best_reward", record.best_reward)
+      .Int("restarts", record.restarts);
+  if (!record.detail.empty()) b.Str("detail", record.detail);
+  return log_.Append(std::move(b).Finish());
+}
+
+StatusOr<std::map<std::string, CampaignReplay>> FleetJournal::ReplayFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open fleet journal " + path);
+  std::map<std::string, CampaignReplay> replay;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // A torn trailing line (kill mid-append) parses as garbage; skip it
+    // rather than refusing recovery — everything before it is intact.
+    StatusOr<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) continue;
+    const JsonValue& record = *parsed;
+    const JsonValue* type = record.Find("type");
+    if (type == nullptr || !type->is_string() ||
+        type->string_value != "campaign") {
+      continue;
+    }
+    const JsonValue* id = record.Find("id");
+    const JsonValue* state = record.Find("state");
+    if (id == nullptr || !id->is_string() || state == nullptr ||
+        !state->is_string()) {
+      continue;
+    }
+    StatusOr<CampaignState> parsed_state =
+        ParseCampaignState(state->string_value);
+    if (!parsed_state.ok()) continue;
+    CampaignReplay& entry = replay[id->string_value];
+    entry.state = *parsed_state;
+    const JsonValue* step = record.Find("step");
+    const JsonValue* reward = record.Find("reward");
+    const JsonValue* best = record.Find("best_reward");
+    const JsonValue* restarts = record.Find("restarts");
+    const JsonValue* detail = record.Find("detail");
+    const std::uint64_t step_index =
+        (step != nullptr && step->is_number())
+            ? static_cast<std::uint64_t>(step->number_value)
+            : 0;
+    if (*parsed_state == CampaignState::kCheckpointed && step_index > 0 &&
+        reward != nullptr && reward->is_number()) {
+      entry.step_rewards[step_index] = reward->number_value;
+    }
+    if (step_index > entry.steps_completed &&
+        (*parsed_state == CampaignState::kCheckpointed ||
+         IsTerminal(*parsed_state))) {
+      entry.steps_completed = step_index;
+    }
+    if (best != nullptr && best->is_number() &&
+        best->number_value > entry.best_reward) {
+      entry.best_reward = best->number_value;
+    }
+    if (restarts != nullptr && restarts->is_number()) {
+      const auto r = static_cast<std::uint64_t>(restarts->number_value);
+      if (r > entry.restarts) entry.restarts = r;
+    }
+    if (detail != nullptr && detail->is_string()) {
+      entry.detail = detail->string_value;
+    }
+  }
+  return replay;
+}
+
+}  // namespace poisonrec::orch

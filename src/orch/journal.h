@@ -1,0 +1,115 @@
+// Crash-durable fleet journal: the orchestrator's write-ahead record of
+// every campaign's lifecycle, one JSONL line per transition, backed by
+// obs::EventLog (per-line fflush — everything up to the last completed
+// append survives kill -9).
+//
+// State machine per campaign:
+//
+//   pending ──> running ──> checkpointed ──> ... ──> done
+//                  │              │                   (terminal)
+//                  │              └──(more steps)──┐
+//                  │                               │
+//                  ├──> quarantined (terminal: circuit breaker — stalls
+//                  │                 past the restart budget, deadline
+//                  │                 exceeded, pool exhausted, rollback
+//                  │                 budget exhausted)
+//                  └──> failed      (terminal: unexpected error)
+//
+// `checkpointed` records are appended from the attacker's step-commit
+// callback, i.e. strictly after the campaign checkpoint for that step
+// is durable on disk — the journal never claims progress the checkpoint
+// doesn't have. Each carries (step, reward), so replay can reconstruct
+// the committed reward sequence and `fleet --resume` can verify
+// bit-identical recovery.
+//
+// Replay folds the log per campaign id: last state wins, step rewards
+// dedup by step index (last wins — a kill between a step's journal
+// record and an interrupted follow-up re-runs that step
+// deterministically), and a torn trailing line (the crash frontier) is
+// skipped, not fatal.
+#ifndef POISONREC_ORCH_JOURNAL_H_
+#define POISONREC_ORCH_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/event_log.h"
+#include "util/status.h"
+
+namespace poisonrec::orch {
+
+enum class CampaignState : std::uint8_t {
+  kPending = 0,
+  kRunning = 1,
+  /// Progress committed: the campaign checkpoint holds `step` steps.
+  kCheckpointed = 2,
+  /// Terminal: budget completed.
+  kDone = 3,
+  /// Terminal: the circuit breaker isolated a persistently failing
+  /// campaign (stall/deadline/pool exhaustion/rollback budget) so it
+  /// cannot sink the rest of the fleet.
+  kQuarantined = 4,
+  /// Terminal: unexpected error (orchestrator bug, I/O failure).
+  kFailed = 5,
+};
+
+/// Stable snake_case name used in journal lines and reports.
+const char* CampaignStateName(CampaignState state);
+StatusOr<CampaignState> ParseCampaignState(const std::string& name);
+/// done/quarantined/failed — states a resume must not re-run.
+bool IsTerminal(CampaignState state);
+
+/// One journal line.
+struct CampaignJournalRecord {
+  std::string campaign_id;
+  CampaignState state = CampaignState::kPending;
+  /// Steps committed to the campaign checkpoint so far.
+  std::uint64_t step = 0;
+  /// Mean reward of the step being committed (checkpointed records).
+  double reward = 0.0;
+  double best_reward = 0.0;
+  std::uint64_t restarts = 0;
+  std::string detail;
+};
+
+/// Folded per-campaign view of a replayed journal.
+struct CampaignReplay {
+  CampaignState state = CampaignState::kPending;
+  std::uint64_t steps_completed = 0;
+  std::uint64_t restarts = 0;
+  double best_reward = 0.0;
+  std::string detail;
+  /// step index -> committed mean reward, deduped (last record wins).
+  std::map<std::uint64_t, double> step_rewards;
+};
+
+/// Append side. Thread-safe: concurrent Record calls serialize on the
+/// underlying EventLog's per-line mutex.
+class FleetJournal {
+ public:
+  /// Opens the journal. truncate=false (resume) appends to the existing
+  /// log so the recovery history stays in one file.
+  Status Open(const std::string& path, bool truncate);
+
+  /// Appends one record (no-op returning false when closed).
+  bool Record(const CampaignJournalRecord& record);
+
+  void Close() { log_.Close(); }
+  bool is_open() const { return log_.is_open(); }
+  const std::string& path() const { return log_.path(); }
+  std::uint64_t records_written() const { return log_.lines_written(); }
+
+  /// Replays a journal file into per-campaign folded state. A missing
+  /// file is an error; a torn/malformed line is skipped (the line under
+  /// the crash frontier); unknown record types are ignored.
+  static StatusOr<std::map<std::string, CampaignReplay>> ReplayFile(
+      const std::string& path);
+
+ private:
+  obs::EventLog log_;
+};
+
+}  // namespace poisonrec::orch
+
+#endif  // POISONREC_ORCH_JOURNAL_H_

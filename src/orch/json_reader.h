@@ -1,0 +1,55 @@
+// Minimal JSON reader for the orchestrator's inputs: fleet plan files
+// (orch/spec.h) and fleet journal replay (orch/journal.h).
+//
+// The project's JSON *writer* lives in obs/json.h, which is foundation
+// level and cannot depend on util/status. The reader needs StatusOr for
+// error reporting, so it lives here in orch instead. It accepts the
+// strict JSON subset our own writers emit plus standard plan-file input:
+// objects, arrays, strings with escapes, numbers, booleans, null.
+// Duplicate object keys are rejected (a plan with two "steps" keys is a
+// typo, not a choice), and nesting depth is bounded.
+#ifndef POISONREC_ORCH_JSON_READER_H_
+#define POISONREC_ORCH_JSON_READER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace poisonrec::orch {
+
+/// One parsed JSON value. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup (objects only). nullptr when absent.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace is an error.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+StatusOr<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace poisonrec::orch
+
+#endif  // POISONREC_ORCH_JSON_READER_H_

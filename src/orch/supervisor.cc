@@ -1,0 +1,376 @@
+#include "orch/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "defense/detector.h"
+#include "obs/metrics.h"
+#include "rec/registry.h"
+#include "util/logging.h"
+
+namespace poisonrec::orch {
+
+namespace {
+
+bool AnyFaults(const env::FaultProfile& fault) {
+  return fault.query_failure_rate > 0.0 || fault.throttle_rate > 0.0 ||
+         fault.injection_drop_rate > 0.0 || fault.shadow_ban_rate > 0.0 ||
+         fault.reward_noise_stddev > 0.0 || fault.stale_reward_rate > 0.0 ||
+         fault.nan_reward_rate > 0.0;
+}
+
+StatusOr<std::unique_ptr<defense::Detector>> MakeDetector(
+    const std::string& name) {
+  if (name == "cold") {
+    return std::unique_ptr<defense::Detector>(
+        std::make_unique<defense::ColdItemAffinityDetector>());
+  }
+  if (name == "entropy") {
+    return std::unique_ptr<defense::Detector>(
+        std::make_unique<defense::ClickEntropyDetector>());
+  }
+  if (name == "fleet") {
+    return std::unique_ptr<defense::Detector>(
+        std::make_unique<defense::FleetSimilarityDetector>());
+  }
+  if (name == "ensemble") {
+    return std::unique_ptr<defense::Detector>(
+        defense::MakeDefaultEnsemble());
+  }
+  return Status::InvalidArgument("unknown detector \"" + name +
+                                 "\" (want ensemble|cold|entropy|fleet)");
+}
+
+obs::Counter* FleetCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+CampaignSupervisor::CampaignSupervisor(const CampaignSpec& spec,
+                                       const data::Dataset* dataset,
+                                       SupervisorOptions options)
+    : spec_(spec), dataset_(dataset), options_(std::move(options)) {
+  POISONREC_CHECK(dataset_ != nullptr);
+}
+
+std::string CampaignSupervisor::CheckpointPath() const {
+  return (std::filesystem::path(options_.checkpoint_dir) /
+          (spec_.id + ".ckpt"))
+      .string();
+}
+
+void CampaignSupervisor::Journal(CampaignState state, std::uint64_t step,
+                                 double reward, double best_reward,
+                                 std::uint64_t restarts,
+                                 const std::string& detail) {
+  if (options_.journal == nullptr) return;
+  CampaignJournalRecord record;
+  record.campaign_id = spec_.id;
+  record.state = state;
+  record.step = step;
+  record.reward = reward;
+  record.best_reward = best_reward;
+  record.restarts = restarts;
+  record.detail = detail;
+  options_.journal->Record(record);
+}
+
+void CampaignSupervisor::Abort(const std::string& reason,
+                               bool allow_restart) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_reason_ = reason;
+  }
+  abort_allow_restart_.store(allow_restart, std::memory_order_release);
+  cancel_.Cancel();
+}
+
+std::string CampaignSupervisor::TakeAbortReason() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string reason = abort_reason_.empty() ? "cancelled" : abort_reason_;
+  abort_reason_.clear();
+  return reason;
+}
+
+double CampaignSupervisor::SecondsSinceHeartbeat() const {
+  const std::uint64_t ticks =
+      heartbeat_ticks_.load(std::memory_order_acquire);
+  if (ticks == 0) return 0.0;
+  return internal::ElapsedSecondsSince(ticks);
+}
+
+double CampaignSupervisor::SecondsSinceStart() const {
+  const std::uint64_t ticks = start_ticks_.load(std::memory_order_acquire);
+  if (ticks == 0) return 0.0;
+  return internal::ElapsedSecondsSince(ticks);
+}
+
+void CampaignSupervisor::SleepForRestart(double seconds) {
+  if (options_.restart_sleep) {
+    options_.restart_sleep(seconds);
+    return;
+  }
+  // Real sleep in small slices so a fleet shutdown request does not
+  // have to wait out the whole backoff.
+  double remaining = seconds;
+  while (remaining > 0.0) {
+    if (options_.fleet_stop != nullptr &&
+        options_.fleet_stop->load(std::memory_order_acquire)) {
+      return;
+    }
+    const double slice = std::min(remaining, 0.02);
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+    remaining -= slice;
+  }
+}
+
+Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
+  // A fresh environment stack per attempt: whatever state the previous
+  // attempt corrupted is discarded wholesale. Determinism across
+  // attempts comes from the checkpoint (policy, RNG, pool, defender
+  // state) plus the derived per-episode and per-query streams.
+  heartbeat_ticks_.store(internal::NowTicks(), std::memory_order_release);
+  rec::FitConfig fit;
+  fit.embedding_dim = spec_.embedding_dim;
+  fit.seed = spec_.seed ^ 0x5u;
+  auto ranker = rec::MakeRecommender(spec_.ranker, fit);
+  if (!ranker.ok()) return ranker.status();
+  env::AttackEnvironment environment(*dataset_, std::move(ranker).value(),
+                                     MakeEnvironmentConfig(spec_));
+
+  std::optional<env::FaultyEnvironment> faulty;
+  if (AnyFaults(spec_.fault)) faulty.emplace(&environment, spec_.fault);
+  std::unique_ptr<env::DefendedEnvironment> defended;
+  if (spec_.defense) {
+    auto detector = MakeDetector(spec_.detector);
+    if (!detector.ok()) return detector.status();
+    if (faulty.has_value()) {
+      defended = std::make_unique<env::DefendedEnvironment>(
+          &*faulty, std::move(detector).value(), spec_.defense_profile);
+    } else {
+      defended = std::make_unique<env::DefendedEnvironment>(
+          &environment, std::move(detector).value(), spec_.defense_profile);
+    }
+  }
+
+  core::PoisonRecAttacker attacker(&environment, MakeAttackerConfig(spec_));
+  if (defended != nullptr) {
+    attacker.AttachDefendedEnvironment(defended.get(), options_.retry_sleep);
+  } else if (faulty.has_value()) {
+    attacker.AttachFaultyEnvironment(&*faulty, options_.retry_sleep);
+  }
+  attacker.SetStopFlag(options_.fleet_stop);
+  attacker.SetCancelToken(&cancel_);
+  attacker.SetHeartbeat([this] {
+    heartbeat_ticks_.store(internal::NowTicks(), std::memory_order_release);
+  });
+  static obs::Counter* const steps_committed =
+      FleetCounter("poisonrec_fleet_steps_committed_total");
+  attacker.SetStepCommittedCallback(
+      [this, outcome](const core::TrainStepStats& stats) {
+        outcome->step_rewards[stats.step] = stats.mean_reward;
+        outcome->steps_completed = stats.step;
+        outcome->best_reward =
+            std::max(outcome->best_reward, stats.best_reward_so_far);
+        steps_committed->Increment();
+        Journal(CampaignState::kCheckpointed, stats.step, stats.mean_reward,
+                stats.best_reward_so_far, outcome->restarts, "");
+      });
+
+  const std::string checkpoint = CheckpointPath();
+  if (std::filesystem::exists(checkpoint)) {
+    const Status loaded = attacker.LoadCheckpoint(checkpoint);
+    if (loaded.ok()) {
+      heartbeat_ticks_.store(internal::NowTicks(),
+                             std::memory_order_release);
+    } else if (loaded.code() == StatusCode::kDataLoss ||
+               loaded.code() == StatusCode::kInvalidArgument) {
+      // A torn or incompatible checkpoint is lost state, not a fatal
+      // error: discard it and replay the campaign from scratch (the
+      // deterministic streams make the replay reproduce the same steps).
+      POISONREC_LOG(Warning) << "campaign " << spec_.id
+                             << ": discarding checkpoint " << checkpoint
+                             << ": " << loaded.ToString();
+      Journal(CampaignState::kRunning, 0, 0.0, outcome->best_reward,
+              outcome->restarts,
+              "checkpoint discarded: " + loaded.ToString());
+      std::error_code ec;
+      std::filesystem::remove(checkpoint, ec);
+    } else {
+      return loaded;
+    }
+  }
+  if (attacker.steps_taken() >= spec_.steps) {
+    outcome->steps_completed = attacker.steps_taken();
+    outcome->best_reward =
+        std::max(outcome->best_reward, attacker.best_episode().reward);
+    return Status::OK();
+  }
+
+  core::GuardedTrainResult result =
+      attacker.TrainGuarded(spec_.steps - attacker.steps_taken(), checkpoint);
+  outcome->rollbacks += result.rollbacks;
+  outcome->best_reward =
+      std::max(outcome->best_reward, attacker.best_episode().reward);
+  return result.status;
+}
+
+CampaignOutcome CampaignSupervisor::Run() {
+  CampaignOutcome outcome;
+  outcome.id = spec_.id;
+  const std::uint64_t run_start = internal::NowTicks();
+  start_ticks_.store(run_start, std::memory_order_release);
+  heartbeat_ticks_.store(run_start, std::memory_order_release);
+
+  // Journal recovery: terminal campaigns are never re-run; unfinished
+  // ones inherit their committed rewards and restart count.
+  if (options_.replay.has_value()) {
+    const CampaignReplay& replay = *options_.replay;
+    outcome.steps_completed = replay.steps_completed;
+    outcome.restarts = replay.restarts;
+    outcome.best_reward = replay.best_reward;
+    outcome.step_rewards = replay.step_rewards;
+    if (IsTerminal(replay.state)) {
+      outcome.state = replay.state;
+      outcome.detail = replay.detail.empty()
+                           ? "recovered from journal"
+                           : replay.detail;
+      outcome.recovered_from_journal = true;
+      return outcome;
+    }
+  }
+  if (options_.fleet_stop != nullptr &&
+      options_.fleet_stop->load(std::memory_order_acquire)) {
+    outcome.state = outcome.steps_completed > 0
+                        ? CampaignState::kCheckpointed
+                        : CampaignState::kPending;
+    outcome.interrupted = true;
+    outcome.detail = "not started: fleet shutdown requested";
+    return outcome;
+  }
+
+  static obs::Counter* const campaigns_total =
+      FleetCounter("poisonrec_fleet_campaigns_total");
+  static obs::Counter* const restarts_total =
+      FleetCounter("poisonrec_fleet_restarts_total");
+  static obs::Counter* const quarantined_total =
+      FleetCounter("poisonrec_fleet_quarantined_total");
+  static obs::Counter* const interrupted_total =
+      FleetCounter("poisonrec_fleet_interrupted_total");
+  campaigns_total->Increment();
+
+  running_.store(true, std::memory_order_release);
+  Journal(CampaignState::kRunning, outcome.steps_completed, 0.0,
+          outcome.best_reward, outcome.restarts,
+          outcome.steps_completed > 0 ? "resumed from checkpoint" : "");
+
+  // Restart delays follow the same decorrelated-jitter schedule as query
+  // retries, seeded per campaign so fleets do not restart in lockstep.
+  RetryPolicy restart_policy;
+  restart_policy.initial_backoff_seconds = spec_.restart_backoff_seconds;
+  restart_policy.max_backoff_seconds =
+      std::max(1.0, 8.0 * spec_.restart_backoff_seconds);
+  RetryBackoff restart_backoff(restart_policy,
+                               spec_.seed ^ 0x9e3779b97f4a7c15ull);
+
+  const auto reward_at = [&outcome](std::uint64_t step) {
+    const auto it = outcome.step_rewards.find(step);
+    return it == outcome.step_rewards.end() ? 0.0 : it->second;
+  };
+  const auto finish = [&](CampaignState state, const std::string& detail) {
+    outcome.state = state;
+    outcome.detail = detail;
+    Journal(state, outcome.steps_completed,
+            reward_at(outcome.steps_completed), outcome.best_reward,
+            outcome.restarts, detail);
+    running_.store(false, std::memory_order_release);
+    outcome.wall_seconds = internal::ElapsedSecondsSince(run_start);
+  };
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    const Status status = RunAttempt(&outcome);
+    if (status.ok()) {
+      finish(CampaignState::kDone, "");
+      return outcome;
+    }
+    if (status.code() == StatusCode::kCancelled &&
+        options_.fleet_stop != nullptr &&
+        options_.fleet_stop->load(std::memory_order_acquire)) {
+      // Graceful shutdown: the last clean step is already checkpointed
+      // and journaled; `fleet --resume` picks the campaign back up.
+      outcome.interrupted = true;
+      interrupted_total->Increment();
+      finish(CampaignState::kCheckpointed,
+             "interrupted: fleet shutdown (" + status.message() + ")");
+      return outcome;
+    }
+
+    std::string reason;
+    bool restartable;
+    if (status.code() == StatusCode::kCancelled) {
+      // Watchdog abort (stall or deadline).
+      reason = TakeAbortReason();
+      restartable = abort_allow_restart_.load(std::memory_order_acquire);
+      cancel_.Reset();
+    } else if (status.code() == StatusCode::kResourceExhausted ||
+               status.code() == StatusCode::kFailedPrecondition) {
+      // Deterministic persistent failures: the pool drained or the
+      // rollback budget was spent, and a restart replays the exact same
+      // ban/anomaly stream. The circuit breaker quarantines instead of
+      // burning restarts on a lost cause.
+      reason = status.ToString();
+      restartable = false;
+    } else {
+      // I/O and unexpected errors: possibly transient, restart-worthy.
+      reason = status.ToString();
+      restartable = true;
+    }
+
+    if (!restartable) {
+      quarantined_total->Increment();
+      finish(CampaignState::kQuarantined, reason);
+      return outcome;
+    }
+    if (attempt >= spec_.max_restarts) {
+      if (status.code() == StatusCode::kCancelled) {
+        quarantined_total->Increment();
+        finish(CampaignState::kQuarantined,
+               "restart budget exhausted (" +
+                   std::to_string(spec_.max_restarts) + "); last abort: " +
+                   reason);
+      } else {
+        finish(CampaignState::kFailed,
+               "restart budget exhausted (" +
+                   std::to_string(spec_.max_restarts) +
+                   "); last error: " + reason);
+      }
+      return outcome;
+    }
+
+    ++outcome.restarts;
+    restarts_total->Increment();
+    POISONREC_LOG(Warning) << "campaign " << spec_.id << ": restart "
+                           << outcome.restarts << "/" << spec_.max_restarts
+                           << " after: " << reason;
+    Journal(CampaignState::kRunning, outcome.steps_completed, 0.0,
+            outcome.best_reward, outcome.restarts,
+            "restart " + std::to_string(outcome.restarts) + ": " + reason);
+    SleepForRestart(restart_backoff.NextDelaySeconds());
+    if (options_.fleet_stop != nullptr &&
+        options_.fleet_stop->load(std::memory_order_acquire)) {
+      outcome.interrupted = true;
+      interrupted_total->Increment();
+      finish(CampaignState::kCheckpointed,
+             "interrupted during restart backoff");
+      return outcome;
+    }
+  }
+}
+
+}  // namespace poisonrec::orch

@@ -1,0 +1,137 @@
+// Per-campaign supervisor: wraps one PoisonRec attack campaign
+// (core::PoisonRecAttacker::TrainGuarded) in a fault-tolerant lifecycle.
+//
+// The supervisor owns the campaign's CancelToken and heartbeat clock.
+// It builds the environment stack (ranker -> AttackEnvironment ->
+// FaultyEnvironment -> DefendedEnvironment) fresh for every attempt,
+// resumes from the campaign's own v3 checkpoint when one exists, and
+// classifies TrainGuarded's exit status:
+//
+//   OK                   -> done
+//   kCancelled + fleet stop flag -> checkpointed (graceful shutdown;
+//                           resumable — `fleet --resume` reschedules it)
+//   kCancelled + watchdog abort  -> bounded restart from the checkpoint
+//                           (decorrelated-jitter backoff), then
+//                           quarantine once the restart budget is spent
+//   kResourceExhausted   -> quarantine immediately (pool exhausted is
+//   kFailedPrecondition     deterministic — a restart replays the same
+//                           ban/rollback stream; the circuit breaker
+//                           isolates the campaign instead of burning
+//                           restarts)
+//   abort with allow_restart=false (deadline) -> quarantine
+//   anything else        -> restart if budget remains, else failed
+//
+// Every transition is journaled (orch/journal.h) before the supervisor
+// moves on, and committed steps are journaled from the attacker's
+// step-commit callback — strictly after the step's checkpoint is
+// durable.
+#ifndef POISONREC_ORCH_SUPERVISOR_H_
+#define POISONREC_ORCH_SUPERVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+#include "orch/journal.h"
+#include "orch/spec.h"
+#include "util/cancel.h"
+#include "util/retry.h"
+
+namespace poisonrec::orch {
+
+struct SupervisorOptions {
+  /// Directory holding one `<campaign id>.ckpt` per campaign.
+  std::string checkpoint_dir = "checkpoints";
+  /// Journal for lifecycle records; nullptr journals nothing (tests).
+  FleetJournal* journal = nullptr;
+  /// Fleet-wide graceful-shutdown flag (soft stop at step boundaries);
+  /// nullptr when the campaign runs standalone. Not owned.
+  const std::atomic<bool>* fleet_stop = nullptr;
+  /// Replayed journal state for `fleet --resume` (terminal campaigns are
+  /// not re-run; unfinished ones resume from their checkpoint).
+  std::optional<CampaignReplay> replay;
+  /// Test seam: how the campaign's per-query retry backoffs sleep
+  /// ({} = really sleep, interruptible by the supervisor's cancel token).
+  SleepFn retry_sleep;
+  /// Test seam: how restart backoffs sleep ({} = really sleep).
+  SleepFn restart_sleep;
+};
+
+/// Final (or recovered) state of one supervised campaign.
+struct CampaignOutcome {
+  std::string id;
+  CampaignState state = CampaignState::kFailed;
+  std::uint64_t steps_completed = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t rollbacks = 0;
+  double best_reward = 0.0;
+  double wall_seconds = 0.0;
+  std::string detail;
+  /// Committed (checkpoint-durable) mean reward per step, including
+  /// steps recovered from a replayed journal.
+  std::map<std::uint64_t, double> step_rewards;
+  /// True when the outcome was recovered from the journal without
+  /// re-running (terminal state before this process started).
+  bool recovered_from_journal = false;
+  /// True when the campaign was interrupted by a fleet shutdown and is
+  /// resumable from its checkpoint.
+  bool interrupted = false;
+};
+
+class CampaignSupervisor {
+ public:
+  /// `dataset` (the shared clean log) must outlive the supervisor.
+  CampaignSupervisor(const CampaignSpec& spec, const data::Dataset* dataset,
+                     SupervisorOptions options);
+
+  /// Runs the campaign to a terminal or resumable state. Call once.
+  CampaignOutcome Run();
+
+  // -- Watchdog interface (thread-safe; orch/fleet.h) -----------------------
+
+  /// Hard-cancels the running attempt. allow_restart=true (stall) lets
+  /// the restart budget apply; false (deadline exceeded) quarantines.
+  void Abort(const std::string& reason, bool allow_restart);
+
+  /// True while Run is between its first and last journal record.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Seconds since the attacker last signalled liveness (heartbeats fire
+  /// at step entry and after each phase).
+  double SecondsSinceHeartbeat() const;
+
+  /// Seconds since Run started (spans restarts).
+  double SecondsSinceStart() const;
+
+  const CampaignSpec& spec() const { return spec_; }
+  std::string CheckpointPath() const;
+
+ private:
+  /// One attempt: build the stack, resume from checkpoint, TrainGuarded.
+  Status RunAttempt(CampaignOutcome* outcome);
+  void Journal(CampaignState state, std::uint64_t step, double reward,
+               double best_reward, std::uint64_t restarts,
+               const std::string& detail);
+  std::string TakeAbortReason();
+  /// Restart backoff honouring the fleet stop flag.
+  void SleepForRestart(double seconds);
+
+  CampaignSpec spec_;
+  const data::Dataset* dataset_;
+  SupervisorOptions options_;
+  CancelToken cancel_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> start_ticks_{0};
+  std::atomic<std::uint64_t> heartbeat_ticks_{0};
+  std::atomic<bool> abort_allow_restart_{true};
+  mutable std::mutex mu_;
+  std::string abort_reason_;
+};
+
+}  // namespace poisonrec::orch
+
+#endif  // POISONREC_ORCH_SUPERVISOR_H_

@@ -1,0 +1,32 @@
+#include "util/cancel.h"
+
+#include <chrono>
+
+namespace poisonrec {
+
+void CancelToken::Cancel() {
+  {
+    // The store happens under the mutex so a SleepFor that just checked
+    // the predicate cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void CancelToken::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_.store(false, std::memory_order_release);
+}
+
+bool CancelToken::SleepFor(double seconds) const {
+  if (cancelled()) return false;
+  if (seconds <= 0.0) return true;
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool interrupted = cv_.wait_for(
+      lock, std::chrono::duration<double>(seconds),
+      [this] { return cancelled_.load(std::memory_order_acquire); });
+  return !interrupted;
+}
+
+}  // namespace poisonrec

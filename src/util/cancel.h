@@ -1,0 +1,60 @@
+// Cooperative cancellation: a thread-safe token that long-running work
+// polls at natural boundaries (between retry attempts, between training
+// steps) and that turns blocking sleeps into interruptible waits.
+//
+// The token exists for the campaign orchestrator (src/orch): a watchdog
+// that detects a stalled campaign cannot kill the thread running it —
+// the campaign may be parked inside a retry backoff sleep waiting out a
+// fault blackout — so instead it fires the campaign's CancelToken, which
+// wakes the sleep immediately and makes the next poll observe the
+// cancellation. Work interrupted this way returns StatusCode::kCancelled
+// and the supervisor decides what happens next (restart from checkpoint,
+// quarantine, or shut down).
+#ifndef POISONREC_UTIL_CANCEL_H_
+#define POISONREC_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace poisonrec {
+
+/// One-shot (but resettable) cancellation flag shared between the thread
+/// doing the work and the threads that may interrupt it. All methods are
+/// thread-safe; Reset must only race with nothing that still believes
+/// the previous cancellation is pending (the supervisor resets between
+/// restart attempts, after the cancelled attempt has fully unwound).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Marks the token cancelled and wakes every SleepFor in progress.
+  /// Idempotent.
+  void Cancel();
+
+  /// True once Cancel has been called (and not Reset since).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Clears a previous cancellation so the token can guard the next
+  /// attempt.
+  void Reset();
+
+  /// Sleeps up to `seconds`, waking early if cancelled. Returns true when
+  /// the full duration elapsed, false when the sleep was interrupted (or
+  /// the token was already cancelled on entry). Non-positive durations
+  /// return immediately with !cancelled().
+  bool SleepFor(double seconds) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_CANCEL_H_

@@ -1,0 +1,43 @@
+#include "util/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace poisonrec {
+
+namespace {
+
+Status FsyncPath(const std::string& path, int open_flags,
+                 const char* what) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    return Status::IoError(std::string("cannot open ") + what + " " + path +
+                           " for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int sync_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError(std::string("fsync failed for ") + what + " " +
+                           path + ": " + std::strerror(sync_errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncFile(const std::string& path) {
+  return FsyncPath(path, O_RDONLY, "file");
+}
+
+Status FsyncParentDirectory(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  return FsyncPath(dir.string(), O_RDONLY | O_DIRECTORY, "directory");
+}
+
+}  // namespace poisonrec

@@ -1,0 +1,34 @@
+// Durable-write helpers for the crash-safety paths (checkpoints, the
+// fleet journal). The atomic tmp+rename idiom alone only protects
+// against *process* crashes: after a machine crash (power loss, kernel
+// panic) the rename can be on disk while the file's data blocks are not,
+// leaving a zero-length "committed" file at the destination. Full
+// durability needs three steps:
+//
+//   1. write tmp file, fsync it          (data blocks reach the disk)
+//   2. rename tmp -> final               (atomic visibility switch)
+//   3. fsync the parent directory        (the rename itself is durable)
+//
+// Loaders must still treat a truncated file as possible (old kernels,
+// non-POSIX filesystems) and reject it with StatusCode::kDataLoss
+// rather than crashing.
+#ifndef POISONREC_UTIL_FSIO_H_
+#define POISONREC_UTIL_FSIO_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace poisonrec {
+
+/// fsyncs the file at `path` (opens it read-only; the data is already
+/// written). kIoError if the file cannot be opened or the sync fails.
+Status FsyncFile(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a completed rename of
+/// `path` durable. A path without a directory component syncs ".".
+Status FsyncParentDirectory(const std::string& path);
+
+}  // namespace poisonrec
+
+#endif  // POISONREC_UTIL_FSIO_H_

@@ -37,5 +37,16 @@ void SleepForSeconds(double seconds) {
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
+std::uint64_t NowTicks() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double ElapsedSecondsSince(std::uint64_t start_ticks) {
+  return static_cast<double>(NowTicks() - start_ticks) * 1e-9;
+}
+
 }  // namespace internal
 }  // namespace poisonrec

@@ -14,6 +14,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -32,6 +33,13 @@ struct RetryPolicy {
   /// Codes worth retrying. Any other non-OK code propagates immediately.
   std::vector<StatusCode> retriable = {StatusCode::kUnavailable,
                                        StatusCode::kResourceExhausted};
+  /// Total-elapsed-time deadline across every attempt and backoff sleep
+  /// (0 = unbounded). When the next backoff would push the call past the
+  /// deadline — counting real wall time and, under an injected fake
+  /// sleep, the simulated slept seconds — the retry loop gives up with
+  /// kDeadlineExceeded instead of sleeping. This is what keeps a retry
+  /// loop from outliving the campaign deadline that contains it.
+  double max_elapsed_seconds = 0.0;
 
   bool IsRetriable(StatusCode code) const;
 };
@@ -69,38 +77,85 @@ class RetryBackoff {
 };
 
 /// Invokes `fn(attempt)` (attempt = 0, 1, ...) until it returns OK, a
-/// non-retriable error, or the attempt budget is spent. On budget
-/// exhaustion the last error is returned. `sleep` is called with the
-/// backoff delay between attempts; pass {} to really sleep.
+/// non-retriable error, the attempt budget is spent, or the elapsed-time
+/// deadline would be exceeded. On budget exhaustion the last error is
+/// returned; on deadline exhaustion kDeadlineExceeded wrapping the last
+/// error. `sleep` is called with the backoff delay between attempts;
+/// pass {} to really sleep. A non-null `cancel` token is polled before
+/// every attempt and interrupts the default (real) backoff sleep
+/// immediately; cancellation returns kCancelled without calling fn
+/// again, so a supervisor can always unblock a retry loop parked in a
+/// long fault blackout.
 template <typename T, typename Fn>
 StatusOr<T> CallWithRetry(const RetryPolicy& policy, Fn&& fn,
                           std::uint64_t jitter_seed = 0,
                           RetryStats* stats = nullptr,
-                          const SleepFn& sleep = {});
+                          const SleepFn& sleep = {},
+                          const CancelToken* cancel = nullptr);
 
 // -- implementation ---------------------------------------------------------
 
 namespace internal {
 /// Blocks the calling thread (the default sleep hook).
 void SleepForSeconds(double seconds);
+/// Seconds of real wall time since `start` (steady clock ticks).
+double ElapsedSecondsSince(std::uint64_t start_ticks);
+/// Current steady-clock tick count (nanoseconds).
+std::uint64_t NowTicks();
 }  // namespace internal
 
 template <typename T, typename Fn>
 StatusOr<T> CallWithRetry(const RetryPolicy& policy, Fn&& fn,
                           std::uint64_t jitter_seed, RetryStats* stats,
-                          const SleepFn& sleep) {
+                          const SleepFn& sleep, const CancelToken* cancel) {
   POISONREC_CHECK_GT(policy.max_attempts, 0u);
   RetryBackoff backoff(policy, jitter_seed);
   RetryStats local;
+  const std::uint64_t start_ticks = internal::NowTicks();
+  // The deadline tracks whichever is larger: real wall time (covers slow
+  // fn calls and real sleeps) or the accumulated backoff delays (covers
+  // tests that inject a fake sleep, where wall time barely moves).
+  const auto elapsed = [&local, start_ticks] {
+    const double wall = internal::ElapsedSecondsSince(start_ticks);
+    return wall > local.slept_seconds ? wall : local.slept_seconds;
+  };
   StatusOr<T> result = Status::Internal("retry loop never ran");
+  const auto cancelled_status = [&local, &result] {
+    return Status::Cancelled(
+        "retry loop cancelled after " + std::to_string(local.attempts) +
+        " attempt(s)" +
+        (local.attempts > 0 ? "; last error: " + result.status().ToString()
+                            : std::string()));
+  };
   for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      StatusOr<T> out = cancelled_status();
+      if (stats != nullptr) *stats = local;
+      return out;
+    }
     if (attempt > 0) {
       const double delay = backoff.NextDelaySeconds();
+      if (policy.max_elapsed_seconds > 0.0 &&
+          elapsed() + delay > policy.max_elapsed_seconds) {
+        StatusOr<T> deadline = Status::DeadlineExceeded(
+            "retry deadline (" + std::to_string(policy.max_elapsed_seconds) +
+            "s) exhausted after " + std::to_string(local.attempts) +
+            " attempt(s); last error: " + result.status().ToString());
+        if (stats != nullptr) *stats = local;
+        return deadline;
+      }
       local.slept_seconds += delay;
       if (sleep) {
         sleep(delay);
+      } else if (cancel != nullptr) {
+        cancel->SleepFor(delay);  // wakes immediately on Cancel
       } else {
         internal::SleepForSeconds(delay);
+      }
+      if (cancel != nullptr && cancel->cancelled()) {
+        StatusOr<T> out = cancelled_status();
+        if (stats != nullptr) *stats = local;
+        return out;
       }
     }
     local.attempts = attempt + 1;

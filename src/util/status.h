@@ -31,6 +31,15 @@ enum class StatusCode : std::uint8_t {
   kResourceExhausted = 10,
   /// The operation gave up after exhausting its time or attempt budget.
   kDeadlineExceeded = 11,
+  /// The operation was cooperatively cancelled (util/cancel.h) — e.g. a
+  /// campaign supervisor interrupting a blocked retry loop, or a fleet
+  /// shutting down at a step boundary. Never retriable.
+  kCancelled = 12,
+  /// Durable state is unrecoverable: a checkpoint or journal that exists
+  /// but is truncated/corrupt (torn write, machine crash mid-commit).
+  /// Unlike kIoError ("could not read"), this means "read fine, content
+  /// is lost" — callers should discard the artifact and start fresh.
+  kDataLoss = 13,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -78,6 +87,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -185,16 +185,24 @@ TEST(CheckpointTest, CorruptOrMissingCheckpointIsRejectedCleanly) {
             StatusCode::kInvalidArgument);
   std::remove(garbage.c_str());
 
-  // A truncated checkpoint is rejected and leaves the attacker usable.
+  // A truncated checkpoint is torn state from a crash mid-publish:
+  // kDataLoss, distinct from a merely missing file (kIoError), so the
+  // orchestrator knows to discard it and replay from scratch.
   const std::string path = TempPath("poisonrec_truncated_ckpt.bin");
   attacker.TrainStep();
   ASSERT_TRUE(attacker.SaveCheckpoint(path).ok());
   const auto full_size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, full_size / 2);
   PoisonRecAttacker victim(&f.environment, Fixture::MakeAttackerConfig());
-  EXPECT_EQ(victim.LoadCheckpoint(path).code(), StatusCode::kIoError);
+  EXPECT_EQ(victim.LoadCheckpoint(path).code(), StatusCode::kDataLoss);
   EXPECT_EQ(victim.steps_taken(), 0u);
   victim.TrainStep();  // still trains fine
+
+  // Truncating into the header (even to zero bytes) is also kDataLoss.
+  std::filesystem::resize_file(path, 4);
+  EXPECT_EQ(victim.LoadCheckpoint(path).code(), StatusCode::kDataLoss);
+  std::filesystem::resize_file(path, 0);
+  EXPECT_EQ(victim.LoadCheckpoint(path).code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,603 @@
+// Orchestrator tests: plan parsing/expansion, the crash-durable journal,
+// supervisor fault classification (restart / quarantine / graceful
+// stop), and whole-fleet runs including in-process interrupt + resume
+// with bit-identical recovered rewards.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "orch/fleet.h"
+#include "orch/journal.h"
+#include "orch/json_reader.h"
+#include "orch/spec.h"
+#include "orch/supervisor.h"
+
+namespace poisonrec::orch {
+namespace {
+
+std::string TempDir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+data::Dataset MakeLog() {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 120;
+  cfg.num_items = 90;
+  cfg.num_interactions = 1400;
+  cfg.seed = 3;
+  return data::GenerateSynthetic(cfg);
+}
+
+/// A campaign small enough to finish in tens of milliseconds but large
+/// enough that steps produce observable reward structure.
+CampaignSpec FastSpec(const std::string& id, std::uint64_t seed = 7) {
+  CampaignSpec spec;
+  spec.id = id;
+  spec.steps = 3;
+  spec.samples_per_step = 4;
+  spec.attackers = 5;
+  spec.trajectory_length = 5;
+  spec.num_target_items = 2;
+  spec.embedding_dim = 8;
+  spec.max_eval_users = 48;
+  spec.seed = seed;
+  return spec;
+}
+
+// -- JSON reader ------------------------------------------------------------
+
+TEST(JsonReaderTest, ParsesScalarsArraysAndNestedObjects) {
+  auto parsed = ParseJson(
+      R"({"s":"a\nb\u0041","n":-2.5e2,"t":true,"f":false,"z":null,)"
+      R"("arr":[1,[2,3],{"k":"v"}]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("s")->string_value, "a\nbA");
+  EXPECT_DOUBLE_EQ(root.Find("n")->number_value, -250.0);
+  EXPECT_TRUE(root.Find("t")->bool_value);
+  EXPECT_FALSE(root.Find("f")->bool_value);
+  EXPECT_TRUE(root.Find("z")->is_null());
+  const JsonValue* arr = root.Find("arr");
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array[0].number_value, 1.0);
+  EXPECT_EQ(arr->array[1].array.size(), 2u);
+  EXPECT_EQ(arr->array[2].Find("k")->string_value, "v");
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,\"a\":2}").ok());  // duplicate key
+  EXPECT_FALSE(ParseJson("[1 2]").ok());
+  EXPECT_FALSE(ParseJson("\"\\ud800\"").ok());  // lone surrogate
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonReaderTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+// -- Plan parsing -----------------------------------------------------------
+
+TEST(SpecTest, ParsesDefaultsCampaignsAndSweepCrossProduct) {
+  auto plan = ParseFleetPlanText(R"({
+    "name": "nightly", "dataset": "MovieLens", "scale": 0.1,
+    "defaults": {"steps": 4, "attackers": 7, "stall_timeout_seconds": 2.5},
+    "campaigns": [{"id": "pinned", "ranker": "BPR", "priority": 3}],
+    "sweep": {"rankers": ["ItemPop", "CoVisitation"],
+              "fault_presets": ["clean", "flaky"],
+              "defenses": [false, true],
+              "budgets": [4]}
+  })");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->name, "nightly");
+  EXPECT_EQ(plan->dataset, "MovieLens");
+  // 1 explicit + 2*2*2*1 swept.
+  ASSERT_EQ(plan->campaigns.size(), 9u);
+  const CampaignSpec& pinned = plan->campaigns[0];
+  EXPECT_EQ(pinned.id, "pinned");
+  EXPECT_EQ(pinned.ranker, "BPR");
+  EXPECT_EQ(pinned.priority, 3);
+  EXPECT_EQ(pinned.steps, 4u);          // from defaults
+  EXPECT_EQ(pinned.attackers, 7u);      // from defaults
+  EXPECT_DOUBLE_EQ(pinned.stall_timeout_seconds, 2.5);
+  // Sweep ids are deterministic, and each cell gets its own seed.
+  EXPECT_EQ(plan->campaigns[1].id, "ItemPop-clean-nodef-s4");
+  EXPECT_EQ(plan->campaigns[2].id, "ItemPop-clean-def-s4");
+  EXPECT_TRUE(plan->campaigns[2].defense);
+  EXPECT_EQ(plan->campaigns[3].id, "ItemPop-flaky-nodef-s4");
+  EXPECT_GT(plan->campaigns[3].fault.query_failure_rate, 0.0);
+  EXPECT_NE(plan->campaigns[1].seed, plan->campaigns[2].seed);
+}
+
+TEST(SpecTest, RejectsUnknownKeysAndBadPlans) {
+  // Misspelled supervision knob must fail loudly, not run unwatched.
+  auto typo = ParseFleetPlanText(
+      R"({"campaigns":[{"id":"a","stall_timeout_secs":1}]})");
+  EXPECT_FALSE(typo.ok());
+  EXPECT_NE(typo.status().message().find("stall_timeout_secs"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseFleetPlanText(R"({"campaigns":[]})").ok());
+  EXPECT_FALSE(
+      ParseFleetPlanText(R"({"campaigns":[{"id":"dup"},{"id":"dup"}]})")
+          .ok());
+  EXPECT_FALSE(
+      ParseFleetPlanText(R"({"campaigns":[{"id":"bad id!"}]})").ok());
+  EXPECT_FALSE(
+      ParseFleetPlanText(R"({"defaults":{"id":"x"},"campaigns":[{"id":"a"}]})")
+          .ok());
+  EXPECT_FALSE(
+      ParseFleetPlanText(R"({"campaigns":[{"id":"a","fault_preset":"wat"}]})")
+          .ok());
+  // Stale-reward faults break bit-identical recovery; refused up front.
+  EXPECT_FALSE(ParseFleetPlanText(
+                   R"({"campaigns":[{"id":"a","fault":{"stale":0.2}}]})")
+                   .ok());
+}
+
+TEST(SpecTest, AttackerConfigIsGuardedAndSingleThreaded) {
+  CampaignSpec spec = FastSpec("cfg");
+  spec.retry_attempts = 6;
+  spec.retry_deadline_seconds = 1.5;
+  const core::PoisonRecConfig config = MakeAttackerConfig(spec);
+  EXPECT_TRUE(config.guard.enabled);
+  EXPECT_EQ(config.num_threads, 1u);
+  EXPECT_FALSE(config.parallel_rewards);
+  EXPECT_EQ(config.retry.max_attempts, 6u);
+  EXPECT_DOUBLE_EQ(config.retry.max_elapsed_seconds, 1.5);
+}
+
+// -- Journal ----------------------------------------------------------------
+
+TEST(JournalTest, ReplayFoldsRecordsAndSkipsTornTrailingLine) {
+  const std::string dir = TempDir("poisonrec_journal_test");
+  const std::string path = dir + "/journal.jsonl";
+  {
+    FleetJournal journal;
+    ASSERT_TRUE(journal.Open(path, /*truncate=*/true).ok());
+    CampaignJournalRecord r;
+    r.campaign_id = "a";
+    r.state = CampaignState::kPending;
+    ASSERT_TRUE(journal.Record(r));
+    r.state = CampaignState::kRunning;
+    ASSERT_TRUE(journal.Record(r));
+    r.state = CampaignState::kCheckpointed;
+    r.step = 1;
+    r.reward = 2.0;
+    r.best_reward = 2.0;
+    ASSERT_TRUE(journal.Record(r));
+    r.step = 2;
+    r.reward = 5.0;
+    r.best_reward = 5.0;
+    ASSERT_TRUE(journal.Record(r));
+    CampaignJournalRecord q;
+    q.campaign_id = "b";
+    q.state = CampaignState::kQuarantined;
+    q.detail = "stalled";
+    q.restarts = 2;
+    ASSERT_TRUE(journal.Record(q));
+    journal.Close();
+  }
+  // Simulate a crash mid-append: a torn half-line at the tail.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"type\":\"campaign\",\"id\":\"a\",\"sta";
+  }
+  auto replay = FleetJournal::ReplayFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  ASSERT_EQ(replay->size(), 2u);
+  const CampaignReplay& a = replay->at("a");
+  EXPECT_EQ(a.state, CampaignState::kCheckpointed);
+  EXPECT_EQ(a.steps_completed, 2u);
+  ASSERT_EQ(a.step_rewards.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.step_rewards.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(a.step_rewards.at(2), 5.0);
+  EXPECT_DOUBLE_EQ(a.best_reward, 5.0);
+  const CampaignReplay& b = replay->at("b");
+  EXPECT_TRUE(IsTerminal(b.state));
+  EXPECT_EQ(b.detail, "stalled");
+  EXPECT_EQ(b.restarts, 2u);
+
+  EXPECT_FALSE(FleetJournal::ReplayFile(dir + "/missing.jsonl").ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JournalTest, StateNamesRoundTrip) {
+  for (const CampaignState state :
+       {CampaignState::kPending, CampaignState::kRunning,
+        CampaignState::kCheckpointed, CampaignState::kDone,
+        CampaignState::kQuarantined, CampaignState::kFailed}) {
+    auto parsed = ParseCampaignState(CampaignStateName(state));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, state);
+  }
+  EXPECT_FALSE(ParseCampaignState("resting").ok());
+}
+
+// -- Supervisor -------------------------------------------------------------
+
+TEST(SupervisorTest, CleanCampaignRunsToDoneAndJournalsEverySteps) {
+  const std::string dir = TempDir("poisonrec_supervisor_done");
+  const data::Dataset log = MakeLog();
+  FleetJournal journal;
+  ASSERT_TRUE(journal.Open(dir + "/journal.jsonl", true).ok());
+  SupervisorOptions options;
+  options.checkpoint_dir = dir;
+  options.journal = &journal;
+  CampaignSupervisor supervisor(FastSpec("clean"), &log, options);
+  const CampaignOutcome outcome = supervisor.Run();
+  journal.Close();
+  EXPECT_EQ(outcome.state, CampaignState::kDone);
+  EXPECT_EQ(outcome.steps_completed, 3u);
+  EXPECT_EQ(outcome.restarts, 0u);
+  EXPECT_EQ(outcome.step_rewards.size(), 3u);
+  EXPECT_TRUE(std::filesystem::exists(supervisor.CheckpointPath()));
+
+  auto replay = FleetJournal::ReplayFile(dir + "/journal.jsonl");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->at("clean").state, CampaignState::kDone);
+  EXPECT_EQ(replay->at("clean").steps_completed, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SupervisorTest, AbortWithRestartBudgetRestartsThenCompletes) {
+  const std::string dir = TempDir("poisonrec_supervisor_restart");
+  const data::Dataset log = MakeLog();
+  CampaignSpec spec = FastSpec("restarts");
+  spec.max_restarts = 2;
+  SupervisorOptions options;
+  options.checkpoint_dir = dir;
+  options.restart_sleep = [](double) {};
+  CampaignSupervisor supervisor(spec, &log, options);
+  // Abort before Run: the first attempt observes the cancellation at its
+  // first step boundary, the supervisor restarts, the second attempt
+  // finishes. Deterministic — no timing window.
+  supervisor.Abort("injected stall", /*allow_restart=*/true);
+  const CampaignOutcome outcome = supervisor.Run();
+  EXPECT_EQ(outcome.state, CampaignState::kDone);
+  EXPECT_EQ(outcome.restarts, 1u);
+  EXPECT_EQ(outcome.steps_completed, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SupervisorTest, AbortWithoutRestartBudgetQuarantines) {
+  const std::string dir = TempDir("poisonrec_supervisor_quarantine");
+  const data::Dataset log = MakeLog();
+  CampaignSpec spec = FastSpec("starved");
+  spec.max_restarts = 0;
+  SupervisorOptions options;
+  options.checkpoint_dir = dir;
+  options.restart_sleep = [](double) {};
+  CampaignSupervisor supervisor(spec, &log, options);
+  supervisor.Abort("stall: no heartbeat", /*allow_restart=*/true);
+  const CampaignOutcome outcome = supervisor.Run();
+  EXPECT_EQ(outcome.state, CampaignState::kQuarantined);
+  EXPECT_NE(outcome.detail.find("restart budget exhausted"),
+            std::string::npos)
+      << outcome.detail;
+  EXPECT_NE(outcome.detail.find("stall"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SupervisorTest, DeadlineAbortQuarantinesWithoutBurningRestarts) {
+  const std::string dir = TempDir("poisonrec_supervisor_deadline");
+  const data::Dataset log = MakeLog();
+  CampaignSpec spec = FastSpec("overdue");
+  spec.max_restarts = 5;  // must NOT be consumed by a deadline abort
+  SupervisorOptions options;
+  options.checkpoint_dir = dir;
+  CampaignSupervisor supervisor(spec, &log, options);
+  supervisor.Abort("deadline exceeded", /*allow_restart=*/false);
+  const CampaignOutcome outcome = supervisor.Run();
+  EXPECT_EQ(outcome.state, CampaignState::kQuarantined);
+  EXPECT_EQ(outcome.restarts, 0u);
+  EXPECT_NE(outcome.detail.find("deadline"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SupervisorTest, PoolExhaustionTripsTheCircuitBreaker) {
+  const std::string dir = TempDir("poisonrec_supervisor_pool");
+  const data::Dataset log = MakeLog();
+  CampaignSpec spec = FastSpec("banned");
+  // An aggressive defender with a tiny pool: bans outpace replacement,
+  // TrainGuarded aborts kResourceExhausted, and the supervisor must
+  // quarantine immediately (deterministic replay) instead of restarting.
+  spec.defense = true;
+  spec.pool_reserve = 1;
+  spec.pool_min_live = spec.attackers;
+  spec.steps = 12;
+  spec.max_restarts = 3;
+  spec.defense_profile.detection_interval = 2;
+  spec.defense_profile.bans_per_sweep = 3;
+  spec.defense_profile.ban_probability = 1.0;
+  SupervisorOptions options;
+  options.checkpoint_dir = dir;
+  options.restart_sleep = [](double) {};
+  CampaignSupervisor supervisor(spec, &log, options);
+  const CampaignOutcome outcome = supervisor.Run();
+  EXPECT_EQ(outcome.state, CampaignState::kQuarantined);
+  EXPECT_EQ(outcome.restarts, 0u) << outcome.detail;
+  EXPECT_NE(outcome.detail.find("pool exhausted"), std::string::npos)
+      << outcome.detail;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SupervisorTest, TerminalJournalStateIsRecoveredWithoutRerunning) {
+  const std::string dir = TempDir("poisonrec_supervisor_recovered");
+  const data::Dataset log = MakeLog();
+  SupervisorOptions options;
+  options.checkpoint_dir = dir;
+  CampaignReplay replay;
+  replay.state = CampaignState::kDone;
+  replay.steps_completed = 3;
+  replay.best_reward = 4.5;
+  replay.step_rewards = {{1, 1.0}, {2, 3.0}, {3, 4.5}};
+  options.replay = replay;
+  CampaignSupervisor supervisor(FastSpec("already-done"), &log, options);
+  const CampaignOutcome outcome = supervisor.Run();
+  EXPECT_EQ(outcome.state, CampaignState::kDone);
+  EXPECT_TRUE(outcome.recovered_from_journal);
+  EXPECT_EQ(outcome.steps_completed, 3u);
+  EXPECT_DOUBLE_EQ(outcome.best_reward, 4.5);
+  // Recovered, so no checkpoint was ever written.
+  EXPECT_FALSE(std::filesystem::exists(supervisor.CheckpointPath()));
+  std::filesystem::remove_all(dir);
+}
+
+// -- Fleet ------------------------------------------------------------------
+
+FleetPlan SmallPlan(std::size_t campaigns, std::size_t steps = 3) {
+  FleetPlan plan;
+  plan.name = "test-fleet";
+  for (std::size_t i = 0; i < campaigns; ++i) {
+    CampaignSpec spec = FastSpec("c" + std::to_string(i), 7 + i * 13);
+    spec.steps = steps;
+    plan.campaigns.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+FleetOptions DirOptions(const std::string& dir) {
+  FleetOptions options;
+  options.journal_path = dir + "/journal.jsonl";
+  options.checkpoint_dir = dir + "/ckpts";
+  options.report_json_path = dir + "/report.json";
+  options.report_csv_path = dir + "/report.csv";
+  options.restart_sleep = [](double) {};
+  return options;
+}
+
+TEST(FleetTest, ExitCodeMapping) {
+  FleetResult result;
+  EXPECT_EQ(result.ExitCode(), 0);
+  result.quarantined = 1;
+  EXPECT_EQ(result.ExitCode(), 2);
+  result.quarantined = 0;
+  result.interrupted = 2;
+  EXPECT_EQ(result.ExitCode(), 2);
+  result.status = Status::InvalidArgument("bad plan");
+  EXPECT_EQ(result.ExitCode(), 1);
+}
+
+TEST(FleetTest, InvalidPlanFailsFastWithExitCodeOne) {
+  const std::string dir = TempDir("poisonrec_fleet_badplan");
+  const data::Dataset log = MakeLog();
+  FleetPlan plan = SmallPlan(2);
+  plan.campaigns[1].id = plan.campaigns[0].id;  // duplicate
+  FleetOrchestrator orchestrator(plan, &log, DirOptions(dir));
+  const FleetResult result = orchestrator.Run();
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.ExitCode(), 1);
+  EXPECT_TRUE(result.outcomes.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, ConcurrentFleetCompletesAndWritesReports) {
+  const std::string dir = TempDir("poisonrec_fleet_full");
+  const data::Dataset log = MakeLog();
+  FleetOptions options = DirOptions(dir);
+  options.max_concurrent = 3;
+  FleetOrchestrator orchestrator(SmallPlan(4), &log, options);
+  const FleetResult result = orchestrator.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.ExitCode(), 0);
+  EXPECT_EQ(result.done, 4u);
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  for (const CampaignOutcome& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.state, CampaignState::kDone);
+    EXPECT_EQ(outcome.steps_completed, 3u);
+  }
+
+  // Reports exist and the JSON one parses with our own reader.
+  std::ifstream json_in(options.report_json_path);
+  ASSERT_TRUE(json_in.good());
+  std::string json_text((std::istreambuf_iterator<char>(json_in)),
+                        std::istreambuf_iterator<char>());
+  auto report = ParseJson(json_text);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->Find("type")->string_value, "fleet_report");
+  EXPECT_DOUBLE_EQ(
+      report->Find("summary")->Find("done")->number_value, 4.0);
+  EXPECT_EQ(report->Find("campaigns")->array.size(), 4u);
+  EXPECT_TRUE(std::filesystem::exists(options.report_csv_path));
+
+  // The journal agrees with the in-memory outcomes.
+  auto replay = FleetJournal::ReplayFile(options.journal_path);
+  ASSERT_TRUE(replay.ok());
+  for (const CampaignOutcome& outcome : result.outcomes) {
+    EXPECT_EQ(replay->at(outcome.id).state, CampaignState::kDone);
+    EXPECT_EQ(replay->at(outcome.id).steps_completed, 3u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, PriorityOrdersExecutionUnderSingleWorker) {
+  const std::string dir = TempDir("poisonrec_fleet_priority");
+  const data::Dataset log = MakeLog();
+  FleetPlan plan = SmallPlan(3, /*steps=*/1);
+  plan.campaigns[0].priority = 0;
+  plan.campaigns[1].priority = 5;
+  plan.campaigns[2].priority = 2;
+  FleetOptions options = DirOptions(dir);
+  options.max_concurrent = 1;
+  FleetOrchestrator orchestrator(plan, &log, options);
+  ASSERT_EQ(orchestrator.Run().ExitCode(), 0);
+
+  // Order of `running` records in the journal is the execution order.
+  std::vector<std::string> started;
+  std::ifstream in(options.journal_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto record = ParseJson(line);
+    ASSERT_TRUE(record.ok());
+    if (record->Find("state")->string_value == "running") {
+      started.push_back(record->Find("id")->string_value);
+    }
+  }
+  ASSERT_EQ(started.size(), 3u);
+  EXPECT_EQ(started[0], "c1");  // priority 5
+  EXPECT_EQ(started[1], "c2");  // priority 2
+  EXPECT_EQ(started[2], "c0");  // priority 0
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, StallWatchdogQuarantinesAPermanentlyBlackedOutCampaign) {
+  const std::string dir = TempDir("poisonrec_fleet_stall");
+  const data::Dataset log = MakeLog();
+  FleetPlan plan;
+  plan.name = "stall";
+  CampaignSpec spec = FastSpec("blackout");
+  // Every reward query fails on every attempt, and each retry backoff
+  // parks in a long (real) sleep with no heartbeat — the exact failure
+  // mode the stall watchdog exists for.
+  spec.fault.query_failure_rate = 1.0;
+  spec.stall_timeout_seconds = 0.05;
+  spec.max_restarts = 1;
+  spec.retry_attempts = 4;
+  plan.campaigns.push_back(spec);
+  FleetOptions options = DirOptions(dir);
+  options.watchdog_poll_seconds = 0.005;
+  options.retry_sleep = [](double) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  };
+  FleetOrchestrator orchestrator(plan, &log, options);
+  const FleetResult result = orchestrator.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.ExitCode(), 2);
+  EXPECT_EQ(result.quarantined, 1u);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const CampaignOutcome& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.state, CampaignState::kQuarantined);
+  // The stall was retried max_restarts times before the quarantine.
+  EXPECT_EQ(outcome.restarts, 1u);
+  EXPECT_NE(outcome.detail.find("stall"), std::string::npos)
+      << outcome.detail;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, DeadlineWatchdogQuarantinesAnOverdueCampaign) {
+  const std::string dir = TempDir("poisonrec_fleet_deadline");
+  const data::Dataset log = MakeLog();
+  FleetPlan plan;
+  plan.name = "deadline";
+  CampaignSpec spec = FastSpec("overdue");
+  spec.fault.query_failure_rate = 1.0;  // forced into retry sleeps
+  spec.deadline_seconds = 0.03;
+  spec.max_restarts = 5;
+  plan.campaigns.push_back(spec);
+  FleetOptions options = DirOptions(dir);
+  options.watchdog_poll_seconds = 0.005;
+  options.retry_sleep = [](double) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  };
+  FleetOrchestrator orchestrator(plan, &log, options);
+  const FleetResult result = orchestrator.Run();
+  EXPECT_EQ(result.ExitCode(), 2);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes[0].state, CampaignState::kQuarantined);
+  EXPECT_EQ(result.outcomes[0].restarts, 0u);
+  EXPECT_NE(result.outcomes[0].detail.find("deadline"), std::string::npos)
+      << result.outcomes[0].detail;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, GracefulShutdownThenResumeIsBitIdentical) {
+  const data::Dataset log = MakeLog();
+
+  // Reference: the same plan run to completion with no interruption.
+  const std::string ref_dir = TempDir("poisonrec_fleet_ref");
+  FleetPlan plan = SmallPlan(3, /*steps=*/6);
+  FleetOptions ref_options = DirOptions(ref_dir);
+  ref_options.max_concurrent = 1;
+  FleetOrchestrator reference(plan, &log, ref_options);
+  const FleetResult ref_result = reference.Run();
+  ASSERT_EQ(ref_result.ExitCode(), 0);
+
+  // Interrupted run: request shutdown shortly after the fleet starts.
+  const std::string dir = TempDir("poisonrec_fleet_resume");
+  FleetOptions options = DirOptions(dir);
+  options.max_concurrent = 1;
+  FleetOrchestrator interrupted(plan, &log, options);
+  std::thread stopper([&interrupted] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    interrupted.RequestShutdown();
+  });
+  const FleetResult first = interrupted.Run();
+  stopper.join();
+  ASSERT_TRUE(first.status.ok()) << first.status;
+
+  // Resume until the whole fleet is done (one resume normally suffices;
+  // the loop keeps the test robust to scheduling).
+  FleetResult final_result = first;
+  for (int round = 0; round < 5 && final_result.ExitCode() != 0; ++round) {
+    FleetOptions resume_options = options;
+    resume_options.resume = true;
+    FleetOrchestrator resumed(plan, &log, resume_options);
+    final_result = resumed.Run();
+    ASSERT_TRUE(final_result.status.ok()) << final_result.status;
+  }
+  ASSERT_EQ(final_result.ExitCode(), 0);
+  EXPECT_EQ(final_result.done, 3u);
+
+  // Bit-identical recovery: every campaign's committed per-step rewards
+  // (pre-shutdown steps merged from the journal + post-resume steps)
+  // match the uninterrupted reference exactly.
+  ASSERT_EQ(final_result.outcomes.size(), ref_result.outcomes.size());
+  for (std::size_t i = 0; i < final_result.outcomes.size(); ++i) {
+    const CampaignOutcome& a = ref_result.outcomes[i];
+    const CampaignOutcome& b = final_result.outcomes[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(b.steps_completed, 6u);
+    ASSERT_EQ(a.step_rewards.size(), b.step_rewards.size()) << a.id;
+    for (const auto& [step, reward] : a.step_rewards) {
+      ASSERT_TRUE(b.step_rewards.count(step)) << a.id << " step " << step;
+      EXPECT_DOUBLE_EQ(reward, b.step_rewards.at(step))
+          << a.id << " step " << step;
+    }
+    EXPECT_DOUBLE_EQ(a.best_reward, b.best_reward) << a.id;
+  }
+  std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace poisonrec::orch

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/cancel.h"
+
 namespace poisonrec {
 namespace {
 
@@ -135,6 +137,85 @@ TEST(CallWithRetryTest, BackoffIsDeterministicInTheJitterSeed) {
   };
   EXPECT_EQ(run(11), run(11));
   EXPECT_NE(run(11), run(12));
+}
+
+TEST(CallWithRetryTest, TotalElapsedDeadlineStopsTheLoop) {
+  // The hybrid elapsed clock counts fake-slept seconds, so the deadline
+  // is testable without real waiting: 3 sleeps of ~0.05s+ blow a 0.12s
+  // budget long before the 50-attempt cap.
+  FakeClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_seconds = 0.05;
+  policy.max_backoff_seconds = 0.05;
+  policy.max_elapsed_seconds = 0.12;
+  RetryStats stats;
+  int calls = 0;
+  auto result = CallWithRetry<int>(
+      policy,
+      [&calls](std::size_t) -> StatusOr<int> {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      /*jitter_seed=*/6, &stats, clock.Hook());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // The deadline message wraps the last underlying error.
+  EXPECT_NE(result.status().message().find("down"), std::string::npos)
+      << result.status().message();
+  // The loop gives up *before* a sleep that would cross the deadline:
+  // attempts at t=0 / 0.05 / 0.10, then the next 0.05s backoff would
+  // land past 0.12s.
+  EXPECT_EQ(calls, 3);
+  EXPECT_DOUBLE_EQ(stats.slept_seconds, 0.10);
+  EXPECT_LE(stats.slept_seconds, policy.max_elapsed_seconds);
+}
+
+TEST(CallWithRetryTest, CancelTokenShortCircuitsBeforeFirstAttempt) {
+  FakeClock clock;
+  CancelToken cancel;
+  cancel.Cancel();
+  int calls = 0;
+  auto result = CallWithRetry<int>(
+      RetryPolicy{},
+      [&calls](std::size_t) -> StatusOr<int> {
+        ++calls;
+        return 1;
+      },
+      /*jitter_seed=*/7, nullptr, clock.Hook(), &cancel);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CallWithRetryTest, CancelDuringBackoffStopsWithoutAnotherAttempt) {
+  CancelToken cancel;
+  int calls = 0;
+  // Cancel fires from inside the (fake) backoff sleep — the loop must
+  // notice before launching the next attempt.
+  auto result = CallWithRetry<int>(
+      RetryPolicy{},
+      [&calls](std::size_t) -> StatusOr<int> {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      /*jitter_seed=*/8, nullptr,
+      [&cancel](double) { cancel.Cancel(); }, &cancel);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CancelTokenTest, SleepForWakesImmediatelyOnCancel) {
+  CancelToken cancel;
+  cancel.Cancel();
+  // Cancelled token: a long sleep returns at once (test would time out
+  // otherwise).
+  EXPECT_FALSE(cancel.SleepFor(60.0));
+  cancel.Reset();
+  EXPECT_FALSE(cancel.cancelled());
+  // Uncancelled short sleep completes and reports "not cancelled".
+  EXPECT_TRUE(cancel.SleepFor(0.001));
 }
 
 TEST(RetryBackoffTest, DecorrelatedJitterGrowsFromBase) {

@@ -11,6 +11,10 @@
 # (adaptive defender + replacement pool end to end), and finishes with a
 # fully instrumented campaign whose telemetry artifacts (--metrics-out /
 # --trace-out / --events-out) are checked by tools/validate_telemetry.py.
+# After the campaign smokes, a fleet smoke exercises the orchestrator's
+# graceful-shutdown contract (SIGTERM mid-fleet -> exit 2, --resume ->
+# exit 0, report/journal validated), and a separate TSan build runs the
+# scheduler/journal tests race-free.
 # Override the scale knobs via the usual POISONREC_* env vars.
 set -euo pipefail
 
@@ -76,5 +80,72 @@ python3 tools/validate_telemetry.py \
   --trace "${SMOKE_DIR}/trace.json" \
   --events "${SMOKE_DIR}/events.jsonl" \
   --require-event-types step,guard,ban,checkpoint,campaign_begin,campaign_end
+
+# Fleet smoke: orchestrate a small sweep, SIGTERM it mid-run (graceful
+# shutdown must checkpoint at the step boundary and journal the frontier,
+# exiting 2 = partial), then --resume to completion (exit 0) and validate
+# the consolidated report + journal. Exercises the same path as the
+# SIGKILL test in tests/fleet_recovery_test.cc but through the CLI.
+FLEET_DIR="${SMOKE_DIR}/fleet"
+mkdir -p "${FLEET_DIR}"
+cat > "${FLEET_DIR}/plan.json" <<'EOF'
+{
+  "name": "ci-fleet-smoke",
+  "dataset": "Steam",
+  "scale": 0.05,
+  "defaults": {
+    "steps": 14, "samples_per_step": 4, "attackers": 8,
+    "trajectory_length": 8, "targets": 4, "embedding_dim": 8,
+    "eval_users": 50
+  },
+  "campaigns": [
+    {"id": "smoke0", "seed": 31},
+    {"id": "smoke1", "seed": 32, "fault_preset": "flaky"},
+    {"id": "smoke2", "seed": 33, "priority": 1}
+  ]
+}
+EOF
+fleet_args=(fleet "--plan=${FLEET_DIR}/plan.json"
+  "--journal=${FLEET_DIR}/journal.jsonl"
+  "--checkpoint-dir=${FLEET_DIR}/ckpts"
+  "--report-json=${FLEET_DIR}/report.json"
+  "--report-csv=${FLEET_DIR}/report.csv"
+  --max-concurrent=1)
+"${BUILD_DIR}/tools/poisonrec" "${fleet_args[@]}" &
+FLEET_PID=$!
+# Wait until at least two steps are durably journaled so the SIGTERM is
+# genuinely mid-fleet, then ask for a graceful shutdown.
+for _ in $(seq 1 600); do
+  committed="$(grep -c '"checkpointed"' "${FLEET_DIR}/journal.jsonl" \
+               2>/dev/null || true)"
+  if [ "${committed:-0}" -ge 2 ]; then
+    break
+  fi
+  sleep 0.1
+done
+kill -TERM "${FLEET_PID}" 2>/dev/null || true
+FLEET_RC=0
+wait "${FLEET_PID}" || FLEET_RC=$?
+if [ "${FLEET_RC}" -ne 2 ]; then
+  echo "fleet smoke: expected exit 2 after SIGTERM, got ${FLEET_RC}" >&2
+  exit 1
+fi
+"${BUILD_DIR}/tools/poisonrec" "${fleet_args[@]}" --resume
+python3 tools/validate_telemetry.py \
+  --fleet-report "${FLEET_DIR}/report.json" \
+  --fleet-journal "${FLEET_DIR}/journal.jsonl"
+
+# TSan leg: the fleet scheduler, watchdog, and journal are the only
+# intentionally multi-threaded control paths added by the orchestrator;
+# run their tests under ThreadSanitizer (incompatible with ASan, hence
+# the separate build tree).
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "${TSAN_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPOISONREC_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "$(nproc)" \
+  --target orch_test fleet_recovery_test
+"${TSAN_DIR}/tests/orch_test"
+"${TSAN_DIR}/tests/fleet_recovery_test"
 
 echo "ci_check: OK"

@@ -8,6 +8,8 @@
 //                      --checkpoint=run.ckpt --checkpoint-every=5 [--resume]
 //   poisonrec campaign --steps=50 --defense --defense-interval=32
 //                      --defense-bans=2 --pool-reserve=20 --pool-min-live=4
+//   poisonrec fleet    --plan=fleet.json --journal=results/fleet.jsonl
+//                      --checkpoint-dir=results/ckpts [--resume]
 //
 // Common flags: --dataset=<Steam|MovieLens|Phone|Clothing> --scale=<f>
 //   --data=<csv>  --seed=<n>  --attackers=<N>  --length=<T>
@@ -56,6 +58,26 @@
 //                           <checkpoint>.incidents.jsonl)
 //   --max-grad-norm=<f>     gradient clip (default 5; 0 disables)
 //
+// Fleet flags (see docs/robustness.md "Fleet orchestration"):
+//   --plan=<json>           fleet plan file (required; schema in
+//                           src/orch/spec.h)
+//   --journal=<path>        crash-durable JSONL journal (default
+//                           results/fleet_journal.jsonl)
+//   --checkpoint-dir=<dir>  per-campaign checkpoints (default
+//                           results/fleet_checkpoints)
+//   --report-json=<path>    consolidated report (default
+//                           results/fleet_report.json; empty disables)
+//   --report-csv=<path>     CSV report (default results/fleet_report.csv)
+//   --resume                replay the journal; re-schedule only
+//                           unfinished campaigns from their checkpoints
+//   --max-concurrent=<n>    campaigns running at once (default 2)
+//   --data=<csv>            use a real log instead of the plan's
+//                           synthetic dataset
+//   SIGINT/SIGTERM checkpoint every running campaign at the next step
+//   boundary and exit. Exit codes: 0 all campaigns done, 2 partial fleet
+//   (quarantined/failed/interrupted campaigns — resumable with --resume),
+//   1 fatal orchestrator error (bad plan, journal/report I/O).
+//
 // Campaign telemetry flags (see docs/observability.md):
 //   --metrics-out=<path>    write a metrics-registry JSON snapshot at the
 //                           end of the run
@@ -64,6 +86,8 @@
 //                           in chrome://tracing or ui.perfetto.dev)
 //   --events-out=<path>     stream the unified JSONL event log (step,
 //                           guard, ban, rollback, checkpoint events)
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -88,6 +112,8 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "orch/fleet.h"
+#include "orch/spec.h"
 #include "rec/metrics.h"
 
 namespace poisonrec::cli {
@@ -534,9 +560,119 @@ int CmdCampaign(const Flags& flags) {
   return 0;
 }
 
+// SIGINT/SIGTERM must only touch async-signal-safe state: a lock-free
+// atomic pointer load plus FleetOrchestrator::RequestShutdown (a single
+// atomic store). The orchestrator notices at the next step boundary,
+// checkpoints every running campaign, journals, and returns.
+std::atomic<orch::FleetOrchestrator*> g_fleet{nullptr};
+
+void HandleFleetSignal(int /*signum*/) {
+  orch::FleetOrchestrator* fleet = g_fleet.load(std::memory_order_acquire);
+  if (fleet != nullptr) fleet->RequestShutdown();
+}
+
+int CmdFleet(const Flags& flags) {
+  const std::string plan_path = flags.Get("plan", "");
+  if (plan_path.empty()) {
+    std::fprintf(stderr, "fleet requires --plan=<json>\n");
+    return 2;
+  }
+  StatusOr<orch::FleetPlan> plan = orch::LoadFleetPlan(plan_path);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "cannot load fleet plan %s: %s\n",
+                 plan_path.c_str(), plan.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string trace_out = flags.Get("trace-out", "");
+  if (!trace_out.empty()) obs::SetTracingEnabled(true);
+
+  // The whole fleet shares one clean interaction log; per-campaign
+  // variation comes from the spec (ranker, faults, defense, seeds).
+  const std::string data_path = flags.Get("data", "");
+  data::Dataset log = [&]() -> data::Dataset {
+    if (!data_path.empty()) {
+      auto loaded = data::LoadDatasetCsv(data_path);
+      POISONREC_CHECK(loaded.ok()) << loaded.status();
+      return std::move(loaded).value();
+    }
+    auto preset = data::ParseDatasetPreset(plan->dataset);
+    POISONREC_CHECK(preset.ok()) << preset.status();
+    return data::GenerateSynthetic(
+        data::PresetConfig(*preset, plan->scale, plan->dataset_seed));
+  }();
+
+  orch::FleetOptions options;
+  options.journal_path =
+      flags.Get("journal", "results/fleet_journal.jsonl");
+  options.checkpoint_dir =
+      flags.Get("checkpoint-dir", "results/fleet_checkpoints");
+  options.report_json_path =
+      flags.Get("report-json", "results/fleet_report.json");
+  options.report_csv_path =
+      flags.Get("report-csv", "results/fleet_report.csv");
+  options.resume = flags.Get("resume", "false") == "true";
+  options.max_concurrent = flags.GetSize("max-concurrent", 2);
+
+  std::printf("fleet %s: %zu campaign(s), dataset %s (%zu users, %zu "
+              "items), %zu worker(s)%s\n",
+              plan->name.c_str(), plan->campaigns.size(),
+              plan->dataset.c_str(), log.num_users(), log.num_items(),
+              options.max_concurrent, options.resume ? ", resuming" : "");
+
+  orch::FleetOrchestrator orchestrator(std::move(plan).value(), &log,
+                                       options);
+  g_fleet.store(&orchestrator, std::memory_order_release);
+  std::signal(SIGINT, HandleFleetSignal);
+  std::signal(SIGTERM, HandleFleetSignal);
+  const orch::FleetResult result = orchestrator.Run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_fleet.store(nullptr, std::memory_order_release);
+
+  for (const orch::CampaignOutcome& outcome : result.outcomes) {
+    std::printf("  %-32s %-12s steps %3llu  best %7.1f  restarts %llu  "
+                "rollbacks %llu  %5.1fs%s%s%s%s\n",
+                outcome.id.c_str(),
+                orch::CampaignStateName(outcome.state),
+                static_cast<unsigned long long>(outcome.steps_completed),
+                outcome.best_reward,
+                static_cast<unsigned long long>(outcome.restarts),
+                static_cast<unsigned long long>(outcome.rollbacks),
+                outcome.wall_seconds,
+                outcome.recovered_from_journal ? "  [recovered]" : "",
+                outcome.interrupted ? "  [interrupted]" : "",
+                outcome.detail.empty() ? "" : "  ",
+                outcome.detail.c_str());
+  }
+  std::printf("fleet %s: %zu done, %zu quarantined, %zu failed, "
+              "%zu interrupted, %zu recovered in %.1fs\n",
+              result.plan_name.c_str(), result.done, result.quarantined,
+              result.failed, result.interrupted, result.recovered,
+              result.wall_seconds);
+  if (!options.report_json_path.empty() && result.status.ok()) {
+    std::printf("  report -> %s\n", options.report_json_path.c_str());
+  }
+  if (orchestrator.shutdown_requested()) {
+    std::printf("shutdown requested: unfinished campaigns are "
+                "checkpointed; rerun with --resume to continue\n");
+  }
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry::Global().WriteJson(metrics_out);
+  }
+  if (!trace_out.empty()) obs::WriteChromeTrace(trace_out);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "fleet failed: %s\n",
+                 result.status.ToString().c_str());
+  }
+  return result.ExitCode();
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: poisonrec <datagen|quality|attack|detect|campaign> "
+               "usage: poisonrec "
+               "<datagen|quality|attack|detect|campaign|fleet> "
                "[--flag=value ...]\n"
                "see tools/poisonrec_cli.cc for the flag list\n");
   return 2;
@@ -554,6 +690,7 @@ int Main(int argc, char** argv) {
   if (command == "attack") return CmdAttack(flags);
   if (command == "detect") return CmdDetect(flags);
   if (command == "campaign") return CmdCampaign(flags);
+  if (command == "fleet") return CmdFleet(flags);
   return Usage();
 }
 

@@ -3,7 +3,9 @@
 
 Usage:
   tools/validate_telemetry.py --metrics m.json --trace t.json --events e.jsonl \
-      [--require-event-types step,guard,ban] [--require-spans ppo/sample,...]
+      [--require-event-types step,guard,ban] [--require-spans ppo/sample,...] \
+      [--fleet-report results/fleet_report.json] \
+      [--fleet-journal results/fleet_journal.jsonl]
 
 Checks (any failure exits 1 with a message naming the file and reason):
   * metrics JSON: top-level {"counters","gauges","histograms"}; counters are
@@ -14,6 +16,11 @@ Checks (any failure exits 1 with a message naming the file and reason):
     span names present.
   * events JSONL: every line parses as a JSON object with a "type" key;
     required event types present; "step" events carry the stats schema.
+  * fleet report JSON: {"type":"fleet_report"} with a summary whose state
+    counts match the campaigns array, valid per-campaign states, ordered
+    step_rewards, and an exit_code consistent with the counts.
+  * fleet journal JSONL: every complete line is a campaign record with a
+    valid state (a torn final line — crash frontier — is tolerated).
 
 Used by tools/ci_check.sh after the instrumented campaign smoke run; also
 handy interactively after any --metrics-out/--trace-out/--events-out run.
@@ -170,6 +177,122 @@ def check_events(path, require_types):
     print(f"{path}: {len(lines)} events: {dict(sorted(types.items()))}")
 
 
+# States the fleet journal / report may record (orch/journal.h).
+FLEET_STATES = {
+    "pending", "running", "checkpointed", "done", "quarantined", "failed",
+}
+FLEET_TERMINAL_STATES = {"done", "quarantined", "failed"}
+FLEET_CAMPAIGN_KEYS = [
+    "id", "state", "steps_completed", "restarts", "rollbacks", "best_reward",
+    "wall_seconds", "interrupted", "recovered", "step_rewards",
+]
+
+
+def check_fleet_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+        return
+    if doc.get("type") != "fleet_report":
+        fail(f"{path}: type is {doc.get('type')!r}, expected 'fleet_report'")
+        return
+    summary = doc.get("summary")
+    campaigns = doc.get("campaigns")
+    if not isinstance(summary, dict) or not isinstance(campaigns, list):
+        fail(f"{path}: missing summary object / campaigns array")
+        return
+    counts = collections.Counter()
+    for i, c in enumerate(campaigns):
+        missing = [k for k in FLEET_CAMPAIGN_KEYS if k not in c]
+        if missing:
+            fail(f"{path}: campaign #{i} missing keys {missing}")
+            continue
+        if c["state"] not in FLEET_STATES:
+            fail(f"{path}: campaign {c['id']!r} has unknown state "
+                 f"{c['state']!r}")
+        counts[c["state"]] += 1
+        if c["interrupted"]:
+            counts["interrupted"] += 1
+        if c["recovered"]:
+            counts["recovered"] += 1
+        rewards = c["step_rewards"]
+        steps = [entry[0] for entry in rewards]
+        if any(len(entry) != 2 for entry in rewards):
+            fail(f"{path}: campaign {c['id']!r} has a malformed "
+                 f"step_rewards entry (want [step, reward] pairs)")
+        elif steps != sorted(steps) or len(set(steps)) != len(steps):
+            fail(f"{path}: campaign {c['id']!r} step_rewards not strictly "
+                 f"increasing in step: {steps}")
+        if len(rewards) != c["steps_completed"]:
+            fail(f"{path}: campaign {c['id']!r} has {len(rewards)} "
+                 f"step_rewards but steps_completed={c['steps_completed']}")
+    if summary.get("campaigns") != len(campaigns):
+        fail(f"{path}: summary.campaigns={summary.get('campaigns')!r} but "
+             f"campaigns array has {len(campaigns)} entries")
+    # The summary counts interrupted campaigns separately from their
+    # journal state: a checkpointed/interrupted campaign contributes to
+    # `interrupted`, never to done/quarantined/failed.
+    for key in ("done", "quarantined", "failed"):
+        expected = sum(1 for c in campaigns
+                       if c.get("state") == key and not c.get("interrupted"))
+        if summary.get(key) != expected:
+            fail(f"{path}: summary.{key}={summary.get(key)!r}, expected "
+                 f"{expected} from the campaigns array")
+    expected_interrupted = sum(
+        1 for c in campaigns
+        if c.get("interrupted") or c.get("state") in
+        ("pending", "running", "checkpointed"))
+    if summary.get("interrupted") != expected_interrupted:
+        fail(f"{path}: summary.interrupted={summary.get('interrupted')!r}, "
+             f"expected {expected_interrupted}")
+    if summary.get("recovered") != counts["recovered"]:
+        fail(f"{path}: summary.recovered={summary.get('recovered')!r}, "
+             f"expected {counts['recovered']}")
+    exit_code = summary.get("exit_code")
+    partial = (summary.get("quarantined", 0) + summary.get("failed", 0) +
+               summary.get("interrupted", 0))
+    expected_exit = 2 if partial > 0 else 0
+    if exit_code != expected_exit:
+        fail(f"{path}: summary.exit_code={exit_code!r}, expected "
+             f"{expected_exit} (quarantined+failed+interrupted={partial})")
+    print(f"{path}: {len(campaigns)} campaigns "
+          f"({dict(sorted(counts.items()))}), exit_code={exit_code}")
+
+
+def check_fleet_journal(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: not readable: {e}")
+        return
+    if not lines:
+        fail(f"{path}: empty journal")
+        return
+    states = collections.Counter()
+    for lineno, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            # A torn final line is the expected crash frontier; anything
+            # earlier means the append-only discipline was violated.
+            if lineno == len(lines):
+                print(f"{path}:{lineno}: torn trailing record (tolerated)")
+                continue
+            fail(f"{path}:{lineno}: unparseable non-final line: {e}")
+            continue
+        if not isinstance(record, dict) or record.get("type") != "campaign" \
+                or "id" not in record or "state" not in record:
+            fail(f"{path}:{lineno}: record lacks type/id/state keys")
+            continue
+        if record["state"] not in FLEET_STATES:
+            fail(f"{path}:{lineno}: unknown state {record['state']!r}")
+        states[record["state"]] += 1
+    print(f"{path}: {len(lines)} records: {dict(sorted(states.items()))}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="metrics snapshot JSON (m.json)")
@@ -180,9 +303,15 @@ def main():
     parser.add_argument("--require-spans",
                         default="ppo/step,ppo/sample,ppo/query,ppo/update",
                         help="comma-separated span names that must appear")
+    parser.add_argument("--fleet-report",
+                        help="fleet orchestrator report JSON")
+    parser.add_argument("--fleet-journal",
+                        help="fleet orchestrator journal JSONL")
     args = parser.parse_args()
-    if not (args.metrics or args.trace or args.events):
-        parser.error("nothing to validate: pass --metrics/--trace/--events")
+    if not (args.metrics or args.trace or args.events or args.fleet_report
+            or args.fleet_journal):
+        parser.error("nothing to validate: pass --metrics/--trace/--events/"
+                     "--fleet-report/--fleet-journal")
 
     if args.metrics:
         check_metrics(args.metrics)
@@ -192,6 +321,10 @@ def main():
     if args.events:
         types = [t for t in args.require_event_types.split(",") if t]
         check_events(args.events, types)
+    if args.fleet_report:
+        check_fleet_report(args.fleet_report)
+    if args.fleet_journal:
+        check_fleet_journal(args.fleet_journal)
 
     if FAILURES:
         print(f"validate_telemetry: {len(FAILURES)} failure(s)",
