@@ -8,15 +8,19 @@
 //
 // Output: results/fleet_scaling.{csv,json} with one row per worker
 // count.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.h"
 #include "orch/fleet.h"
+#include "orch/journal.h"
+#include "orch/lease.h"
 #include "orch/spec.h"
 
 namespace poisonrec::bench {
@@ -119,9 +123,156 @@ int Run() {
       return 1;
     }
   }
-  std::filesystem::remove_all(work_dir);
   WriteCsvOutput(config, "fleet_scaling.csv", rows);
   WriteJsonOutput(config, "fleet_scaling.json", rows);
+
+  std::vector<std::vector<std::string>> robustness_rows;
+  robustness_rows.push_back({"metric", "value"});
+  const auto seconds = [](double v) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.4f", v);
+    return std::string(buffer);
+  };
+
+  // -- Shared-mode overhead: the same plan under one --shared worker,
+  // which adds leases, heartbeat renewals, token-suffixed checkpoints,
+  // a per-worker journal file, and the final merged replay.
+  {
+    std::filesystem::remove_all(work_dir);
+    orch::FleetOptions options;
+    options.journal_path = work_dir + "/journal.jsonl";
+    options.checkpoint_dir = work_dir + "/ckpts";
+    options.report_json_path.clear();
+    options.report_csv_path.clear();
+    options.max_concurrent = 1;
+    options.shared = true;
+    options.worker_id = "bench";
+    orch::FleetOrchestrator orchestrator(plan, &log, options);
+    const orch::FleetResult result = orchestrator.Run();
+    if (result.ExitCode() != 0) {
+      std::fprintf(stderr, "shared fleet run failed: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    for (const orch::CampaignOutcome& outcome : result.outcomes) {
+      if (reference[outcome.id] != outcome.step_rewards) {
+        std::fprintf(stderr,
+                     "shared fleet produced different step rewards for %s\n",
+                     outcome.id.c_str());
+        return 1;
+      }
+    }
+    const double ratio =
+        serial_wall > 0.0 ? result.wall_seconds / serial_wall : 0.0;
+    std::printf("shared-mode overhead: %.2fs vs %.2fs serial (%.2fx)\n",
+                result.wall_seconds, serial_wall, ratio);
+    robustness_rows.push_back(
+        {"shared_wall_seconds", seconds(result.wall_seconds)});
+    robustness_rows.push_back({"shared_overhead_ratio", seconds(ratio)});
+  }
+
+  // -- Lease transition throughput: durable (tmp-fsync-rename) renewals
+  // under the sidecar flock, the cost every running campaign pays each
+  // ttl/3.
+  {
+    const std::string lease_dir = work_dir + "/lease_bench";
+    orch::LeaseManager leases(lease_dir, "bench", 5.0);
+    if (!leases.Init().ok()) return 1;
+    auto held = leases.Acquire("bench-campaign");
+    if (!held.ok()) return 1;
+    constexpr int kRenewals = 500;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRenewals; ++i) {
+      if (!leases.Renew("bench-campaign", held->token).ok()) return 1;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double per_second = elapsed > 0.0 ? kRenewals / elapsed : 0.0;
+    std::printf("lease renewals: %d in %.3fs (%.0f/s)\n", kRenewals, elapsed,
+                per_second);
+    robustness_rows.push_back(
+        {"lease_renewals_per_second", seconds(per_second)});
+  }
+
+  // -- Preemption latency: a low-priority campaign is running on the
+  // only worker when a high-priority one is submitted; measure submit ->
+  // first `running` journal record of the high-priority campaign. The
+  // victim checkpoints at its next step boundary, so the latency is one
+  // step plus a watchdog poll.
+  {
+    std::filesystem::remove_all(work_dir);
+    orch::FleetPlan preempt_plan;
+    preempt_plan.name = "bench-preempt";
+    orch::CampaignSpec low = plan.campaigns[0];
+    low.id = "low";
+    low.fault_preset = "clean";
+    low.fault = *orch::FaultPresetProfile("clean");
+    low.priority = 0;
+    preempt_plan.campaigns.push_back(low);
+    orch::FleetOptions options;
+    options.journal_path = work_dir + "/journal.jsonl";
+    options.checkpoint_dir = work_dir + "/ckpts";
+    options.report_json_path.clear();
+    options.report_csv_path.clear();
+    options.max_concurrent = 1;
+    options.watchdog_poll_seconds = 0.005;
+    orch::FleetOrchestrator orchestrator(preempt_plan, &log, options);
+
+    double latency = -1.0;
+    std::thread submitter([&] {
+      // Wait for the victim's first committed step so the submission
+      // arrives mid-run.
+      for (int i = 0; i < 20000; ++i) {
+        auto replay = orch::FleetJournal::ReplayFile(options.journal_path);
+        if (replay.ok()) {
+          const auto it = replay->find("low");
+          if (it != replay->end() && it->second.steps_completed >= 1) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      orch::CampaignSpec high = low;
+      high.id = "high";
+      high.priority = 10;
+      high.steps = 1;
+      const auto submit_time = std::chrono::steady_clock::now();
+      if (!orchestrator.Submit(high).ok()) return;
+      for (int i = 0; i < 60000; ++i) {
+        auto replay = orch::FleetJournal::ReplayFile(options.journal_path);
+        if (replay.ok()) {
+          const auto it = replay->find("high");
+          if (it != replay->end() &&
+              it->second.state != orch::CampaignState::kPending) {
+            latency = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - submit_time)
+                          .count();
+            return;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    const orch::FleetResult result = orchestrator.Run();
+    submitter.join();
+    if (result.ExitCode() != 0 || result.preemptions == 0 || latency < 0.0) {
+      std::fprintf(stderr,
+                   "preemption bench failed: exit=%d preemptions=%zu "
+                   "latency=%.3f\n",
+                   result.ExitCode(), result.preemptions, latency);
+      return 1;
+    }
+    std::printf("preemption latency (submit -> high running): %.0f ms\n",
+                latency * 1e3);
+    robustness_rows.push_back({"preemption_latency_seconds",
+                               seconds(latency)});
+    robustness_rows.push_back(
+        {"preemptions", std::to_string(result.preemptions)});
+  }
+
+  std::filesystem::remove_all(work_dir);
+  WriteCsvOutput(config, "fleet_robustness.csv", robustness_rows);
+  WriteJsonOutput(config, "fleet_robustness.json", robustness_rows);
   return 0;
 }
 

@@ -1,54 +1,104 @@
 #include "obs/event_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
 namespace poisonrec::obs {
+
+namespace {
+
+/// kOnClose batches up to this many bytes before spilling to the fd.
+constexpr std::size_t kBatchBytes = 256 * 1024;
+
+/// write(2) the whole buffer, retrying EINTR and partial writes (which
+/// only occur on regular files under ENOSPC/RLIMIT_FSIZE — by then the
+/// single-write atomicity guarantee is moot and completing the record
+/// beats leaving a torn prefix mid-file).
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ::ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
 
 bool EventLog::Open(const std::string& path, bool truncate,
                     FlushPolicy flush) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (fd_ >= 0) {
+    if (!buffer_.empty()) FlushBufferLocked();
+    ::close(fd_);
+    fd_ = -1;
   }
-  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file_ == nullptr) return false;
+  // O_APPEND makes every write() an atomic seek-to-end+write in the
+  // kernel, which is what lets multiple processes share one journal
+  // file without interleaving lines (see the header contract).
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return false;
   path_ = path;
   flush_ = flush;
+  buffer_.clear();
   lines_written_ = 0;
   return true;
 }
 
+bool EventLog::FlushBufferLocked() {
+  if (buffer_.empty()) return true;
+  const bool ok = WriteAll(fd_, buffer_.data(), buffer_.size());
+  buffer_.clear();
+  if (!ok) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return ok;
+}
+
 bool EventLog::Append(std::string_view line) {
-  // Build the full record outside the lock; a single fwrite of the
-  // complete line (stdio writes are themselves atomic per call against
-  // other FILE* users) keeps concurrent appends from interleaving.
+  // Build the full record outside the lock so the critical section is
+  // one write(2) (or one buffer append under kOnClose).
   std::string record;
   record.reserve(line.size() + 1);
   record.append(line);
   record.push_back('\n');
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return false;
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    return false;
+  if (fd_ < 0) return false;
+  if (flush_ == FlushPolicy::kOnClose) {
+    buffer_ += record;
+    if (buffer_.size() >= kBatchBytes && !FlushBufferLocked()) return false;
+    ++lines_written_;
+    return true;
   }
-  if (flush_ == FlushPolicy::kEveryLine && std::fflush(file_) != 0) {
-    return false;
-  }
+  if (!WriteAll(fd_, record.data(), record.size())) return false;
   ++lines_written_;
   return true;
 }
 
 void EventLog::Close() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (fd_ >= 0) {
+    FlushBufferLocked();
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
   }
 }
 
 bool EventLog::is_open() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return file_ != nullptr;
+  return fd_ >= 0;
 }
 
 std::uint64_t EventLog::lines_written() const {

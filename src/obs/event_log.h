@@ -6,13 +6,20 @@
 // Contract:
 //   * One event per line; every line is a complete JSON object with at
 //     least a "type" key (docs/observability.md lists the schemas).
-//   * Append(line) is atomic with respect to concurrent Append calls:
-//     the full line plus '\n' goes out in a single fwrite under a mutex,
-//     so a reader tailing the file never sees interleaved halves.
-//   * Crash-durable by default: FlushPolicy::kEveryLine fflushes after
-//     each write, so everything up to the last completed Append survives
-//     a crash (the same guarantee util/guard's incident sink had before
-//     it migrated here). kOnClose trades that for throughput.
+//   * Append(line) is atomic with respect to concurrent Append calls
+//     from ANY process: the file is opened with O_APPEND and the full
+//     line plus '\n' goes out in a single ::write(). POSIX guarantees
+//     the kernel performs the seek-to-end and the write as one atomic
+//     step for O_APPEND regular files, so two `poisonrec fleet --shared`
+//     workers appending to the same journal can never interleave
+//     mid-line — a guarantee buffered stdio append ("ab" + fwrite)
+//     cannot make once a line crosses the FILE* buffer boundary.
+//   * Crash-durable by default: with FlushPolicy::kEveryLine each line
+//     is a direct write(2), so everything up to the last completed
+//     Append survives kill -9 (page cache; machine-crash durability is
+//     the checkpoint layer's job, util/fsio). kOnClose batches lines in
+//     a user-space buffer for throughput and writes on Close — only
+//     safe for single-writer streams.
 //
 // The producer side builds lines with obs::JsonObjectBuilder; EventLog
 // itself does not validate JSON.
@@ -20,7 +27,6 @@
 #define POISONREC_OBS_EVENT_LOG_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -37,8 +43,9 @@ class EventLog {
   EventLog& operator=(const EventLog&) = delete;
 
   /// Opens `path` for writing (truncating by default; pass
-  /// truncate=false to append, as the guard incident sink does).
-  /// False if the file cannot be opened; the log stays closed.
+  /// truncate=false to append, as the guard incident sink and shared
+  /// fleet journals do). False if the file cannot be opened; the log
+  /// stays closed.
   bool Open(const std::string& path, bool truncate = true,
             FlushPolicy flush = FlushPolicy::kEveryLine);
 
@@ -55,9 +62,16 @@ class EventLog {
   const std::string& path() const { return path_; }
 
  private:
+  /// Writes buffer_ to fd_ (retrying EINTR) and clears it. Caller holds
+  /// mu_. Returns false on a write error (the log is closed so later
+  /// appends fail fast instead of silently losing suffixes).
+  bool FlushBufferLocked();
+
   mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
   FlushPolicy flush_ = FlushPolicy::kEveryLine;
+  /// kOnClose batching buffer (unused under kEveryLine).
+  std::string buffer_;
   std::string path_;
   std::uint64_t lines_written_ = 0;
 };

@@ -1,13 +1,11 @@
 #include "orch/fleet.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
 #include <filesystem>
 #include <fstream>
-#include <memory>
-#include <numeric>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -45,6 +43,10 @@ std::string OutcomeJson(const CampaignOutcome& outcome) {
       .Num("wall_seconds", outcome.wall_seconds)
       .Bool("interrupted", outcome.interrupted)
       .Bool("recovered", outcome.recovered_from_journal)
+      .Int("preemptions", outcome.preemptions)
+      .Bool("fenced", outcome.fenced)
+      .Bool("sibling", outcome.sibling_owned)
+      .Int("token", outcome.lease_token)
       .Str("detail", outcome.detail)
       .Raw("step_rewards", rewards);
   return std::move(b).Finish();
@@ -64,6 +66,40 @@ std::string CsvSafe(std::string text) {
   return text;
 }
 
+/// Reconstructs a reportable outcome from folded journal state — used
+/// for terminal campaigns recovered on resume and for campaigns a
+/// sibling worker owns or finished.
+CampaignOutcome OutcomeFromReplay(const std::string& id,
+                                  const CampaignReplay& replay,
+                                  bool sibling) {
+  CampaignOutcome outcome;
+  outcome.id = id;
+  outcome.state = replay.state;
+  outcome.steps_completed = replay.steps_completed;
+  outcome.restarts = replay.restarts;
+  outcome.best_reward = replay.best_reward;
+  outcome.step_rewards = replay.step_rewards;
+  outcome.lease_token = replay.token;
+  outcome.detail =
+      replay.detail.empty() ? "recovered from journal" : replay.detail;
+  outcome.recovered_from_journal = true;
+  outcome.sibling_owned = sibling;
+  return outcome;
+}
+
+/// Journal state a preempted campaign carries into its next run.
+CampaignReplay ReplayFromOutcome(const CampaignOutcome& outcome) {
+  CampaignReplay replay;
+  replay.state = outcome.state;
+  replay.steps_completed = outcome.steps_completed;
+  replay.restarts = outcome.restarts;
+  replay.best_reward = outcome.best_reward;
+  replay.step_rewards = outcome.step_rewards;
+  replay.token = outcome.lease_token;
+  replay.detail = outcome.detail;
+  return replay;
+}
+
 }  // namespace
 
 int FleetResult::ExitCode() const {
@@ -81,6 +117,430 @@ FleetOrchestrator::FleetOrchestrator(FleetPlan plan,
   POISONREC_CHECK(dataset_ != nullptr);
 }
 
+void FleetOrchestrator::RequestShutdown() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    sched_cv_.notify_all();
+  }
+  // Wake the watchdog too so a long poll period never delays shutdown
+  // propagation (it re-checks stop_ on every wake).
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  watchdog_cv_.notify_all();
+}
+
+std::string FleetOrchestrator::WorkerJournalPath() const {
+  if (!options_.shared) return options_.journal_path;
+  // Each shared worker appends to its own sibling file so no two
+  // processes ever share a journal fd; replay merges the whole family.
+  const std::filesystem::path base(options_.journal_path);
+  std::filesystem::path dir = base.parent_path();
+  const std::string name =
+      base.stem().string() + "." + options_.worker_id +
+      base.extension().string();
+  return dir.empty() ? name : (dir / name).string();
+}
+
+StatusOr<JournalReplayResult> FleetOrchestrator::MergedReplay() const {
+  std::vector<std::string> files;
+  if (options_.shared) {
+    files = FleetJournal::ListJournalFiles(options_.journal_path);
+  } else if (std::filesystem::exists(options_.journal_path)) {
+    files.push_back(options_.journal_path);
+  }
+  if (files.empty()) return JournalReplayResult{};
+  return FleetJournal::Replay(files);
+}
+
+Status FleetOrchestrator::Submit(CampaignSpec spec) {
+  POISONREC_RETURN_NOT_OK(ValidateCampaignSpec(spec));
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  if (!accepting_) {
+    return Status::FailedPrecondition(
+        "fleet is not running; campaigns can only be submitted while Run "
+        "is active");
+  }
+  for (const auto& entry : entries_) {
+    if (entry->spec.id == spec.id) {
+      return Status::AlreadyExists("campaign id \"" + spec.id +
+                                   "\" is already scheduled");
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->spec = std::move(spec);
+  entry->slot = Slot::kReady;
+  CampaignJournalRecord record;
+  record.campaign_id = entry->spec.id;
+  record.state = CampaignState::kPending;
+  record.detail = "submitted";
+  journal_.Record(record);
+  POISONREC_LOG(Info) << "fleet: accepted submission " << entry->spec.id
+                      << " (priority " << entry->spec.priority << ")";
+  entries_.push_back(std::move(entry));
+  sched_cv_.notify_all();
+  return Status::OK();
+}
+
+void FleetOrchestrator::IngestSubmissions() {
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (std::filesystem::directory_iterator it(options_.submit_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".json") continue;
+    files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& file : files) {
+    const std::string name = file.filename().string();
+    if (!ingested_submissions_.insert(name).second) continue;
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!in && buffer.str().empty()) {
+      POISONREC_LOG(Warning) << "fleet: cannot read submission " << file;
+      continue;
+    }
+    StatusOr<CampaignSpec> spec = ParseCampaignSpecText(buffer.str());
+    if (!spec.ok()) {
+      POISONREC_LOG(Warning) << "fleet: rejected submission " << file << ": "
+                             << spec.status().ToString();
+      continue;
+    }
+    const Status submitted = Submit(std::move(spec).value());
+    if (!submitted.ok() &&
+        submitted.code() != StatusCode::kAlreadyExists) {
+      POISONREC_LOG(Warning) << "fleet: rejected submission " << file << ": "
+                             << submitted.ToString();
+    }
+  }
+}
+
+FleetOrchestrator::Entry* FleetOrchestrator::BestReadyLocked() {
+  Entry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (entry->slot != Slot::kReady) continue;
+    if (best == nullptr || entry->spec.priority > best->spec.priority) {
+      best = entry.get();
+    }
+  }
+  return best;
+}
+
+void FleetOrchestrator::RefreshSiblingsLocked() {
+  if (leases_ == nullptr) return;
+  StatusOr<JournalReplayResult> merged = MergedReplay();
+  if (!merged.ok()) {
+    POISONREC_LOG(Warning) << "fleet: sibling journal merge failed: "
+                           << merged.status().ToString();
+    return;
+  }
+  for (const auto& entry : entries_) {
+    if (entry->slot != Slot::kSibling) continue;
+    const auto it = merged->campaigns.find(entry->spec.id);
+    if (it == merged->campaigns.end()) continue;
+    // Inherit the sibling's committed frontier: if we later seize the
+    // lease, the supervisor resumes from these steps (and the sibling's
+    // token-suffixed checkpoint), keeping recovery bit-identical.
+    entry->replay = it->second;
+    if (IsTerminal(it->second.state)) {
+      // Preserve the fenced flag (and the local run's wall clock) when
+      // this worker lost the campaign mid-run: the sibling's terminal
+      // state is authoritative, but the report must still say we were
+      // fenced out.
+      const bool was_fenced = entry->has_outcome && entry->outcome.fenced;
+      const double wall_seconds =
+          entry->has_outcome ? entry->outcome.wall_seconds : 0.0;
+      entry->outcome =
+          OutcomeFromReplay(entry->spec.id, it->second, /*sibling=*/true);
+      if (was_fenced) {
+        entry->outcome.fenced = true;
+        entry->outcome.wall_seconds = wall_seconds;
+      }
+      entry->has_outcome = true;
+      entry->slot = Slot::kDone;
+    }
+  }
+}
+
+void FleetOrchestrator::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  while (true) {
+    if (stop_.load(std::memory_order_acquire)) {
+      // Drain: queued campaigns are left for a later --resume (or a
+      // sibling); they journal nothing and report as interrupted.
+      for (const auto& entry : entries_) {
+        if (entry->slot != Slot::kReady) continue;
+        CampaignOutcome outcome;
+        outcome.id = entry->spec.id;
+        if (entry->replay.has_value()) {
+          outcome.steps_completed = entry->replay->steps_completed;
+          outcome.restarts = entry->replay->restarts;
+          outcome.best_reward = entry->replay->best_reward;
+          outcome.step_rewards = entry->replay->step_rewards;
+        }
+        outcome.preemptions = entry->preemptions;
+        outcome.state = outcome.steps_completed > 0
+                            ? CampaignState::kCheckpointed
+                            : CampaignState::kPending;
+        outcome.interrupted = true;
+        outcome.detail = "not started: fleet shutdown requested";
+        entry->outcome = std::move(outcome);
+        entry->has_outcome = true;
+        entry->slot = Slot::kDone;
+      }
+      sched_cv_.notify_all();
+      return;
+    }
+
+    Entry* entry = BestReadyLocked();
+    if (entry != nullptr) {
+      // Mark the claim before dropping the lock so no sibling worker
+      // thread races us to the same entry.
+      entry->slot = Slot::kRunning;
+      std::uint64_t token = 0;
+      if (leases_ != nullptr) {
+        lock.unlock();
+        StatusOr<LeaseInfo> lease = leases_->Acquire(entry->spec.id);
+        lock.lock();
+        if (!lease.ok()) {
+          // A live sibling beat us to it; anything else (I/O) is worth
+          // a warning but is handled the same way — re-probed later.
+          entry->slot = Slot::kSibling;
+          if (lease.status().code() != StatusCode::kUnavailable) {
+            POISONREC_LOG(Warning)
+                << "fleet: lease acquire failed for " << entry->spec.id
+                << ": " << lease.status().ToString();
+          }
+          continue;
+        }
+        token = lease->token;
+      }
+
+      SupervisorOptions supervisor_options;
+      supervisor_options.checkpoint_dir = options_.checkpoint_dir;
+      supervisor_options.journal = &journal_;
+      supervisor_options.fleet_stop = &stop_;
+      supervisor_options.replay = entry->replay;
+      supervisor_options.leases = leases_.get();
+      supervisor_options.lease_token = token;
+      supervisor_options.preemptions = entry->preemptions;
+      supervisor_options.retry_sleep = options_.retry_sleep;
+      supervisor_options.restart_sleep = options_.restart_sleep;
+      auto supervisor = std::make_shared<CampaignSupervisor>(
+          entry->spec, dataset_, std::move(supervisor_options));
+      entry->supervisor = supervisor;
+      entry->last_renew_ticks = internal::NowTicks();
+
+      lock.unlock();
+      CampaignOutcome outcome;
+      bool crashed = false;
+      try {
+        outcome = supervisor->Run();
+      } catch (const std::exception& e) {
+        crashed = true;
+        outcome.id = entry->spec.id;
+        outcome.state = CampaignState::kFailed;
+        outcome.detail = std::string("uncaught exception: ") + e.what();
+        CampaignJournalRecord record;
+        record.campaign_id = outcome.id;
+        record.state = CampaignState::kFailed;
+        record.token = token;
+        if (leases_ != nullptr) record.owner = leases_->owner_id();
+        record.detail = outcome.detail;
+        journal_.Record(record);
+      }
+      const bool release_lease =
+          leases_ != nullptr && !outcome.fenced;
+      if (release_lease) {
+        const Status released = leases_->Release(entry->spec.id, token);
+        if (!released.ok()) {
+          POISONREC_LOG(Warning)
+              << "fleet: lease release failed for " << entry->spec.id
+              << ": " << released.ToString();
+        }
+      }
+      lock.lock();
+      entry->supervisor.reset();
+      if (outcome.fenced) {
+        // The seizing sibling owns the campaign now; our provisional
+        // outcome is kept only for the fenced flag — the final merged
+        // replay supplies the authoritative state.
+        entry->outcome = std::move(outcome);
+        entry->has_outcome = true;
+        entry->slot = Slot::kSibling;
+      } else if (!crashed && outcome.state == CampaignState::kPreempted) {
+        entry->preemptions = outcome.preemptions;
+        entry->replay = ReplayFromOutcome(outcome);
+        entry->outcome = std::move(outcome);
+        entry->has_outcome = true;
+        entry->slot = Slot::kReady;
+      } else {
+        entry->outcome = std::move(outcome);
+        entry->has_outcome = true;
+        entry->slot = Slot::kDone;
+      }
+      sched_cv_.notify_all();
+      continue;
+    }
+
+    bool have_running = false;
+    bool have_sibling = false;
+    for (const auto& e : entries_) {
+      have_running |= e->slot == Slot::kRunning;
+      have_sibling |= e->slot == Slot::kSibling;
+    }
+    if (!have_running && !have_sibling) return;  // drained
+
+    double wait_seconds = std::max(options_.watchdog_poll_seconds, 0.001);
+    if (have_sibling && leases_ != nullptr) {
+      // Probe cadence for sibling liveness: a fraction of the TTL so a
+      // dead sibling's campaigns are seized promptly.
+      wait_seconds = std::min(
+          wait_seconds, std::max(options_.lease_ttl_seconds / 4.0, 0.01));
+    }
+    ++idle_workers_;
+    sched_cv_.wait_for(lock,
+                       std::chrono::duration<double>(wait_seconds));
+    --idle_workers_;
+    if (have_sibling && leases_ != nullptr &&
+        !stop_.load(std::memory_order_acquire)) {
+      RefreshSiblingsLocked();
+      for (const auto& e : entries_) {
+        if (e->slot != Slot::kSibling) continue;
+        StatusOr<LeaseInfo> info = leases_->Read(e->spec.id);
+        const bool seizable =
+            info.ok() ? leases_->Seizable(*info)
+                      : info.status().code() == StatusCode::kNotFound;
+        // Re-queue: the claim path re-acquires under the flock, which
+        // is where the seizure (token bump) actually happens.
+        if (seizable) e->slot = Slot::kReady;
+      }
+    }
+  }
+}
+
+void FleetOrchestrator::WatchdogLoop() {
+  const double poll = std::max(options_.watchdog_poll_seconds, 0.001);
+  std::unique_lock<std::mutex> wlock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    // Condition-variable wait instead of a fixed sleep: ShutdownWatchdog
+    // and RequestShutdown wake it immediately, so join latency and
+    // shutdown propagation never wait out a long poll period.
+    watchdog_cv_.wait_for(wlock, std::chrono::duration<double>(poll),
+                          [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    wlock.unlock();
+
+    if (!options_.submit_dir.empty()) IngestSubmissions();
+
+    // Stall/deadline scan on a snapshot: Abort only flips atomics and
+    // the cancel token, but holding shared_ptrs keeps a supervisor
+    // alive even if its worker finishes mid-scan.
+    std::vector<std::shared_ptr<CampaignSupervisor>> running;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      for (const auto& entry : entries_) {
+        if (entry->slot == Slot::kRunning && entry->supervisor != nullptr) {
+          running.push_back(entry->supervisor);
+        }
+      }
+    }
+    for (const auto& supervisor : running) {
+      if (!supervisor->running()) continue;
+      const CampaignSpec& spec = supervisor->spec();
+      if (spec.deadline_seconds > 0.0 &&
+          supervisor->SecondsSinceStart() > spec.deadline_seconds) {
+        supervisor->Abort(
+            "deadline exceeded (" + std::to_string(spec.deadline_seconds) +
+                "s wall clock)",
+            /*allow_restart=*/false);
+      } else if (spec.stall_timeout_seconds > 0.0 &&
+                 supervisor->SecondsSinceHeartbeat() >
+                     spec.stall_timeout_seconds) {
+        supervisor->Abort(
+            "stall: no heartbeat for " +
+                std::to_string(spec.stall_timeout_seconds) + "s",
+            /*allow_restart=*/true);
+      }
+    }
+
+    // Lease heartbeats every ttl/3: a worker alive but past renewal is
+    // indistinguishable from a dead one to siblings, so renewal rides
+    // the watchdog, which keeps ticking even when campaigns block.
+    if (leases_ != nullptr) {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      for (const auto& entry : entries_) {
+        if (entry->slot != Slot::kRunning || entry->supervisor == nullptr) {
+          continue;
+        }
+        if (internal::ElapsedSecondsSince(entry->last_renew_ticks) <
+            options_.lease_ttl_seconds / 3.0) {
+          continue;
+        }
+        const Status renewed = leases_->Renew(
+            entry->spec.id, entry->supervisor->lease_token());
+        if (renewed.ok()) {
+          entry->last_renew_ticks = internal::NowTicks();
+        } else if (renewed.code() == StatusCode::kFailedPrecondition) {
+          // Fenced out between commits (e.g. a SIGSTOP outlasted the
+          // TTL): stop the campaign before it writes anything else.
+          entry->supervisor->RequestSoftStop(SoftStopKind::kFenced);
+        } else {
+          POISONREC_LOG(Warning)
+              << "fleet: lease renew failed for " << entry->spec.id << ": "
+              << renewed.ToString();
+        }
+      }
+    }
+
+    // Priority preemption: a higher-priority campaign is ready, every
+    // worker is busy — soft-stop the lowest-priority running campaign
+    // at its next step boundary. One victim per poll; the re-queued
+    // victim's worker picks the high-priority campaign next.
+    if (!stop_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (idle_workers_ == 0) {
+        const Entry* best = BestReadyLocked();
+        if (best != nullptr) {
+          Entry* victim = nullptr;
+          for (const auto& entry : entries_) {
+            if (entry->slot != Slot::kRunning ||
+                entry->supervisor == nullptr) {
+              continue;
+            }
+            if (entry->supervisor->stop_pending()) continue;
+            if (entry->spec.max_preemptions == 0 ||
+                entry->preemptions >= entry->spec.max_preemptions) {
+              continue;  // preemption-immune: starvation cap reached
+            }
+            if (entry->spec.priority >= best->spec.priority) continue;
+            if (victim == nullptr ||
+                entry->spec.priority < victim->spec.priority) {
+              victim = entry.get();
+            }
+          }
+          if (victim != nullptr) {
+            POISONREC_LOG(Info)
+                << "fleet: preempting " << victim->spec.id << " (priority "
+                << victim->spec.priority << ") for " << best->spec.id
+                << " (priority " << best->spec.priority << ")";
+            victim->supervisor->RequestSoftStop(SoftStopKind::kPreempt);
+          }
+        }
+      }
+    }
+
+    wlock.lock();
+  }
+}
+
+void FleetOrchestrator::ShutdownWatchdog() {
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  watchdog_stop_ = true;
+  watchdog_cv_.notify_all();
+}
+
 Status FleetOrchestrator::WriteJsonReport(const FleetResult& result) const {
   std::string campaigns = "[";
   for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
@@ -88,6 +548,11 @@ Status FleetOrchestrator::WriteJsonReport(const FleetResult& result) const {
     campaigns += OutcomeJson(result.outcomes[i]);
   }
   campaigns += "]";
+  obs::JsonObjectBuilder journal;
+  journal.Int("files_merged", result.journal_files_merged)
+      .Int("malformed_lines", result.journal_malformed_lines)
+      .Int("torn_tail_lines", result.journal_torn_tail_lines)
+      .Int("stale_records", result.journal_stale_records);
   obs::JsonObjectBuilder summary;
   summary.Int("campaigns", result.outcomes.size())
       .Int("done", result.done)
@@ -95,13 +560,18 @@ Status FleetOrchestrator::WriteJsonReport(const FleetResult& result) const {
       .Int("failed", result.failed)
       .Int("interrupted", result.interrupted)
       .Int("recovered", result.recovered)
+      .Int("preemptions", result.preemptions)
+      .Int("fenced", result.fenced)
+      .Int("sibling", result.sibling_owned)
       .Num("wall_seconds", result.wall_seconds)
       .Int("exit_code", static_cast<std::uint64_t>(result.ExitCode()));
   obs::JsonObjectBuilder report;
   report.Str("type", "fleet_report")
       .Str("plan", result.plan_name)
-      .Str("dataset", plan_.dataset)
-      .Raw("summary", std::move(summary).Finish())
+      .Str("dataset", plan_.dataset);
+  if (options_.shared) report.Str("worker", options_.worker_id);
+  report.Raw("summary", std::move(summary).Finish())
+      .Raw("journal", std::move(journal).Finish())
       .Raw("campaigns", campaigns);
   std::ofstream out(options_.report_json_path,
                     std::ios::out | std::ios::trunc);
@@ -122,7 +592,7 @@ Status FleetOrchestrator::WriteCsvReport(const FleetResult& result) const {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"campaign_id", "state", "steps_completed", "restarts",
                   "rollbacks", "best_reward", "wall_seconds", "interrupted",
-                  "recovered", "detail"});
+                  "recovered", "preemptions", "detail"});
   for (const CampaignOutcome& outcome : result.outcomes) {
     rows.push_back({CsvSafe(outcome.id), CampaignStateName(outcome.state),
                     std::to_string(outcome.steps_completed),
@@ -132,6 +602,7 @@ Status FleetOrchestrator::WriteCsvReport(const FleetResult& result) const {
                     FormatDouble(outcome.wall_seconds),
                     outcome.interrupted ? "1" : "0",
                     outcome.recovered_from_journal ? "1" : "0",
+                    std::to_string(outcome.preemptions),
                     CsvSafe(outcome.detail)});
   }
   return WriteCsv(options_.report_csv_path, rows);
@@ -144,6 +615,9 @@ FleetResult FleetOrchestrator::Run() {
 
   result.status = ValidatePlan(plan_);
   if (!result.status.ok()) return result;
+  if (options_.shared && options_.worker_id.empty()) {
+    options_.worker_id = DefaultWorkerId();
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(options_.checkpoint_dir, ec);
@@ -158,141 +632,145 @@ FleetResult FleetOrchestrator::Run() {
   if (!journal_dir.empty()) {
     std::filesystem::create_directories(journal_dir, ec);
   }
+  if (options_.shared) {
+    leases_ = std::make_unique<LeaseManager>(
+        (std::filesystem::path(options_.checkpoint_dir) / "leases").string(),
+        options_.worker_id, options_.lease_ttl_seconds);
+    result.status = leases_->Init();
+    if (!result.status.ok()) return result;
+  }
 
   // --resume replays the journal before reopening it in append mode, so
-  // the recovery history and the new run share one file.
+  // the recovery history and the new run share one file family. Shared
+  // mode always replays: sibling workers may already hold progress, and
+  // its journals are append-only by construction.
   std::map<std::string, CampaignReplay> replay;
-  if (options_.resume && std::filesystem::exists(options_.journal_path)) {
-    StatusOr<std::map<std::string, CampaignReplay>> replayed =
-        FleetJournal::ReplayFile(options_.journal_path);
+  if (options_.resume || options_.shared) {
+    StatusOr<JournalReplayResult> replayed = MergedReplay();
     if (!replayed.ok()) {
       result.status = replayed.status();
       return result;
     }
-    replay = std::move(replayed).value();
-    POISONREC_LOG(Info) << "fleet resume: replayed " << replay.size()
-                        << " campaign(s) from " << options_.journal_path;
+    replay = std::move(replayed->campaigns);
+    if (!replay.empty()) {
+      POISONREC_LOG(Info) << "fleet resume: replayed " << replay.size()
+                          << " campaign(s) from "
+                          << replayed->files_merged << " journal file(s)";
+    }
   }
-  result.status = journal_.Open(options_.journal_path,
-                                /*truncate=*/!options_.resume);
+  result.status =
+      journal_.Open(WorkerJournalPath(),
+                    /*truncate=*/!(options_.resume || options_.shared));
   if (!result.status.ok()) return result;
 
-  const std::size_t n = plan_.campaigns.size();
-  std::vector<std::unique_ptr<CampaignSupervisor>> supervisors;
-  supervisors.reserve(n);
-  for (const CampaignSpec& spec : plan_.campaigns) {
-    SupervisorOptions supervisor_options;
-    supervisor_options.checkpoint_dir = options_.checkpoint_dir;
-    supervisor_options.journal = &journal_;
-    supervisor_options.fleet_stop = &stop_;
-    supervisor_options.retry_sleep = options_.retry_sleep;
-    supervisor_options.restart_sleep = options_.restart_sleep;
-    const auto it = replay.find(spec.id);
-    if (it != replay.end()) {
-      supervisor_options.replay = it->second;
-    } else if (options_.resume) {
-      POISONREC_LOG(Info) << "fleet resume: campaign " << spec.id
-                          << " has no journal history; scheduling fresh";
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    for (const CampaignSpec& spec : plan_.campaigns) {
+      auto entry = std::make_unique<Entry>();
+      entry->spec = spec;
+      const auto it = replay.find(spec.id);
+      if (it != replay.end()) {
+        entry->replay = it->second;
+        if (IsTerminal(it->second.state)) {
+          entry->outcome =
+              OutcomeFromReplay(spec.id, it->second, /*sibling=*/false);
+          entry->has_outcome = true;
+          entry->slot = Slot::kDone;
+        }
+      } else {
+        if (options_.resume) {
+          POISONREC_LOG(Info)
+              << "fleet resume: campaign " << spec.id
+              << " has no journal history; scheduling fresh";
+        }
+        CampaignJournalRecord record;
+        record.campaign_id = spec.id;
+        record.state = CampaignState::kPending;
+        journal_.Record(record);
+      }
+      entries_.push_back(std::move(entry));
     }
-    supervisors.push_back(std::make_unique<CampaignSupervisor>(
-        spec, dataset_, std::move(supervisor_options)));
-    if (it == replay.end()) {
-      CampaignJournalRecord record;
-      record.campaign_id = spec.id;
-      record.state = CampaignState::kPending;
-      journal_.Record(record);
-    }
+    accepting_ = true;
+    worker_count_ = std::max<std::size_t>(
+        1, std::min(options_.max_concurrent, entries_.size()));
   }
 
-  // Priority queue: highest priority first, plan order as the tiebreak.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     return plan_.campaigns[a].priority >
-                            plan_.campaigns[b].priority;
-                   });
-
-  // Watchdog: polls running supervisors and hard-cancels stalled or
-  // overdue attempts. Deadline beats stall when both are tripped — the
-  // deadline verdict (quarantine) is the stricter one.
-  std::atomic<bool> watchdog_stop{false};
-  std::thread watchdog([this, &watchdog_stop, &supervisors] {
-    while (!watchdog_stop.load(std::memory_order_acquire)) {
-      for (const auto& supervisor : supervisors) {
-        if (!supervisor->running()) continue;
-        const CampaignSpec& spec = supervisor->spec();
-        if (spec.deadline_seconds > 0.0 &&
-            supervisor->SecondsSinceStart() > spec.deadline_seconds) {
-          supervisor->Abort(
-              "deadline exceeded (" +
-                  std::to_string(spec.deadline_seconds) + "s wall clock)",
-              /*allow_restart=*/false);
-        } else if (spec.stall_timeout_seconds > 0.0 &&
-                   supervisor->SecondsSinceHeartbeat() >
-                       spec.stall_timeout_seconds) {
-          supervisor->Abort(
-              "stall: no heartbeat for " +
-                  std::to_string(spec.stall_timeout_seconds) + "s",
-              /*allow_restart=*/true);
-        }
-      }
-      std::this_thread::sleep_for(std::chrono::duration<double>(
-          std::max(options_.watchdog_poll_seconds, 0.001)));
-    }
-  });
-
-  std::vector<CampaignOutcome> outcomes(n);
-  std::vector<char> ran(n, 0);
-  std::atomic<std::size_t> next{0};
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min(options_.max_concurrent, n));
+  std::thread watchdog([this] { WatchdogLoop(); });
   // Workers are the global pool's one job; each campaign's internals are
   // single-threaded (MakeAttackerConfig), so no nested-parallelism
   // inversion and the structure stays fork-safe for crash tests.
-  ParallelFor(workers, workers, [&](std::size_t) {
-    while (true) {
-      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
-      if (slot >= order.size()) return;
-      const std::size_t index = order[slot];
-      // Supervisor::Run handles a raised stop flag itself (terminal
-      // replayed campaigns still surface as recovered; unstarted ones
-      // journal nothing and report pending/interrupted).
-      try {
-        outcomes[index] = supervisors[index]->Run();
-      } catch (const std::exception& e) {
-        CampaignOutcome outcome;
-        outcome.id = plan_.campaigns[index].id;
-        outcome.state = CampaignState::kFailed;
-        outcome.detail = std::string("uncaught exception: ") + e.what();
-        CampaignJournalRecord record;
-        record.campaign_id = outcome.id;
-        record.state = CampaignState::kFailed;
-        record.detail = outcome.detail;
-        journal_.Record(record);
-        outcomes[index] = std::move(outcome);
-      }
-      ran[index] = 1;
-    }
+  ParallelFor(worker_count_, worker_count_, [&](std::size_t) {
+    WorkerLoop();
   });
-
-  watchdog_stop.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    accepting_ = false;
+  }
+  ShutdownWatchdog();
   watchdog.join();
 
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!ran[i]) {
+  // Final merged replay: fills in campaigns owned or finished by sibling
+  // workers and surfaces journal hygiene counters in the report.
+  StatusOr<JournalReplayResult> final_replay = MergedReplay();
+  if (final_replay.ok()) {
+    result.journal_files_merged = final_replay->files_merged;
+    result.journal_malformed_lines = final_replay->malformed_lines;
+    result.journal_torn_tail_lines = final_replay->torn_tail_lines;
+    result.journal_stale_records = final_replay->stale_records;
+  } else {
+    POISONREC_LOG(Warning) << "fleet: final journal merge failed: "
+                           << final_replay.status().ToString();
+  }
+
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  for (const auto& entry : entries_) {
+    CampaignOutcome outcome;
+    if (entry->slot == Slot::kSibling) {
+      const bool was_fenced = entry->has_outcome && entry->outcome.fenced;
+      bool filled = false;
+      if (final_replay.ok()) {
+        const auto it = final_replay->campaigns.find(entry->spec.id);
+        if (it != final_replay->campaigns.end()) {
+          outcome = OutcomeFromReplay(entry->spec.id, it->second,
+                                      /*sibling=*/true);
+          if (!IsTerminal(outcome.state)) {
+            // The sibling is still working (or died mid-run): resumable,
+            // not finished — partial from this worker's point of view.
+            outcome.interrupted = true;
+            outcome.recovered_from_journal = false;
+            outcome.detail = "owned by sibling worker";
+          }
+          filled = true;
+        }
+      }
+      if (!filled) {
+        outcome.id = entry->spec.id;
+        outcome.state = CampaignState::kPending;
+        outcome.interrupted = true;
+        outcome.sibling_owned = true;
+        outcome.detail = "owned by sibling worker";
+      }
+      if (was_fenced) {
+        outcome.fenced = true;
+        outcome.wall_seconds = entry->outcome.wall_seconds;
+      }
+    } else if (entry->has_outcome) {
+      outcome = entry->outcome;
+    } else {
       // Defensive: with the queue drained this cannot happen, but a
       // worker that died mid-pop must not leave a default outcome.
-      CampaignOutcome& outcome = outcomes[i];
-      outcome.id = plan_.campaigns[i].id;
+      outcome.id = entry->spec.id;
       outcome.state = CampaignState::kPending;
       outcome.interrupted = true;
       outcome.detail = "never scheduled";
     }
+    result.outcomes.push_back(std::move(outcome));
   }
 
-  result.outcomes = std::move(outcomes);
   for (const CampaignOutcome& outcome : result.outcomes) {
+    result.preemptions += outcome.preemptions;
+    if (outcome.fenced) ++result.fenced;
+    if (outcome.sibling_owned) ++result.sibling_owned;
     if (outcome.recovered_from_journal) ++result.recovered;
     if (outcome.interrupted) {
       ++result.interrupted;
@@ -317,7 +795,7 @@ FleetResult FleetOrchestrator::Run() {
 
   obs::MetricsRegistry::Global()
       .GetGauge("poisonrec_fleet_last_run_campaigns")
-      ->Set(static_cast<double>(n));
+      ->Set(static_cast<double>(result.outcomes.size()));
   obs::MetricsRegistry::Global()
       .GetGauge("poisonrec_fleet_last_run_wall_seconds")
       ->Set(result.wall_seconds);

@@ -1,41 +1,57 @@
 // Fleet orchestrator: runs a FleetPlan's campaigns under supervision
 // with bounded concurrency, a stall/deadline watchdog, a crash-durable
-// journal, and a consolidated report.
+// journal, priority preemption, and a consolidated report. With
+// --shared, N orchestrator processes cooperate on one plan over a
+// shared journal/checkpoint/lease directory (orch/lease.h).
 //
 // Lifecycle of one `poisonrec fleet` run:
 //
 //   1. Validate the plan and create the checkpoint directory.
-//   2. On --resume, replay the journal: campaigns already in a terminal
-//      state (done/quarantined/failed) are reported as recovered without
-//      re-running; unfinished ones are re-scheduled from their last
-//      durable checkpoint.
-//   3. Pop campaigns off a priority queue (priority desc, plan order as
-//      tiebreak) onto `max_concurrent` workers. Each campaign runs inside
-//      a CampaignSupervisor (orch/supervisor.h).
-//   4. A watchdog thread polls every running supervisor: a heartbeat gap
-//      past `stall_timeout_seconds` hard-cancels the attempt with the
-//      restart budget available; a wall-clock overrun past
-//      `deadline_seconds` hard-cancels with restarts disallowed
-//      (quarantine).
-//   5. RequestShutdown (wired to SIGINT/SIGTERM by the CLI) soft-stops
-//      the fleet: running campaigns checkpoint at the next step boundary
-//      and journal `checkpointed`; queued campaigns are left pending.
-//      Both are picked up by a later `fleet --resume`.
-//   6. Write results/fleet_report.{json,csv} summarising every campaign.
+//   2. On --resume, replay the journal (all sibling journal files are
+//      merged in shared mode, fencing-token-aware): campaigns already
+//      terminal (done/quarantined/failed) are reported as recovered
+//      without re-running; unfinished ones are re-scheduled from their
+//      last durable checkpoint.
+//   3. Workers claim the highest-priority ready campaign (plan order as
+//      tiebreak). In shared mode a claim also acquires the campaign
+//      lease; a campaign held by a live sibling is left to it, and an
+//      expired lease (dead or stopped sibling) is seized with an
+//      incremented fencing token after re-merging the journals.
+//   4. A watchdog thread (condition-variable wait, so shutdown wakes it
+//      immediately) polls running supervisors: stall -> hard cancel +
+//      restart budget; deadline overrun -> quarantine. It also renews
+//      held leases every ttl/3, ingests --submit-dir campaign files,
+//      and drives preemption: when a higher-priority campaign is ready
+//      and every worker is busy, the lowest-priority running campaign
+//      is soft-stopped at its next step boundary, journals `preempted`,
+//      and is re-queued (spec.max_preemptions caps how often).
+//   5. RequestShutdown (threads) / RequestShutdownFromSignal (signal
+//      handlers) soft-stop the fleet: running campaigns checkpoint at
+//      the next step boundary and journal `checkpointed`; queued ones
+//      stay pending. Both resume under a later `fleet --resume`.
+//   6. Write results/fleet_report.{json,csv}. In shared mode the final
+//      report merges every worker's journal, so campaigns finished by
+//      siblings appear with their real states.
 //
 // Exit-code contract (FleetResult::ExitCode): 0 = every campaign done;
-// 2 = partial (quarantined, failed, or interrupted campaigns remain);
-// 1 = fatal orchestrator error (bad plan, journal/report I/O failure).
+// 2 = partial (quarantined, failed, interrupted, or still owned by a
+// live sibling); 1 = fatal orchestrator error.
 #ifndef POISONREC_ORCH_FLEET_H_
 #define POISONREC_ORCH_FLEET_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
 #include "orch/journal.h"
+#include "orch/lease.h"
 #include "orch/spec.h"
 #include "orch/supervisor.h"
 #include "util/retry.h"
@@ -44,9 +60,12 @@
 namespace poisonrec::orch {
 
 struct FleetOptions {
-  /// JSONL write-ahead journal; replayed by --resume after a crash.
+  /// JSONL write-ahead journal; replayed by --resume after a crash. In
+  /// shared mode each worker appends to its own sibling file
+  /// `<stem>.<worker id><ext>` and replay merges the whole family.
   std::string journal_path = "results/fleet_journal.jsonl";
-  /// Directory of per-campaign v3 checkpoints (`<id>.ckpt`).
+  /// Directory of per-campaign v3 checkpoints (`<id>.ckpt`; token-
+  /// suffixed `<id>.t<token>.ckpt` in shared mode).
   std::string checkpoint_dir = "results/fleet_checkpoints";
   /// Consolidated report paths; empty skips that format.
   std::string report_json_path = "results/fleet_report.json";
@@ -58,8 +77,25 @@ struct FleetOptions {
   /// parallelism knob.
   std::size_t max_concurrent = 2;
   /// Watchdog poll cadence. Small enough that sub-second stall timeouts
-  /// in tests fire promptly.
+  /// in tests fire promptly. Programmatic shutdown does not wait for it
+  /// (condition variables wake immediately); signal-handler shutdown
+  /// latency is bounded by one poll.
   double watchdog_poll_seconds = 0.02;
+  /// Multi-process fleet: claim campaigns through leases, append to a
+  /// per-worker journal file, merge sibling journals at replay/report
+  /// time. Implies the journal is never truncated.
+  bool shared = false;
+  /// Worker identity in lease files and journal records; empty uses
+  /// DefaultWorkerId() (`w<pid>-<nonce>`). Only meaningful with shared.
+  std::string worker_id;
+  /// Lease heartbeat TTL: a lease not renewed for this long counts as
+  /// abandoned and may be seized by a sibling.
+  double lease_ttl_seconds = 2.0;
+  /// Directory watched for late campaign submissions (`*.json`, one
+  /// ParseCampaignSpecText object per file). Empty disables. Each file
+  /// is ingested once; a high-priority submission preempts a running
+  /// lower-priority campaign when all workers are busy.
+  std::string submit_dir;
   /// Test seams forwarded to every supervisor ({} = really sleep).
   SleepFn retry_sleep;
   SleepFn restart_sleep;
@@ -67,15 +103,30 @@ struct FleetOptions {
 
 struct FleetResult {
   std::string plan_name;
-  /// One outcome per plan campaign, in plan order.
+  /// One outcome per campaign: plan order, then submissions in arrival
+  /// order.
   std::vector<CampaignOutcome> outcomes;
   std::size_t done = 0;
   std::size_t quarantined = 0;
   std::size_t failed = 0;
-  /// Interrupted by shutdown (resumable: checkpointed or still pending).
+  /// Interrupted by shutdown (resumable: checkpointed, preempted-but-
+  /// not-rescheduled, or still pending) or still running on a sibling.
   std::size_t interrupted = 0;
-  /// Terminal outcomes recovered from the journal without re-running.
+  /// Terminal outcomes recovered from the journal without re-running
+  /// (including campaigns a sibling worker finished).
   std::size_t recovered = 0;
+  /// Total preemption soft-stops across campaigns this run.
+  std::size_t preemptions = 0;
+  /// Campaigns this worker lost mid-run to a lease seizure.
+  std::size_t fenced = 0;
+  /// Campaigns owned by sibling workers (shared mode).
+  std::size_t sibling_owned = 0;
+  /// Journal-merge hygiene (orch/journal.h JournalReplayResult) from
+  /// the final replay backing this report.
+  std::size_t journal_files_merged = 0;
+  std::uint64_t journal_malformed_lines = 0;
+  std::uint64_t journal_torn_tail_lines = 0;
+  std::uint64_t journal_stale_records = 0;
   double wall_seconds = 0.0;
   /// Orchestrator-level status (plan validation, journal/report I/O).
   /// Individual campaign failures do NOT make this non-OK.
@@ -93,23 +144,95 @@ class FleetOrchestrator {
   /// Runs the fleet to completion (or to shutdown). Call once.
   FleetResult Run();
 
-  /// Async-signal-safe graceful shutdown: a single atomic store. Running
-  /// campaigns stop at the next step boundary, already checkpointed.
-  void RequestShutdown() { stop_.store(true, std::memory_order_release); }
+  /// Graceful shutdown from another thread: running campaigns stop at
+  /// the next step boundary, already checkpointed. Wakes the scheduler
+  /// and watchdog immediately (condition-variable notify), so shutdown
+  /// latency does not depend on watchdog_poll_seconds.
+  void RequestShutdown();
+
+  /// Async-signal-safe shutdown: a single atomic store, no locking or
+  /// notification (pthread_cond_signal is not signal-safe). Workers and
+  /// watchdog observe it within one watchdog poll.
+  void RequestShutdownFromSignal() {
+    stop_.store(true, std::memory_order_release);
+  }
 
   bool shutdown_requested() const {
     return stop_.load(std::memory_order_acquire);
   }
 
+  /// Submits a late campaign while Run is active (also the backend of
+  /// --submit-dir). The campaign joins the ready queue at its priority;
+  /// duplicate ids are rejected. Thread-safe.
+  Status Submit(CampaignSpec spec);
+
  private:
+  /// Scheduler slot of one campaign.
+  enum class Slot {
+    kReady,    // waiting for a worker (fresh, resumed, or re-queued)
+    kRunning,  // a local supervisor is executing it
+    kDone,     // outcome final for this worker (terminal / interrupted)
+    kSibling,  // shared mode: a sibling worker holds the lease
+  };
+  struct Entry {
+    CampaignSpec spec;
+    Slot slot = Slot::kReady;
+    /// Live supervisor while kRunning (shared_ptr: the watchdog uses it
+    /// outside the scheduler lock).
+    std::shared_ptr<CampaignSupervisor> supervisor;
+    CampaignOutcome outcome;
+    bool has_outcome = false;
+    /// Journal state carried into the next (re)start of this campaign.
+    std::optional<CampaignReplay> replay;
+    /// Preemptions charged so far (spec.max_preemptions is the cap).
+    std::uint64_t preemptions = 0;
+    /// Ticks of the last successful lease renewal (watchdog cadence).
+    std::uint64_t last_renew_ticks = 0;
+  };
+
   Status WriteJsonReport(const FleetResult& result) const;
   Status WriteCsvReport(const FleetResult& result) const;
+  /// One scheduler worker: claim -> run -> classify, until drained.
+  void WorkerLoop();
+  /// Watchdog body: stall/deadline aborts, lease renewal, preemption,
+  /// submit-dir ingestion. Returns when ShutdownWatchdog was called.
+  void WatchdogLoop();
+  void ShutdownWatchdog();
+  /// Picks the best ready entry (highest priority, arrival tiebreak);
+  /// nullptr when none. Caller holds sched_mu_.
+  Entry* BestReadyLocked();
+  /// Shared mode: re-merge every journal file and fold fresh sibling
+  /// progress into kSibling entries (terminal ones become kDone).
+  /// Caller holds sched_mu_.
+  void RefreshSiblingsLocked();
+  /// Shared mode: scan submit_dir for new `*.json` campaign files.
+  void IngestSubmissions();
+  /// Journal merge of the worker's own file, or the whole sibling
+  /// family in shared mode.
+  StatusOr<JournalReplayResult> MergedReplay() const;
+  /// The path this worker's journal records go to.
+  std::string WorkerJournalPath() const;
 
   FleetPlan plan_;
   const data::Dataset* dataset_;
   FleetOptions options_;
   std::atomic<bool> stop_{false};
   FleetJournal journal_;
+  std::unique_ptr<LeaseManager> leases_;
+
+  /// Scheduler state: entries are stable (unique_ptr) so supervisors
+  /// and the watchdog can hold references across queue mutations.
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  bool accepting_ = false;
+  std::size_t idle_workers_ = 0;
+  std::size_t worker_count_ = 0;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::set<std::string> ingested_submissions_;
 };
 
 }  // namespace poisonrec::orch

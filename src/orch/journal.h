@@ -1,14 +1,20 @@
 // Crash-durable fleet journal: the orchestrator's write-ahead record of
 // every campaign's lifecycle, one JSONL line per transition, backed by
-// obs::EventLog (per-line fflush — everything up to the last completed
-// append survives kill -9).
+// obs::EventLog (O_APPEND single-write appends — everything up to the
+// last completed append survives kill -9, and appends from multiple
+// `fleet --shared` worker processes never interleave mid-line).
 //
 // State machine per campaign:
 //
 //   pending ──> running ──> checkpointed ──> ... ──> done
-//                  │              │                   (terminal)
-//                  │              └──(more steps)──┐
-//                  │                               │
+//                  │  ▲           │                   (terminal)
+//                  │  │           └──(more steps)──┐
+//                  │  │                            │
+//                  │  └── preempted (resumable: a higher-priority
+//                  │       campaign needed the worker; the victim
+//                  │       checkpointed at its step boundary and is
+//                  │       re-queued — orch/fleet.h priority preemption)
+//                  │
 //                  ├──> quarantined (terminal: circuit breaker — stalls
 //                  │                 past the restart budget, deadline
 //                  │                 exceeded, pool exhausted, rollback
@@ -22,17 +28,27 @@
 // the committed reward sequence and `fleet --resume` can verify
 // bit-identical recovery.
 //
-// Replay folds the log per campaign id: last state wins, step rewards
-// dedup by step index (last wins — a kill between a step's journal
-// record and an interrupted follow-up re-runs that step
-// deterministically), and a torn trailing line (the crash frontier) is
-// skipped, not fatal.
+// Fencing: every record carries the writer's lease token and owner id
+// (orch/lease.h; token 0 = single-process fleet, no leases). In shared
+// fleets each worker appends to its own `<stem>.<worker>.jsonl` next to
+// the configured journal path, and Replay() merges every sibling file.
+//
+// Replay folds the merged stream per campaign id with token-aware
+// last-writer-wins: the campaign's authoritative state comes from its
+// highest-token records (a fenced-out zombie's stale-token writes are
+// counted in `stale_records` and cannot override the new owner); step
+// rewards dedup by step index with the higher token winning the step
+// (rewards are deterministic, so epochs agree where they overlap); a
+// torn trailing line per file (the crash frontier) is tolerated, while
+// malformed interior lines are counted in `malformed_lines` and
+// surfaced in the fleet report instead of silently skipped.
 #ifndef POISONREC_ORCH_JOURNAL_H_
 #define POISONREC_ORCH_JOURNAL_H_
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/event_log.h"
 #include "util/status.h"
@@ -52,6 +68,9 @@ enum class CampaignState : std::uint8_t {
   kQuarantined = 4,
   /// Terminal: unexpected error (orchestrator bug, I/O failure).
   kFailed = 5,
+  /// Resumable: soft-stopped at a step boundary to hand its worker to a
+  /// higher-priority campaign; re-queued by the scheduler.
+  kPreempted = 6,
 };
 
 /// Stable snake_case name used in journal lines and reports.
@@ -70,6 +89,10 @@ struct CampaignJournalRecord {
   double reward = 0.0;
   double best_reward = 0.0;
   std::uint64_t restarts = 0;
+  /// Fencing token of the writer's campaign lease (0 = no lease).
+  std::uint64_t token = 0;
+  /// Worker id of the writer ("" = single-process fleet).
+  std::string owner;
   std::string detail;
 };
 
@@ -79,17 +102,37 @@ struct CampaignReplay {
   std::uint64_t steps_completed = 0;
   std::uint64_t restarts = 0;
   double best_reward = 0.0;
+  /// Highest fencing token seen for the campaign: the authoritative
+  /// ownership epoch. A resuming owner must acquire a token above it.
+  std::uint64_t token = 0;
   std::string detail;
-  /// step index -> committed mean reward, deduped (last record wins).
+  /// step index -> committed mean reward, deduped (higher token wins a
+  /// step; within an epoch the last record wins).
   std::map<std::uint64_t, double> step_rewards;
 };
 
+/// Result of merging one or more journal files.
+struct JournalReplayResult {
+  std::map<std::string, CampaignReplay> campaigns;
+  /// Malformed lines in a file's interior — real corruption, surfaced
+  /// in the fleet report (a torn FINAL line per file is expected after
+  /// kill -9 and counted separately).
+  std::uint64_t malformed_lines = 0;
+  std::uint64_t torn_tail_lines = 0;
+  /// Records whose token was below the campaign's winning epoch —
+  /// writes from fenced-out (seized) owners, rejected by replay.
+  std::uint64_t stale_records = 0;
+  std::size_t files_merged = 0;
+};
+
 /// Append side. Thread-safe: concurrent Record calls serialize on the
-/// underlying EventLog's per-line mutex.
+/// underlying EventLog's per-line mutex; cross-process appends rely on
+/// the EventLog O_APPEND single-write contract.
 class FleetJournal {
  public:
-  /// Opens the journal. truncate=false (resume) appends to the existing
-  /// log so the recovery history stays in one file.
+  /// Opens the journal. truncate=false (resume / shared workers)
+  /// appends to the existing log so the recovery history stays in one
+  /// file.
   Status Open(const std::string& path, bool truncate);
 
   /// Appends one record (no-op returning false when closed).
@@ -100,9 +143,20 @@ class FleetJournal {
   const std::string& path() const { return log_.path(); }
   std::uint64_t records_written() const { return log_.lines_written(); }
 
-  /// Replays a journal file into per-campaign folded state. A missing
-  /// file is an error; a torn/malformed line is skipped (the line under
-  /// the crash frontier); unknown record types are ignored.
+  /// Sibling journal files of `base_path`: every `<stem>*<ext>` in its
+  /// directory (the base file plus per-worker `<stem>.<worker><ext>`
+  /// files), sorted by name for deterministic merge order. Missing
+  /// files simply yield an empty list.
+  static std::vector<std::string> ListJournalFiles(
+      const std::string& base_path);
+
+  /// Merges `paths` into per-campaign folded state (see the header
+  /// comment for the token-aware fold rules). Unreadable files are an
+  /// error; unknown record types are ignored.
+  static StatusOr<JournalReplayResult> Replay(
+      const std::vector<std::string>& paths);
+
+  /// Single-file convenience wrapper around Replay (legacy signature).
   static StatusOr<std::map<std::string, CampaignReplay>> ReplayFile(
       const std::string& path);
 

@@ -141,7 +141,8 @@ Status ApplyCampaignKeys(const JsonValue& obj, CampaignSpec* spec,
        "steps", "samples_per_step", "attackers", "trajectory_length",
        "targets", "embedding_dim", "eval_users", "seed", "retry_attempts",
        "retry_deadline_seconds", "priority", "deadline_seconds",
-       "stall_timeout_seconds", "max_restarts", "restart_backoff_seconds"},
+       "stall_timeout_seconds", "max_restarts", "restart_backoff_seconds",
+       "max_preemptions"},
       what));
   if (!allow_id && obj.Find("id") != nullptr) {
     return KeyError(what, "id", "not allowed in the defaults block");
@@ -208,6 +209,8 @@ Status ApplyCampaignKeys(const JsonValue& obj, CampaignSpec* spec,
       ReadSize(obj, "max_restarts", &spec->max_restarts, what));
   POISONREC_RETURN_NOT_OK(ReadDouble(
       obj, "restart_backoff_seconds", &spec->restart_backoff_seconds, what));
+  POISONREC_RETURN_NOT_OK(
+      ReadSize(obj, "max_preemptions", &spec->max_preemptions, what));
   return Status::OK();
 }
 
@@ -408,45 +411,65 @@ Status ValidatePlan(const FleetPlan& plan) {
   }
   std::set<std::string> ids;
   for (const CampaignSpec& spec : plan.campaigns) {
-    if (!ValidId(spec.id)) {
-      return Status::InvalidArgument(
-          "campaign id \"" + spec.id +
-          "\" must be non-empty [A-Za-z0-9._-] (it names journal keys and "
-          "checkpoint files)");
-    }
+    POISONREC_RETURN_NOT_OK(ValidateCampaignSpec(spec));
     if (!ids.insert(spec.id).second) {
       return Status::InvalidArgument("duplicate campaign id \"" + spec.id +
                                      "\"");
     }
-    const std::string where = "campaign \"" + spec.id + "\": ";
-    if (spec.steps == 0) {
-      return Status::InvalidArgument(where + "steps must be >= 1");
-    }
-    if (spec.samples_per_step < 2) {
-      return Status::InvalidArgument(
-          where + "samples_per_step must be >= 2 (Eq. 8 normalization)");
-    }
-    if (spec.attackers == 0 || spec.trajectory_length == 0 ||
-        spec.num_target_items == 0) {
-      return Status::InvalidArgument(
-          where + "attackers, trajectory_length and targets must be >= 1");
-    }
-    if (spec.fault.stale_reward_rate > 0.0) {
-      return Status::InvalidArgument(
-          where +
-          "stale reward faults are process-local runtime state and break "
-          "bit-identical crash recovery; the orchestrator refuses them");
-    }
-    if (spec.defense && spec.pool_reserve > 0 &&
-        spec.pool_min_live > spec.attackers) {
-      return Status::InvalidArgument(
-          where + "pool_min_live exceeds the attacker fleet size");
-    }
-    if (spec.retry_attempts == 0) {
-      return Status::InvalidArgument(where + "retry_attempts must be >= 1");
-    }
   }
   return Status::OK();
+}
+
+Status ValidateCampaignSpec(const CampaignSpec& spec) {
+  if (!ValidId(spec.id)) {
+    return Status::InvalidArgument(
+        "campaign id \"" + spec.id +
+        "\" must be non-empty [A-Za-z0-9._-] (it names journal keys and "
+        "checkpoint files)");
+  }
+  const std::string where = "campaign \"" + spec.id + "\": ";
+  if (spec.steps == 0) {
+    return Status::InvalidArgument(where + "steps must be >= 1");
+  }
+  if (spec.samples_per_step < 2) {
+    return Status::InvalidArgument(
+        where + "samples_per_step must be >= 2 (Eq. 8 normalization)");
+  }
+  if (spec.attackers == 0 || spec.trajectory_length == 0 ||
+      spec.num_target_items == 0) {
+    return Status::InvalidArgument(
+        where + "attackers, trajectory_length and targets must be >= 1");
+  }
+  if (spec.fault.stale_reward_rate > 0.0) {
+    return Status::InvalidArgument(
+        where +
+        "stale reward faults are process-local runtime state and break "
+        "bit-identical crash recovery; the orchestrator refuses them");
+  }
+  if (spec.defense && spec.pool_reserve > 0 &&
+      spec.pool_min_live > spec.attackers) {
+    return Status::InvalidArgument(
+        where + "pool_min_live exceeds the attacker fleet size");
+  }
+  if (spec.retry_attempts == 0) {
+    return Status::InvalidArgument(where + "retry_attempts must be >= 1");
+  }
+  return Status::OK();
+}
+
+StatusOr<CampaignSpec> ParseCampaignSpecText(std::string_view json_text) {
+  POISONREC_ASSIGN_OR_RETURN(const JsonValue root, ParseJson(json_text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("campaign spec must be a JSON object");
+  }
+  CampaignSpec spec;
+  POISONREC_RETURN_NOT_OK(
+      ApplyCampaignKeys(root, &spec, /*allow_id=*/true, "campaign"));
+  if (spec.id.empty()) {
+    return KeyError("campaign", "id", "required for submitted campaigns");
+  }
+  POISONREC_RETURN_NOT_OK(ValidateCampaignSpec(spec));
+  return spec;
 }
 
 core::PoisonRecConfig MakeAttackerConfig(const CampaignSpec& spec) {

@@ -27,7 +27,8 @@
 // pool_reserve, pool_min_live, steps, samples_per_step, attackers,
 // trajectory_length, targets, embedding_dim, eval_users, seed,
 // retry_attempts, retry_deadline_seconds, priority, deadline_seconds,
-// stall_timeout_seconds, max_restarts, restart_backoff_seconds.
+// stall_timeout_seconds, max_restarts, restart_backoff_seconds,
+// max_preemptions.
 // Unknown keys are rejected — a misspelled knob must fail the plan, not
 // silently run with the default.
 #ifndef POISONREC_ORCH_SPEC_H_
@@ -93,6 +94,11 @@ struct CampaignSpec {
   /// Base delay between restarts (grows with util/retry's decorrelated
   /// jitter schedule).
   double restart_backoff_seconds = 0.05;
+  /// Times this campaign may be soft-stopped at a step boundary to hand
+  /// its worker to a higher-priority campaign (orch/fleet.h). Past the
+  /// cap it becomes preemption-immune, so repeated high-priority
+  /// arrivals cannot starve it. 0 = never preemptible.
+  std::size_t max_preemptions = 3;
 };
 
 /// The whole fleet: one shared synthetic dataset + campaigns.
@@ -121,6 +127,15 @@ StatusOr<FleetPlan> LoadFleetPlan(const std::string& path);
 /// Structural validation used by ParseFleetPlan and re-run by the
 /// orchestrator on programmatically built plans.
 Status ValidatePlan(const FleetPlan& plan);
+
+/// Per-campaign structural validation (the per-entry half of
+/// ValidatePlan); also guards FleetOrchestrator::Submit, where a
+/// campaign arrives without an enclosing plan.
+Status ValidateCampaignSpec(const CampaignSpec& spec);
+
+/// Parses one standalone campaign object — the `fleet --submit-dir`
+/// file format. Same keys as a plan campaign entry; id is required.
+StatusOr<CampaignSpec> ParseCampaignSpecText(std::string_view json_text);
 
 /// Maps a campaign spec onto the attacker / environment configs. The
 /// attacker always runs guarded (TrainGuarded requires it) with

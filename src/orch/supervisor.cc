@@ -50,6 +50,29 @@ obs::Counter* FleetCounter(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name);
 }
 
+/// Parses `<id>.t<N>.ckpt` names; nullopt for the plain `<id>.ckpt`
+/// (token 0) and anything that is not a token-suffixed checkpoint of
+/// this campaign.
+std::optional<std::uint64_t> CheckpointToken(const std::string& filename,
+                                             const std::string& id) {
+  const std::string prefix = id + ".t";
+  const std::string suffix = ".ckpt";
+  if (filename.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t token = 0;
+  for (std::size_t i = prefix.size(); i < filename.size() - suffix.size();
+       ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    token = token * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return token;
+}
+
 }  // namespace
 
 CampaignSupervisor::CampaignSupervisor(const CampaignSpec& spec,
@@ -60,9 +83,45 @@ CampaignSupervisor::CampaignSupervisor(const CampaignSpec& spec,
 }
 
 std::string CampaignSupervisor::CheckpointPath() const {
-  return (std::filesystem::path(options_.checkpoint_dir) /
-          (spec_.id + ".ckpt"))
-      .string();
+  // Token-suffixed under a lease: each ownership epoch publishes to its
+  // own file, so a fenced-out zombie's in-flight save lands in a file
+  // the new owner (holding a strictly higher token) never reads.
+  const std::string name =
+      options_.leases != nullptr
+          ? spec_.id + ".t" + std::to_string(options_.lease_token) + ".ckpt"
+          : spec_.id + ".ckpt";
+  return (std::filesystem::path(options_.checkpoint_dir) / name).string();
+}
+
+std::string CampaignSupervisor::FindResumeCheckpoint() const {
+  if (options_.leases == nullptr) {
+    const std::string path = CheckpointPath();
+    return std::filesystem::exists(path) ? path : std::string();
+  }
+  // Newest epoch at or below our token: normally the previous owner's
+  // frontier (our token - 1) right after a seizure, or our own file
+  // after a restart. Files above our token would mean we are the
+  // zombie; they are ignored here and the lease validation at the next
+  // commit fences us out.
+  const std::filesystem::path dir(options_.checkpoint_dir);
+  std::uint64_t best_token = 0;
+  std::string best_path;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    std::optional<std::uint64_t> token = CheckpointToken(name, spec_.id);
+    if (!token.has_value()) {
+      if (name == spec_.id + ".ckpt") token = 0;  // pre-shared legacy file
+      else continue;
+    }
+    if (*token > options_.lease_token) continue;
+    if (best_path.empty() || *token >= best_token) {
+      best_token = *token;
+      best_path = it->path().string();
+    }
+  }
+  return best_path;
 }
 
 void CampaignSupervisor::Journal(CampaignState state, std::uint64_t step,
@@ -70,6 +129,21 @@ void CampaignSupervisor::Journal(CampaignState state, std::uint64_t step,
                                  std::uint64_t restarts,
                                  const std::string& detail) {
   if (options_.journal == nullptr) return;
+  if (options_.leases != nullptr) {
+    // Fencing check on the write path: once a sibling holds a higher
+    // token, appending would be a stale write — replay would drop it
+    // anyway (token-aware fold), but not writing at all keeps the
+    // journal clean and stops this worker within one step boundary.
+    const Status valid =
+        options_.leases->Validate(spec_.id, options_.lease_token);
+    if (!valid.ok()) {
+      RequestSoftStop(SoftStopKind::kFenced);
+      POISONREC_LOG(Warning)
+          << "campaign " << spec_.id << ": journal write suppressed: "
+          << valid.message();
+      return;
+    }
+  }
   CampaignJournalRecord record;
   record.campaign_id = spec_.id;
   record.state = state;
@@ -77,6 +151,8 @@ void CampaignSupervisor::Journal(CampaignState state, std::uint64_t step,
   record.reward = reward;
   record.best_reward = best_reward;
   record.restarts = restarts;
+  record.token = options_.lease_token;
+  if (options_.leases != nullptr) record.owner = options_.leases->owner_id();
   record.detail = detail;
   options_.journal->Record(record);
 }
@@ -89,6 +165,24 @@ void CampaignSupervisor::Abort(const std::string& reason,
   }
   abort_allow_restart_.store(allow_restart, std::memory_order_release);
   cancel_.Cancel();
+}
+
+bool CampaignSupervisor::RequestSoftStop(SoftStopKind kind) {
+  int expected = static_cast<int>(SoftStopKind::kNone);
+  const bool won = soft_stop_kind_.compare_exchange_strong(
+      expected, static_cast<int>(kind), std::memory_order_acq_rel);
+  if (kind == SoftStopKind::kFenced) {
+    // Fencing overrides whatever stop was pending: a fenced worker must
+    // not write even the checkpoint of its in-flight step, so the hard
+    // cancel token fires too (the step is discarded, which is correct —
+    // the seizing owner recomputes it deterministically).
+    soft_stop_kind_.store(static_cast<int>(kind), std::memory_order_release);
+    soft_stop_.store(true, std::memory_order_release);
+    cancel_.Cancel();
+    return true;
+  }
+  if (won) soft_stop_.store(true, std::memory_order_release);
+  return won;
 }
 
 std::string CampaignSupervisor::TakeAbortReason() {
@@ -120,8 +214,7 @@ void CampaignSupervisor::SleepForRestart(double seconds) {
   // have to wait out the whole backoff.
   double remaining = seconds;
   while (remaining > 0.0) {
-    if (options_.fleet_stop != nullptr &&
-        options_.fleet_stop->load(std::memory_order_acquire)) {
+    if (FleetStopRaised() || soft_stop_.load(std::memory_order_acquire)) {
       return;
     }
     const double slice = std::min(remaining, 0.02);
@@ -165,15 +258,34 @@ Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
   } else if (faulty.has_value()) {
     attacker.AttachFaultyEnvironment(&*faulty, options_.retry_sleep);
   }
-  attacker.SetStopFlag(options_.fleet_stop);
+  // The attacker watches the supervisor's own soft-stop flag (raised by
+  // shutdown, preemption, or fencing); the fleet-wide stop is mirrored
+  // in from the heartbeat hook, which fires at every step entry and
+  // phase boundary.
+  attacker.SetStopFlag(&soft_stop_);
   attacker.SetCancelToken(&cancel_);
   attacker.SetHeartbeat([this] {
     heartbeat_ticks_.store(internal::NowTicks(), std::memory_order_release);
+    if (FleetStopRaised()) RequestSoftStop(SoftStopKind::kShutdown);
   });
   static obs::Counter* const steps_committed =
       FleetCounter("poisonrec_fleet_steps_committed_total");
   attacker.SetStepCommittedCallback(
       [this, outcome](const core::TrainStepStats& stats) {
+        if (options_.leases != nullptr) {
+          const Status valid =
+              options_.leases->Validate(spec_.id, options_.lease_token);
+          if (!valid.ok()) {
+            // Zombie write rejected: the checkpoint went to our stale
+            // token-suffixed file (harmless), and neither the outcome
+            // nor the journal records the step.
+            RequestSoftStop(SoftStopKind::kFenced);
+            POISONREC_LOG(Warning)
+                << "campaign " << spec_.id
+                << ": step commit rejected: " << valid.message();
+            return;
+          }
+        }
         outcome->step_rewards[stats.step] = stats.mean_reward;
         outcome->steps_completed = stats.step;
         outcome->best_reward =
@@ -184,8 +296,9 @@ Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
       });
 
   const std::string checkpoint = CheckpointPath();
-  if (std::filesystem::exists(checkpoint)) {
-    const Status loaded = attacker.LoadCheckpoint(checkpoint);
+  const std::string resume_from = FindResumeCheckpoint();
+  if (!resume_from.empty()) {
+    const Status loaded = attacker.LoadCheckpoint(resume_from);
     if (loaded.ok()) {
       heartbeat_ticks_.store(internal::NowTicks(),
                              std::memory_order_release);
@@ -195,13 +308,13 @@ Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
       // error: discard it and replay the campaign from scratch (the
       // deterministic streams make the replay reproduce the same steps).
       POISONREC_LOG(Warning) << "campaign " << spec_.id
-                             << ": discarding checkpoint " << checkpoint
+                             << ": discarding checkpoint " << resume_from
                              << ": " << loaded.ToString();
       Journal(CampaignState::kRunning, 0, 0.0, outcome->best_reward,
               outcome->restarts,
               "checkpoint discarded: " + loaded.ToString());
       std::error_code ec;
-      std::filesystem::remove(checkpoint, ec);
+      std::filesystem::remove(resume_from, ec);
     } else {
       return loaded;
     }
@@ -224,6 +337,8 @@ Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
 CampaignOutcome CampaignSupervisor::Run() {
   CampaignOutcome outcome;
   outcome.id = spec_.id;
+  outcome.preemptions = options_.preemptions;
+  outcome.lease_token = options_.lease_token;
   const std::uint64_t run_start = internal::NowTicks();
   start_ticks_.store(run_start, std::memory_order_release);
   heartbeat_ticks_.store(run_start, std::memory_order_release);
@@ -245,8 +360,7 @@ CampaignOutcome CampaignSupervisor::Run() {
       return outcome;
     }
   }
-  if (options_.fleet_stop != nullptr &&
-      options_.fleet_stop->load(std::memory_order_acquire)) {
+  if (FleetStopRaised()) {
     outcome.state = outcome.steps_completed > 0
                         ? CampaignState::kCheckpointed
                         : CampaignState::kPending;
@@ -263,6 +377,8 @@ CampaignOutcome CampaignSupervisor::Run() {
       FleetCounter("poisonrec_fleet_quarantined_total");
   static obs::Counter* const interrupted_total =
       FleetCounter("poisonrec_fleet_interrupted_total");
+  static obs::Counter* const preemptions_total =
+      FleetCounter("poisonrec_fleet_preemptions_total");
   campaigns_total->Increment();
 
   running_.store(true, std::memory_order_release);
@@ -295,19 +411,43 @@ CampaignOutcome CampaignSupervisor::Run() {
 
   for (std::size_t attempt = 0;; ++attempt) {
     const Status status = RunAttempt(&outcome);
+    const auto stop_kind = static_cast<SoftStopKind>(
+        soft_stop_kind_.load(std::memory_order_acquire));
+    if (stop_kind == SoftStopKind::kFenced) {
+      // The lease moved to a sibling: this worker's view is no longer
+      // authoritative and journaling anything would be a stale write.
+      // The new owner re-runs the campaign from the seized checkpoint.
+      outcome.fenced = true;
+      outcome.state = CampaignState::kRunning;
+      outcome.detail = "fenced: campaign lease seized by a sibling worker";
+      running_.store(false, std::memory_order_release);
+      outcome.wall_seconds = internal::ElapsedSecondsSince(run_start);
+      return outcome;
+    }
     if (status.ok()) {
       finish(CampaignState::kDone, "");
       return outcome;
     }
     if (status.code() == StatusCode::kCancelled &&
-        options_.fleet_stop != nullptr &&
-        options_.fleet_stop->load(std::memory_order_acquire)) {
+        (FleetStopRaised() || stop_kind == SoftStopKind::kShutdown)) {
       // Graceful shutdown: the last clean step is already checkpointed
       // and journaled; `fleet --resume` picks the campaign back up.
       outcome.interrupted = true;
       interrupted_total->Increment();
       finish(CampaignState::kCheckpointed,
              "interrupted: fleet shutdown (" + status.message() + ")");
+      return outcome;
+    }
+    if (status.code() == StatusCode::kCancelled &&
+        stop_kind == SoftStopKind::kPreempt) {
+      // Soft-stopped at the step boundary for a higher-priority
+      // campaign; the scheduler re-queues this one from its checkpoint.
+      ++outcome.preemptions;
+      preemptions_total->Increment();
+      finish(CampaignState::kPreempted,
+             "preempted for a higher-priority campaign (" +
+                 std::to_string(outcome.preemptions) + "/" +
+                 std::to_string(spec_.max_preemptions) + ")");
       return outcome;
     }
 
@@ -362,8 +502,25 @@ CampaignOutcome CampaignSupervisor::Run() {
             outcome.best_reward, outcome.restarts,
             "restart " + std::to_string(outcome.restarts) + ": " + reason);
     SleepForRestart(restart_backoff.NextDelaySeconds());
-    if (options_.fleet_stop != nullptr &&
-        options_.fleet_stop->load(std::memory_order_acquire)) {
+    if (FleetStopRaised() ||
+        soft_stop_.load(std::memory_order_acquire)) {
+      const auto kind_now = static_cast<SoftStopKind>(
+          soft_stop_kind_.load(std::memory_order_acquire));
+      if (kind_now == SoftStopKind::kFenced) {
+        outcome.fenced = true;
+        outcome.state = CampaignState::kRunning;
+        outcome.detail = "fenced during restart backoff";
+        running_.store(false, std::memory_order_release);
+        outcome.wall_seconds = internal::ElapsedSecondsSince(run_start);
+        return outcome;
+      }
+      if (kind_now == SoftStopKind::kPreempt) {
+        ++outcome.preemptions;
+        preemptions_total->Increment();
+        finish(CampaignState::kPreempted,
+               "preempted during restart backoff");
+        return outcome;
+      }
       outcome.interrupted = true;
       interrupted_total->Increment();
       finish(CampaignState::kCheckpointed,

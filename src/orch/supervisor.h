@@ -1,15 +1,22 @@
 // Per-campaign supervisor: wraps one PoisonRec attack campaign
 // (core::PoisonRecAttacker::TrainGuarded) in a fault-tolerant lifecycle.
 //
-// The supervisor owns the campaign's CancelToken and heartbeat clock.
-// It builds the environment stack (ranker -> AttackEnvironment ->
-// FaultyEnvironment -> DefendedEnvironment) fresh for every attempt,
-// resumes from the campaign's own v3 checkpoint when one exists, and
-// classifies TrainGuarded's exit status:
+// The supervisor owns the campaign's CancelToken, heartbeat clock and
+// soft-stop flag. It builds the environment stack (ranker ->
+// AttackEnvironment -> FaultyEnvironment -> DefendedEnvironment) fresh
+// for every attempt, resumes from the campaign's own v3 checkpoint when
+// one exists, and classifies TrainGuarded's exit status:
 //
 //   OK                   -> done
-//   kCancelled + fleet stop flag -> checkpointed (graceful shutdown;
+//   kCancelled + fenced          -> lease lost to a sibling worker: stop
+//                           WITHOUT journaling (any record would itself
+//                           be a stale write); the new owner's journal
+//                           is authoritative
+//   kCancelled + fleet stop      -> checkpointed (graceful shutdown;
 //                           resumable — `fleet --resume` reschedules it)
+//   kCancelled + preempt request -> preempted (resumable: the scheduler
+//                           re-queues it behind the higher-priority
+//                           campaign; journals the `preempted` state)
 //   kCancelled + watchdog abort  -> bounded restart from the checkpoint
 //                           (decorrelated-jitter backoff), then
 //                           quarantine once the restart budget is spent
@@ -24,7 +31,11 @@
 // Every transition is journaled (orch/journal.h) before the supervisor
 // moves on, and committed steps are journaled from the attacker's
 // step-commit callback — strictly after the step's checkpoint is
-// durable.
+// durable. In shared fleets (orch/lease.h) the supervisor holds a
+// campaign lease: checkpoints are published to the token-suffixed path
+// `<id>.t<token>.ckpt` (a zombie's stale-token saves can never clobber
+// the new owner's file) and the lease is validated before every journal
+// commit, so a fenced-out worker stops within one step boundary.
 #ifndef POISONREC_ORCH_SUPERVISOR_H_
 #define POISONREC_ORCH_SUPERVISOR_H_
 
@@ -37,23 +48,44 @@
 
 #include "data/dataset.h"
 #include "orch/journal.h"
+#include "orch/lease.h"
 #include "orch/spec.h"
 #include "util/cancel.h"
 #include "util/retry.h"
 
 namespace poisonrec::orch {
 
+/// Why a supervisor was asked to stop at the next step boundary.
+enum class SoftStopKind : int {
+  kNone = 0,
+  /// Fleet-wide graceful shutdown (checkpointed, resumable).
+  kShutdown = 1,
+  /// Worker handed to a higher-priority campaign (preempted, re-queued).
+  kPreempt = 2,
+  /// Lease lost to a sibling worker (stop writing immediately).
+  kFenced = 3,
+};
+
 struct SupervisorOptions {
-  /// Directory holding one `<campaign id>.ckpt` per campaign.
+  /// Directory holding one `<campaign id>.ckpt` per campaign (token-
+  /// suffixed `<id>.t<token>.ckpt` when a lease is attached).
   std::string checkpoint_dir = "checkpoints";
   /// Journal for lifecycle records; nullptr journals nothing (tests).
   FleetJournal* journal = nullptr;
   /// Fleet-wide graceful-shutdown flag (soft stop at step boundaries);
-  /// nullptr when the campaign runs standalone. Not owned.
+  /// nullptr when the campaign runs standalone. Not owned. Mirrored
+  /// into the supervisor's own soft-stop flag from the heartbeat hook.
   const std::atomic<bool>* fleet_stop = nullptr;
   /// Replayed journal state for `fleet --resume` (terminal campaigns are
   /// not re-run; unfinished ones resume from their checkpoint).
   std::optional<CampaignReplay> replay;
+  /// Shared-fleet lease manager; nullptr outside `--shared`. Not owned.
+  /// When set, `lease_token` must hold the token Acquire returned.
+  LeaseManager* leases = nullptr;
+  std::uint64_t lease_token = 0;
+  /// Preemptions already charged against spec.max_preemptions (carried
+  /// across re-queues by the scheduler).
+  std::uint64_t preemptions = 0;
   /// Test seam: how the campaign's per-query retry backoffs sleep
   /// ({} = really sleep, interruptible by the supervisor's cancel token).
   SleepFn retry_sleep;
@@ -80,6 +112,17 @@ struct CampaignOutcome {
   /// True when the campaign was interrupted by a fleet shutdown and is
   /// resumable from its checkpoint.
   bool interrupted = false;
+  /// Times the campaign was preempted (spec.max_preemptions caps this).
+  std::uint64_t preemptions = 0;
+  /// True when this worker lost the campaign lease mid-run: the outcome
+  /// is NOT authoritative — the seizing sibling's journal is.
+  bool fenced = false;
+  /// Fencing token the outcome's journal records carried (0 = none).
+  std::uint64_t lease_token = 0;
+  /// Shared fleets only: a sibling worker owned (or finished) this
+  /// campaign; the outcome was reconstructed from the merged journals,
+  /// not from a local run. Set by the orchestrator.
+  bool sibling_owned = false;
 };
 
 class CampaignSupervisor {
@@ -88,7 +131,8 @@ class CampaignSupervisor {
   CampaignSupervisor(const CampaignSpec& spec, const data::Dataset* dataset,
                      SupervisorOptions options);
 
-  /// Runs the campaign to a terminal or resumable state. Call once.
+  /// Runs the campaign to a terminal or resumable state. Call once (the
+  /// scheduler builds a fresh supervisor per re-queue).
   CampaignOutcome Run();
 
   // -- Watchdog interface (thread-safe; orch/fleet.h) -----------------------
@@ -97,8 +141,21 @@ class CampaignSupervisor {
   /// the restart budget apply; false (deadline exceeded) quarantines.
   void Abort(const std::string& reason, bool allow_restart);
 
+  /// Asks the campaign to stop at its next step boundary (the in-flight
+  /// step is checkpointed and journaled first). First request wins;
+  /// returns false if a stop was already pending. kFenced additionally
+  /// fires the cancel token — a fenced worker must not keep writing
+  /// even mid-step.
+  bool RequestSoftStop(SoftStopKind kind);
+
   /// True while Run is between its first and last journal record.
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True once a soft stop (any kind) is pending or the campaign was
+  /// fenced — the watchdog skips such supervisors as preemption victims.
+  bool stop_pending() const {
+    return soft_stop_.load(std::memory_order_acquire);
+  }
 
   /// Seconds since the attacker last signalled liveness (heartbeats fire
   /// at step entry and after each phase).
@@ -108,6 +165,10 @@ class CampaignSupervisor {
   double SecondsSinceStart() const;
 
   const CampaignSpec& spec() const { return spec_; }
+  std::uint64_t lease_token() const { return options_.lease_token; }
+
+  /// Path checkpoints are published to: `<id>.ckpt`, or the token-
+  /// suffixed `<id>.t<token>.ckpt` under a lease.
   std::string CheckpointPath() const;
 
  private:
@@ -117,14 +178,25 @@ class CampaignSupervisor {
                double best_reward, std::uint64_t restarts,
                const std::string& detail);
   std::string TakeAbortReason();
-  /// Restart backoff honouring the fleet stop flag.
+  /// Restart backoff honouring the fleet stop flag and soft stops.
   void SleepForRestart(double seconds);
+  /// Newest usable checkpoint: ours, or under a lease the highest
+  /// token-suffixed file at or below our token (the seized owner's
+  /// frontier). Empty when none exists.
+  std::string FindResumeCheckpoint() const;
+  bool FleetStopRaised() const {
+    return options_.fleet_stop != nullptr &&
+           options_.fleet_stop->load(std::memory_order_acquire);
+  }
 
   CampaignSpec spec_;
   const data::Dataset* dataset_;
   SupervisorOptions options_;
   CancelToken cancel_;
   std::atomic<bool> running_{false};
+  /// Per-campaign soft stop observed by the attacker between steps.
+  std::atomic<bool> soft_stop_{false};
+  std::atomic<int> soft_stop_kind_{static_cast<int>(SoftStopKind::kNone)};
   std::atomic<std::uint64_t> start_ticks_{0};
   std::atomic<std::uint64_t> heartbeat_ticks_{0};
   std::atomic<bool> abort_allow_restart_{true};

@@ -40,4 +40,42 @@ Status FsyncParentDirectory(const std::string& path) {
   return FsyncPath(dir.string(), O_RDONLY | O_DIRECTORY, "directory");
 }
 
+Status WriteFileDurable(const std::string& path, std::string_view contents,
+                        const std::string& tmp_suffix) {
+  const std::string tmp = path + tmp_suffix;
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp + " for durable write: " +
+                           std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int write_errno = errno;
+      ::close(fd);
+      return Status::IoError("failed writing " + tmp + ": " +
+                             std::strerror(write_errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int sync_errno = errno;
+    ::close(fd);
+    return Status::IoError("fsync failed for " + tmp + ": " +
+                           std::strerror(sync_errno));
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("cannot rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return FsyncParentDirectory(path);
+}
+
 }  // namespace poisonrec

@@ -16,6 +16,7 @@
 #define POISONREC_UTIL_FSIO_H_
 
 #include <string>
+#include <string_view>
 
 #include "util/status.h"
 
@@ -28,6 +29,15 @@ Status FsyncFile(const std::string& path);
 /// fsyncs the directory containing `path`, making a completed rename of
 /// `path` durable. A path without a directory component syncs ".".
 Status FsyncParentDirectory(const std::string& path);
+
+/// Publishes `contents` at `path` with the full three-step discipline
+/// above: write to `path` + `tmp_suffix`, fsync, rename over `path`,
+/// fsync the parent directory. Readers therefore see either the old
+/// file or the complete new one, never a torn intermediate — the same
+/// contract checkpoints rely on, reused by the campaign lease files
+/// (orch/lease.h).
+Status WriteFileDurable(const std::string& path, std::string_view contents,
+                        const std::string& tmp_suffix = ".tmp");
 
 }  // namespace poisonrec
 

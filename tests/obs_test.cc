@@ -403,6 +403,64 @@ TEST(EventLogTest, ConcurrentAppendsNeverInterleave) {
   std::remove(path.c_str());
 }
 
+TEST(EventLogTest, CrossInstanceAppendsNeverInterleaveMidLine) {
+  // Two EventLog instances with independent fds on ONE path — the
+  // in-process stand-in for two `fleet --shared` worker processes
+  // appending to a shared journal. The per-instance mutex cannot help
+  // across instances; only the O_APPEND single-write() contract keeps
+  // lines whole.
+  const std::string path = TempPath("poisonrec_obs_events_shared.jsonl");
+  obs::EventLog a;
+  obs::EventLog b;
+  ASSERT_TRUE(a.Open(path, /*truncate=*/true));
+  ASSERT_TRUE(b.Open(path, /*truncate=*/false));
+
+  constexpr int kThreadsPerLog = 4;
+  constexpr int kPerThread = 150;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    obs::EventLog* log = w == 0 ? &a : &b;
+    for (int t = 0; t < kThreadsPerLog; ++t) {
+      threads.emplace_back([log, w, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          // Varying lengths so a torn write would misalign visibly.
+          const std::string line =
+              std::move(obs::JsonObjectBuilder()
+                            .Int("log", w)
+                            .Int("thread", t)
+                            .Int("seq", i)
+                            .Str("pad", std::string(32 + (i % 5) * 40, 'y')))
+                  .Finish();
+          ASSERT_TRUE(log->Append(line));
+        }
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  a.Close();
+  b.Close();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(2) * kThreadsPerLog * kPerThread);
+  int per_log[2] = {};
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.front(), '{');
+    ASSERT_EQ(line.back(), '}');
+    ASSERT_EQ(line.find('{', 1), std::string::npos) << line;
+    const std::size_t pos = line.find("\"log\":");
+    ASSERT_NE(pos, std::string::npos);
+    const int log_index = std::atoi(line.c_str() + pos + 6);
+    ASSERT_GE(log_index, 0);
+    ASSERT_LE(log_index, 1);
+    ++per_log[log_index];
+  }
+  EXPECT_EQ(per_log[0], kThreadsPerLog * kPerThread);
+  EXPECT_EQ(per_log[1], kThreadsPerLog * kPerThread);
+  std::remove(path.c_str());
+}
+
 TEST(EventLogTest, OpenFailureLeavesLogClosed) {
   obs::EventLog log;
   EXPECT_FALSE(log.Open("/nonexistent-dir/events.jsonl"));

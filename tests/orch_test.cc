@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -225,12 +226,91 @@ TEST(JournalTest, StateNamesRoundTrip) {
   for (const CampaignState state :
        {CampaignState::kPending, CampaignState::kRunning,
         CampaignState::kCheckpointed, CampaignState::kDone,
-        CampaignState::kQuarantined, CampaignState::kFailed}) {
+        CampaignState::kQuarantined, CampaignState::kFailed,
+        CampaignState::kPreempted}) {
     auto parsed = ParseCampaignState(CampaignStateName(state));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, state);
   }
   EXPECT_FALSE(ParseCampaignState("resting").ok());
+}
+
+TEST(JournalTest, TokenAwareMergeRejectsStaleEpochsInAnyOrder) {
+  const std::string dir = TempDir("poisonrec_journal_merge");
+  const std::string a_path = dir + "/journal.wA.jsonl";
+  const std::string b_path = dir + "/journal.wB.jsonl";
+  // Worker A owned epoch 1 (token 1), committed steps 1-2, then lost
+  // the lease. Its file also carries an unknown record type (ignored)
+  // and a corrupted interior line (counted as real corruption).
+  {
+    std::ofstream a(a_path);
+    a << R"({"type":"campaign","id":"c","state":"pending","token":1,"owner":"wA"})"
+      << "\n"
+      << R"({"type":"campaign","id":"c","state":"running","token":1,"owner":"wA"})"
+      << "\n"
+      << R"({"type":"campaign","id":"c","state":"checkpointed","step":1,"reward":1.5,"best_reward":1.5,"token":1,"owner":"wA"})"
+      << "\n"
+      << R"({"type":"note","detail":"unknown record types are ignored"})"
+      << "\n"
+      << "%% corrupted interior line %%\n"
+      << R"({"type":"campaign","id":"c","state":"checkpointed","step":2,"reward":2.5,"best_reward":2.5,"token":1,"owner":"wA"})"
+      << "\n";
+  }
+  // Worker B seized the campaign (token 2), committed step 3, finished,
+  // and was then killed mid-append (torn trailing line).
+  {
+    std::ofstream b(b_path);
+    b << R"({"type":"campaign","id":"c","state":"running","token":2,"owner":"wB"})"
+      << "\n"
+      << R"({"type":"campaign","id":"c","state":"checkpointed","step":3,"reward":3.5,"best_reward":3.5,"token":2,"owner":"wB"})"
+      << "\n"
+      << R"({"type":"campaign","id":"c","state":"done","step":3,"reward":3.5,"best_reward":3.5,"token":2,"owner":"wB"})"
+      << "\n"
+      << R"({"type":"campaign","id":"c","sta)";
+  }
+
+  // ListJournalFiles finds the whole per-worker family of the base path.
+  const std::vector<std::string> family =
+      FleetJournal::ListJournalFiles(dir + "/journal.jsonl");
+  ASSERT_EQ(family.size(), 2u);
+  EXPECT_EQ(family[0], a_path);
+  EXPECT_EQ(family[1], b_path);
+
+  // The fold must converge to the same authoritative state regardless
+  // of file order; only the stale-record COUNT is order-dependent (a
+  // stale write is only recognizable once a higher token was seen).
+  for (const bool a_first : {true, false}) {
+    const std::vector<std::string> order =
+        a_first ? std::vector<std::string>{a_path, b_path}
+                : std::vector<std::string>{b_path, a_path};
+    auto merged = FleetJournal::Replay(order);
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    EXPECT_EQ(merged->files_merged, 2u);
+    EXPECT_EQ(merged->malformed_lines, 1u);
+    EXPECT_EQ(merged->torn_tail_lines, 1u);
+    const CampaignReplay& c = merged->campaigns.at("c");
+    EXPECT_EQ(c.state, CampaignState::kDone);
+    EXPECT_EQ(c.token, 2u);
+    EXPECT_EQ(c.steps_completed, 3u);
+    // Step rewards merge ACROSS epochs: A's committed steps 1-2 are
+    // kept (deterministic — B resumed from A's checkpoint), B owns
+    // step 3.
+    ASSERT_EQ(c.step_rewards.size(), 3u);
+    EXPECT_DOUBLE_EQ(c.step_rewards.at(1), 1.5);
+    EXPECT_DOUBLE_EQ(c.step_rewards.at(2), 2.5);
+    EXPECT_DOUBLE_EQ(c.step_rewards.at(3), 3.5);
+    EXPECT_DOUBLE_EQ(c.best_reward, 3.5);
+    if (a_first) {
+      EXPECT_EQ(merged->stale_records, 0u);
+    } else {
+      // B's epoch-2 records fold first, so A's epoch-1 running +
+      // 2 checkpointed records are stale. Its duplicate `pending` is
+      // skipped silently — every shared worker journals pending for
+      // the whole plan, those are expected, not zombie writes.
+      EXPECT_EQ(merged->stale_records, 3u);
+    }
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // -- Supervisor -------------------------------------------------------------
@@ -596,6 +676,157 @@ TEST(FleetTest, GracefulShutdownThenResumeIsBitIdentical) {
     EXPECT_DOUBLE_EQ(a.best_reward, b.best_reward) << a.id;
   }
   std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, SubmittedHighPriorityCampaignPreemptsRunningLowPriority) {
+  const std::string dir = TempDir("poisonrec_fleet_preempt");
+  const data::Dataset log = MakeLog();
+  FleetPlan plan;
+  plan.name = "preempt";
+  CampaignSpec low = FastSpec("low");
+  low.steps = 16;
+  low.priority = 0;
+  plan.campaigns.push_back(low);
+  FleetOptions options = DirOptions(dir);
+  options.max_concurrent = 1;
+  options.watchdog_poll_seconds = 0.005;
+  FleetOrchestrator orchestrator(plan, &log, options);
+
+  // Submit a higher-priority campaign only after `low` has durably
+  // committed a step, so the submission provably lands mid-run with
+  // every worker busy — the exact preemption trigger.
+  Status submitted = Status::InvalidArgument("submitter never ran");
+  std::thread submitter([&] {
+    for (int i = 0; i < 4000; ++i) {
+      auto replay = FleetJournal::ReplayFile(options.journal_path);
+      if (replay.ok()) {
+        const auto it = replay->find("low");
+        if (it != replay->end() && it->second.steps_completed >= 1) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    CampaignSpec high = FastSpec("high", 99);
+    high.steps = 2;
+    high.priority = 10;
+    submitted = orchestrator.Submit(high);
+  });
+  const FleetResult result = orchestrator.Run();
+  submitter.join();
+  ASSERT_TRUE(submitted.ok()) << submitted;
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.ExitCode(), 0);
+  EXPECT_EQ(result.done, 2u);
+  EXPECT_GE(result.preemptions, 1u);
+
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  const CampaignOutcome* low_out = nullptr;
+  const CampaignOutcome* high_out = nullptr;
+  for (const CampaignOutcome& outcome : result.outcomes) {
+    if (outcome.id == "low") low_out = &outcome;
+    if (outcome.id == "high") high_out = &outcome;
+  }
+  ASSERT_NE(low_out, nullptr);
+  ASSERT_NE(high_out, nullptr);
+  EXPECT_EQ(high_out->state, CampaignState::kDone);
+  EXPECT_EQ(low_out->state, CampaignState::kDone);
+  EXPECT_GE(low_out->preemptions, 1u);
+  // The victim still completed every step; its pre-preemption rewards
+  // were merged from the journal across the re-queue.
+  EXPECT_EQ(low_out->steps_completed, 16u);
+  EXPECT_EQ(low_out->step_rewards.size(), 16u);
+
+  // Journal sequence: `low` journals `preempted`, and the very next
+  // campaign to start running is `high` — the victim's worker hands
+  // itself over within one step boundary.
+  std::vector<std::pair<std::string, std::string>> events;  // (id, state)
+  std::ifstream in(options.journal_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto record = ParseJson(line);
+    ASSERT_TRUE(record.ok()) << line;
+    events.emplace_back(record->Find("id")->string_value,
+                        record->Find("state")->string_value);
+  }
+  std::size_t preempted_at = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i] == std::make_pair(std::string("low"),
+                                    std::string("preempted"))) {
+      preempted_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(preempted_at, events.size()) << "no preempted record in journal";
+  std::string next_running;
+  for (std::size_t i = preempted_at + 1; i < events.size(); ++i) {
+    if (events[i].second == "running") {
+      next_running = events[i].first;
+      break;
+    }
+  }
+  EXPECT_EQ(next_running, "high");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, SubmitDirIngestsCampaignFilesDuringTheRun) {
+  const std::string dir = TempDir("poisonrec_fleet_submitdir");
+  const std::string inbox = dir + "/inbox";
+  std::filesystem::create_directories(inbox);
+  {
+    std::ofstream out(inbox + "/extra.json");
+    out << R"({"id":"extra","steps":2,"samples_per_step":4,"attackers":5,)"
+        << R"("trajectory_length":5,"targets":2,"embedding_dim":8,)"
+        << R"("eval_users":48,"seed":9})";
+  }
+  {
+    // Rejected with a warning, must not sink the fleet.
+    std::ofstream out(inbox + "/broken.json");
+    out << "{not a campaign";
+  }
+  const data::Dataset log = MakeLog();
+  const FleetPlan plan = SmallPlan(1, /*steps=*/10);
+  FleetOptions options = DirOptions(dir);
+  options.max_concurrent = 1;
+  options.watchdog_poll_seconds = 0.005;
+  options.submit_dir = inbox;
+  FleetOrchestrator orchestrator(plan, &log, options);
+  const FleetResult result = orchestrator.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.ExitCode(), 0);
+  EXPECT_EQ(result.done, 2u);
+  bool extra_done = false;
+  for (const CampaignOutcome& outcome : result.outcomes) {
+    if (outcome.id == "extra") {
+      extra_done = outcome.state == CampaignState::kDone;
+    }
+  }
+  EXPECT_TRUE(extra_done) << "submitted campaign was not ingested and run";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetTest, ShutdownDoesNotWaitOutAnHourLongWatchdogPoll) {
+  const std::string dir = TempDir("poisonrec_fleet_watchdog_cv");
+  const data::Dataset log = MakeLog();
+  FleetOptions options = DirOptions(dir);
+  options.max_concurrent = 1;
+  // With the old fixed-sleep watchdog loop this poll period would pin
+  // Run for an hour after shutdown; the condition-variable wait must
+  // return within the campaign's next step boundary instead.
+  options.watchdog_poll_seconds = 3600.0;
+  FleetOrchestrator orchestrator(SmallPlan(2, /*steps=*/8), &log, options);
+  const auto start = std::chrono::steady_clock::now();
+  std::thread stopper([&orchestrator] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    orchestrator.RequestShutdown();
+  });
+  const FleetResult result = orchestrator.Run();
+  stopper.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_LT(elapsed, 60.0);
+  EXPECT_GE(result.interrupted, 1u);
   std::filesystem::remove_all(dir);
 }
 

@@ -13,8 +13,11 @@
 # --trace-out / --events-out) are checked by tools/validate_telemetry.py.
 # After the campaign smokes, a fleet smoke exercises the orchestrator's
 # graceful-shutdown contract (SIGTERM mid-fleet -> exit 2, --resume ->
-# exit 0, report/journal validated), and a separate TSan build runs the
-# scheduler/journal tests race-free.
+# exit 0, report/journal validated), a shared-fleet smoke runs two
+# --shared workers over one journal dir (SIGKILL one, the survivor
+# seizes its lease and finishes; a --submit-dir drop mid-run must
+# preempt), and a separate TSan build runs the scheduler/journal/lease
+# tests race-free.
 # Override the scale knobs via the usual POISONREC_* env vars.
 set -euo pipefail
 
@@ -135,17 +138,106 @@ python3 tools/validate_telemetry.py \
   --fleet-report "${FLEET_DIR}/report.json" \
   --fleet-journal "${FLEET_DIR}/journal.jsonl"
 
-# TSan leg: the fleet scheduler, watchdog, and journal are the only
-# intentionally multi-threaded control paths added by the orchestrator;
-# run their tests under ThreadSanitizer (incompatible with ASan, hence
-# the separate build tree).
+# Shared-fleet smoke: two --shared workers over one journal/checkpoint
+# dir. Worker A is SIGKILLed mid-campaign; worker B seizes the stale
+# lease (fencing token bump) and must finish the whole plan, exit 0.
+# While B runs, a high-priority campaign dropped into --submit-dir must
+# preempt the running low-priority one (journal gains a "preempted"
+# record) and still leave everything done. Exercises the same paths as
+# tests/fleet_shared_test.cc but through the CLI, cross-process.
+SHARED_DIR="${SMOKE_DIR}/shared"
+mkdir -p "${SHARED_DIR}/inbox"
+cat > "${SHARED_DIR}/plan.json" <<'EOF'
+{
+  "name": "ci-shared-smoke",
+  "dataset": "Steam",
+  "scale": 0.05,
+  "defaults": {
+    "steps": 12, "samples_per_step": 4, "attackers": 8,
+    "trajectory_length": 8, "targets": 4, "embedding_dim": 8,
+    "eval_users": 50
+  },
+  "campaigns": [
+    {"id": "shared0", "seed": 41},
+    {"id": "shared1", "seed": 42},
+    {"id": "shared2", "seed": 43}
+  ]
+}
+EOF
+shared_args=(fleet "--plan=${SHARED_DIR}/plan.json"
+  "--journal=${SHARED_DIR}/journal.jsonl"
+  "--checkpoint-dir=${SHARED_DIR}/ckpts"
+  --shared --lease-ttl=0.5 --max-concurrent=1)
+"${BUILD_DIR}/tools/poisonrec" "${shared_args[@]}" --worker-id=wA \
+  "--report-json=${SHARED_DIR}/report.wA.json" &
+WA_PID=$!
+# Let worker A durably commit a couple of steps, then kill it without
+# ceremony — no signal handler runs, so its lease goes stale and its
+# last journal line may be torn.
+for _ in $(seq 1 600); do
+  committed="$(cat "${SHARED_DIR}"/journal*.jsonl 2>/dev/null \
+               | grep -c '"checkpointed"' || true)"
+  if [ "${committed:-0}" -ge 2 ]; then
+    break
+  fi
+  sleep 0.1
+done
+kill -9 "${WA_PID}" 2>/dev/null || true
+wait "${WA_PID}" 2>/dev/null || true
+"${BUILD_DIR}/tools/poisonrec" "${shared_args[@]}" --worker-id=wB \
+  "--submit-dir=${SHARED_DIR}/inbox" \
+  "--report-json=${SHARED_DIR}/report.wB.json" &
+WB_PID=$!
+# Once worker B has a campaign running, submit a higher-priority one so
+# the watchdog has to preempt at the next step boundary.
+for _ in $(seq 1 600); do
+  running="$(grep -c '"running"' "${SHARED_DIR}/journal.wB.jsonl" \
+             2>/dev/null || true)"
+  if [ "${running:-0}" -ge 1 ]; then
+    break
+  fi
+  sleep 0.1
+done
+cat > "${SHARED_DIR}/inbox/urgent.json" <<'EOF'
+{
+  "id": "urgent", "priority": 10, "steps": 2, "samples_per_step": 4,
+  "attackers": 8, "trajectory_length": 8, "targets": 4,
+  "embedding_dim": 8, "eval_users": 50, "seed": 47
+}
+EOF
+WB_RC=0
+wait "${WB_PID}" || WB_RC=$?
+if [ "${WB_RC}" -ne 0 ]; then
+  echo "shared smoke: surviving worker expected exit 0, got ${WB_RC}" >&2
+  exit 1
+fi
+if ! cat "${SHARED_DIR}"/journal*.jsonl | grep -q '"preempted"'; then
+  echo "shared smoke: no 'preempted' journal record — preemption never" \
+       "fired" >&2
+  exit 1
+fi
+if ! grep -q '"id":"urgent","state":"done"' "${SHARED_DIR}/report.wB.json"
+then
+  echo "shared smoke: submitted campaign 'urgent' did not finish" >&2
+  exit 1
+fi
+python3 tools/validate_telemetry.py \
+  --fleet-report "${SHARED_DIR}/report.wB.json" \
+  --fleet-journal "${SHARED_DIR}/journal.jsonl"
+
+# TSan leg: the fleet scheduler, watchdog, journal, and lease paths are
+# the only intentionally multi-threaded control paths added by the
+# orchestrator; run their tests under ThreadSanitizer (incompatible with
+# ASan, hence the separate build tree).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "${TSAN_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPOISONREC_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "$(nproc)" \
-  --target orch_test fleet_recovery_test
+  --target orch_test lease_test fleet_recovery_test fleet_shared_test
 "${TSAN_DIR}/tests/orch_test"
+"${TSAN_DIR}/tests/lease_test"
 "${TSAN_DIR}/tests/fleet_recovery_test"
+"${TSAN_DIR}/tests/fleet_shared_test"
 
 echo "ci_check: OK"

@@ -561,14 +561,15 @@ int CmdCampaign(const Flags& flags) {
 }
 
 // SIGINT/SIGTERM must only touch async-signal-safe state: a lock-free
-// atomic pointer load plus FleetOrchestrator::RequestShutdown (a single
-// atomic store). The orchestrator notices at the next step boundary,
-// checkpoints every running campaign, journals, and returns.
+// atomic pointer load plus RequestShutdownFromSignal (a single atomic
+// store — no condition-variable notify, which is not signal-safe). The
+// orchestrator notices within one watchdog poll, checkpoints every
+// running campaign, journals, and returns.
 std::atomic<orch::FleetOrchestrator*> g_fleet{nullptr};
 
 void HandleFleetSignal(int /*signum*/) {
   orch::FleetOrchestrator* fleet = g_fleet.load(std::memory_order_acquire);
-  if (fleet != nullptr) fleet->RequestShutdown();
+  if (fleet != nullptr) fleet->RequestShutdownFromSignal();
 }
 
 int CmdFleet(const Flags& flags) {
@@ -614,12 +615,27 @@ int CmdFleet(const Flags& flags) {
       flags.Get("report-csv", "results/fleet_report.csv");
   options.resume = flags.Get("resume", "false") == "true";
   options.max_concurrent = flags.GetSize("max-concurrent", 2);
+  // Cross-process shared fleet: N `poisonrec fleet --shared` processes
+  // with the same plan/journal/checkpoint paths claim campaigns through
+  // leases (orch/lease.h) and merge their journals at report time.
+  options.shared = flags.Get("shared", "false") == "true";
+  options.worker_id = flags.Get("worker-id", "");
+  if (const std::string ttl = flags.Get("lease-ttl", ""); !ttl.empty()) {
+    options.lease_ttl_seconds = std::atof(ttl.c_str());
+  }
+  options.submit_dir = flags.Get("submit-dir", "");
 
   std::printf("fleet %s: %zu campaign(s), dataset %s (%zu users, %zu "
-              "items), %zu worker(s)%s\n",
+              "items), %zu worker(s)%s%s%s%s\n",
               plan->name.c_str(), plan->campaigns.size(),
               plan->dataset.c_str(), log.num_users(), log.num_items(),
-              options.max_concurrent, options.resume ? ", resuming" : "");
+              options.max_concurrent, options.resume ? ", resuming" : "",
+              options.shared ? ", shared as " : "",
+              options.shared
+                  ? (options.worker_id.empty() ? "<auto>"
+                                               : options.worker_id.c_str())
+                  : "",
+              options.submit_dir.empty() ? "" : ", watching submissions");
 
   orch::FleetOrchestrator orchestrator(std::move(plan).value(), &log,
                                        options);
@@ -647,10 +663,11 @@ int CmdFleet(const Flags& flags) {
                 outcome.detail.c_str());
   }
   std::printf("fleet %s: %zu done, %zu quarantined, %zu failed, "
-              "%zu interrupted, %zu recovered in %.1fs\n",
+              "%zu interrupted, %zu recovered, %zu preemption(s), "
+              "%zu fenced in %.1fs\n",
               result.plan_name.c_str(), result.done, result.quarantined,
               result.failed, result.interrupted, result.recovered,
-              result.wall_seconds);
+              result.preemptions, result.fenced, result.wall_seconds);
   if (!options.report_json_path.empty() && result.status.ok()) {
     std::printf("  report -> %s\n", options.report_json_path.c_str());
   }

@@ -18,9 +18,13 @@ Checks (any failure exits 1 with a message naming the file and reason):
     required event types present; "step" events carry the stats schema.
   * fleet report JSON: {"type":"fleet_report"} with a summary whose state
     counts match the campaigns array, valid per-campaign states, ordered
-    step_rewards, and an exit_code consistent with the counts.
-  * fleet journal JSONL: every complete line is a campaign record with a
-    valid state (a torn final line — crash frontier — is tolerated).
+    step_rewards, an exit_code consistent with the counts, shared-fleet
+    counters (preemptions/fenced/sibling) that aggregate the per-campaign
+    fields, and a journal hygiene object with zero interior corruption.
+  * fleet journal JSONL: every complete line across the journal family
+    (the base file plus per-worker `stem.<worker>.jsonl` siblings) is a
+    campaign record with a valid state and well-formed lease token/owner
+    fields (a torn final line per file — crash frontier — is tolerated).
 
 Used by tools/ci_check.sh after the instrumented campaign smoke run; also
 handy interactively after any --metrics-out/--trace-out/--events-out run.
@@ -29,6 +33,7 @@ handy interactively after any --metrics-out/--trace-out/--events-out run.
 import argparse
 import collections
 import json
+import os
 import sys
 
 FAILURES = []
@@ -180,11 +185,16 @@ def check_events(path, require_types):
 # States the fleet journal / report may record (orch/journal.h).
 FLEET_STATES = {
     "pending", "running", "checkpointed", "done", "quarantined", "failed",
+    "preempted",
 }
 FLEET_TERMINAL_STATES = {"done", "quarantined", "failed"}
 FLEET_CAMPAIGN_KEYS = [
     "id", "state", "steps_completed", "restarts", "rollbacks", "best_reward",
     "wall_seconds", "interrupted", "recovered", "step_rewards",
+    "preemptions", "fenced", "sibling", "token",
+]
+FLEET_JOURNAL_COUNTER_KEYS = [
+    "files_merged", "malformed_lines", "torn_tail_lines", "stale_records",
 ]
 
 
@@ -217,6 +227,18 @@ def check_fleet_report(path):
             counts["interrupted"] += 1
         if c["recovered"]:
             counts["recovered"] += 1
+        if not isinstance(c["token"], int) or c["token"] < 0:
+            fail(f"{path}: campaign {c['id']!r} has a non-integer lease "
+                 f"token: {c['token']!r}")
+        if not isinstance(c["preemptions"], int) or c["preemptions"] < 0:
+            fail(f"{path}: campaign {c['id']!r} preemptions is not a "
+                 f"non-negative int: {c['preemptions']!r}")
+        counts["preemption_total"] += c["preemptions"] \
+            if isinstance(c["preemptions"], int) else 0
+        if c["fenced"]:
+            counts["fenced"] += 1
+        if c["sibling"]:
+            counts["sibling"] += 1
         rewards = c["step_rewards"]
         steps = [entry[0] for entry in rewards]
         if any(len(entry) != 2 for entry in rewards):
@@ -243,13 +265,35 @@ def check_fleet_report(path):
     expected_interrupted = sum(
         1 for c in campaigns
         if c.get("interrupted") or c.get("state") in
-        ("pending", "running", "checkpointed"))
+        ("pending", "running", "checkpointed", "preempted"))
     if summary.get("interrupted") != expected_interrupted:
         fail(f"{path}: summary.interrupted={summary.get('interrupted')!r}, "
              f"expected {expected_interrupted}")
     if summary.get("recovered") != counts["recovered"]:
         fail(f"{path}: summary.recovered={summary.get('recovered')!r}, "
              f"expected {counts['recovered']}")
+    # Shared-fleet counters: the summary totals must match the per-campaign
+    # fields they aggregate (orch/fleet.cc folds them the same way).
+    for key, expected in (("preemptions", counts["preemption_total"]),
+                          ("fenced", counts["fenced"]),
+                          ("sibling", counts["sibling"])):
+        if summary.get(key) != expected:
+            fail(f"{path}: summary.{key}={summary.get(key)!r}, expected "
+                 f"{expected} from the campaigns array")
+    journal = doc.get("journal")
+    if not isinstance(journal, dict):
+        fail(f"{path}: missing journal hygiene object")
+    else:
+        for key in FLEET_JOURNAL_COUNTER_KEYS:
+            value = journal.get(key)
+            if not isinstance(value, int) or value < 0:
+                fail(f"{path}: journal.{key} is not a non-negative int: "
+                     f"{value!r}")
+        if isinstance(journal.get("malformed_lines"), int) \
+                and journal["malformed_lines"] > 0:
+            fail(f"{path}: journal.malformed_lines="
+                 f"{journal['malformed_lines']} — interior journal "
+                 f"corruption (a torn tail would be torn_tail_lines)")
     exit_code = summary.get("exit_code")
     partial = (summary.get("quarantined", 0) + summary.get("failed", 0) +
                summary.get("interrupted", 0))
@@ -261,36 +305,78 @@ def check_fleet_report(path):
           f"({dict(sorted(counts.items()))}), exit_code={exit_code}")
 
 
-def check_fleet_journal(path):
+def list_journal_files(base):
+    """The journal family for a base path: the base file itself plus the
+    per-worker sibling files shared fleets append (`stem.<worker>.ext`,
+    e.g. journal.w812-3f.jsonl). Mirrors FleetJournal::ListJournalFiles."""
+    directory = os.path.dirname(base) or "."
+    name = os.path.basename(base)
+    stem, ext = os.path.splitext(name)
+    files = []
     try:
-        with open(path) as f:
-            lines = f.read().splitlines()
-    except OSError as e:
-        fail(f"{path}: not readable: {e}")
-        return
-    if not lines:
-        fail(f"{path}: empty journal")
-        return
+        entries = os.listdir(directory)
+    except OSError:
+        return [base]
+    for entry in entries:
+        if entry == name or (entry.startswith(stem + ".") and
+                             entry.endswith(ext) and
+                             len(entry) > len(stem) + len(ext) + 1):
+            files.append(os.path.join(directory, entry))
+    return sorted(files) or [base]
+
+
+def check_fleet_journal(path):
+    files = list_journal_files(path)
     states = collections.Counter()
-    for lineno, line in enumerate(lines, 1):
+    total_lines = 0
+    for journal_path in files:
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError as e:
-            # A torn final line is the expected crash frontier; anything
-            # earlier means the append-only discipline was violated.
-            if lineno == len(lines):
-                print(f"{path}:{lineno}: torn trailing record (tolerated)")
+            with open(journal_path) as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            fail(f"{journal_path}: not readable: {e}")
+            continue
+        total_lines += len(lines)
+        for lineno, line in enumerate(lines, 1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                # A torn final line is the expected crash frontier (one per
+                # file — a killed worker tears at most its own tail);
+                # anything earlier means append-only discipline was
+                # violated.
+                if lineno == len(lines):
+                    print(f"{journal_path}:{lineno}: torn trailing record "
+                          f"(tolerated)")
+                    continue
+                fail(f"{journal_path}:{lineno}: unparseable non-final "
+                     f"line: {e}")
                 continue
-            fail(f"{path}:{lineno}: unparseable non-final line: {e}")
-            continue
-        if not isinstance(record, dict) or record.get("type") != "campaign" \
-                or "id" not in record or "state" not in record:
-            fail(f"{path}:{lineno}: record lacks type/id/state keys")
-            continue
-        if record["state"] not in FLEET_STATES:
-            fail(f"{path}:{lineno}: unknown state {record['state']!r}")
-        states[record["state"]] += 1
-    print(f"{path}: {len(lines)} records: {dict(sorted(states.items()))}")
+            if not isinstance(record, dict) \
+                    or record.get("type") != "campaign" \
+                    or "id" not in record or "state" not in record:
+                fail(f"{journal_path}:{lineno}: record lacks type/id/state "
+                     f"keys")
+                continue
+            if record["state"] not in FLEET_STATES:
+                fail(f"{journal_path}:{lineno}: unknown state "
+                     f"{record['state']!r}")
+            token = record.get("token")
+            if token is not None and (not isinstance(token, int)
+                                      or token < 0):
+                fail(f"{journal_path}:{lineno}: lease token is not a "
+                     f"non-negative int: {token!r}")
+            owner = record.get("owner")
+            if owner is not None and (not isinstance(owner, str)
+                                      or not owner):
+                fail(f"{journal_path}:{lineno}: owner is not a non-empty "
+                     f"string: {owner!r}")
+            states[record["state"]] += 1
+    if total_lines == 0:
+        fail(f"{path}: empty journal family ({len(files)} file(s))")
+        return
+    print(f"{path}: {total_lines} records across {len(files)} file(s): "
+          f"{dict(sorted(states.items()))}")
 
 
 def main():
