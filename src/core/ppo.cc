@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -39,14 +41,20 @@ namespace {
 //   steps_taken:
 //   u64 sampling stream root seed (== config.seed; episode m of step s
 //     draws from Rng(DeriveStreamSeed(root, s, m)))
+//   v4 keeps the v3 payload bit-identical but wraps the whole file in
+//   the util/fsio integrity footer ("PRIF": magic, version, payload
+//   length, CRC32C), so load verifies the checkpoint byte-for-byte and
+//   classifies damage as torn (interrupted publish) vs corrupt (bit
+//   rot) instead of trusting whatever parses.
 // Version history: v1 predates the account pool / defended environment
 // (PR 1-2); v2 predates per-episode sampling streams — under v2
 // sampling advanced the shared RNG, so a v2 engine blob encodes a draw
 // order that no longer exists and resuming from it would not reproduce
-// an uninterrupted run. Old versions are rejected with kInvalidArgument
-// rather than being misparsed.
+// an uninterrupted run; v3 predates the whole-file checksum, so its
+// bytes cannot be verified against rot. Old versions are rejected with
+// kInvalidArgument rather than being misparsed.
 constexpr std::uint32_t kCheckpointMagic = 0x5052434bu;  // "PRCK"
-constexpr std::uint32_t kCheckpointVersion = 3;
+constexpr std::uint32_t kCheckpointVersion = 4;
 constexpr std::uint64_t kDeadSlotTag = ~0ull;
 
 void WriteU64(std::ostream& out, std::uint64_t v) {
@@ -850,10 +858,11 @@ GuardedTrainResult PoisonRecAttacker::TrainGuarded(
 Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
   POISONREC_TRACE_SPAN("ppo/checkpoint_save");
   const Status status = [&]() -> Status {
-  const std::string tmp = path + ".tmp";
+  // Serialize into memory first: the payload needs a whole-file CRC
+  // before any byte touches disk, and the in-memory size is trivial
+  // next to the fsyncs the durable publish costs anyway.
+  std::ostringstream out;
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
     const std::uint32_t header[2] = {kCheckpointMagic, kCheckpointVersion};
     out.write(reinterpret_cast<const char*>(header), sizeof(header));
     WriteU64(out, steps_taken_);
@@ -919,29 +928,14 @@ Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
       WriteU64(out, blob.size());
       out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     }
-    if (!out) return Status::IoError("write failed for " + tmp);
+    if (!out) return Status::IoError("serialize failed for " + path);
   }
-  // Durable atomic publish: fsync the payload before the rename (so the
-  // published name can never refer to unwritten data after a power
-  // loss), rename, then fsync the parent directory (so the rename
-  // itself survives). A crash before the rename leaves any previous
-  // checkpoint at `path` untouched.
-  {
-    const Status synced = FsyncFile(tmp);
-    if (!synced.ok()) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return synced;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status::IoError("cannot rename " + tmp + " to " + path);
-  }
-  POISONREC_RETURN_NOT_OK(FsyncParentDirectory(path));
-  return Status::OK();
+  // Durable atomic publish with the integrity footer appended: write
+  // tmp, fsync, rename, fsync the parent directory — so the published
+  // name can never refer to unwritten data after a power loss, and a
+  // crash before the rename leaves any previous checkpoint at `path`
+  // untouched. The footer's CRC lets load verify every byte.
+  return WriteFileDurableChecksummed(path, std::move(out).str());
   }();
   EmitCheckpointEvent("save", path, status.ok());
   return status;
@@ -950,16 +944,17 @@ Status PoisonRecAttacker::SaveCheckpoint(const std::string& path) const {
 Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
   POISONREC_TRACE_SPAN("ppo/checkpoint_load");
   const Status status = [&]() -> Status {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
+  StatusOr<std::string> bytes_or = ReadFileBytes(path);
+  if (!bytes_or.ok()) return Status::IoError("cannot open " + path);
+  const std::string& bytes = *bytes_or;
   std::uint32_t header[2] = {0, 0};
-  in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in) {
+  if (bytes.size() < sizeof(header)) {
     // Zero-length or short file: the writer (or the filesystem, after a
     // crash without the fsync path) lost the payload.
     return Status::DataLoss(path + " is truncated: shorter than the " +
                             "checkpoint header");
   }
+  std::memcpy(header, bytes.data(), sizeof(header));
   if (header[0] != kCheckpointMagic) {
     return Status::InvalidArgument(path +
                                    " is not a PoisonRec attacker checkpoint");
@@ -968,14 +963,23 @@ Status PoisonRecAttacker::LoadCheckpoint(const std::string& path) {
     std::string hint;
     if (header[1] < kCheckpointVersion) {
       hint = " (version " + std::to_string(header[1]) +
-             " predates the per-episode sampling streams of v" +
-             std::to_string(kCheckpointVersion) +
-             " — its RNG state encodes a draw order that no longer "
-             "exists; re-run the campaign to produce a current checkpoint)";
+             " predates the v" + std::to_string(kCheckpointVersion) +
+             " format's per-episode sampling streams and whole-file "
+             "checksum; re-run the campaign to produce a current "
+             "checkpoint)";
     }
     return Status::InvalidArgument("unsupported attacker checkpoint version " +
                                    std::to_string(header[1]) + hint);
   }
+  // The header names a current checkpoint — now the integrity footer
+  // decides whether the rest of the bytes can be trusted: a length
+  // mismatch or missing footer is a torn publish, a CRC mismatch is
+  // bit rot. Both are kDataLoss (lost state), never misparsed.
+  std::size_t payload_size = 0;
+  POISONREC_RETURN_NOT_OK(
+      VerifyIntegrityFooter(bytes, path, &payload_size));
+  std::istringstream in(bytes.substr(0, payload_size));
+  in.seekg(sizeof(header));  // past the already-validated header
   std::uint64_t steps = 0;
   if (!ReadU64(in, &steps)) return Status::DataLoss("truncated checkpoint");
   std::uint64_t stream_seed = 0;

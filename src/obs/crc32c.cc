@@ -1,0 +1,108 @@
+#include "obs/crc32c.h"
+
+#include <array>
+
+namespace poisonrec::obs {
+
+namespace {
+
+/// Slice-by-1 table for the Castagnoli polynomial (reflected 0x82f63b78).
+/// Software only: fast enough for line framing and checkpoint footers
+/// (the payloads are small next to the fsyncs that dominate those
+/// paths), and bit-identical everywhere — no SSE4.2 dispatch to vary by
+/// host.
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82f63b78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+constexpr std::string_view kCrcKey = "\"crc\":\"";
+constexpr std::size_t kCrcHexDigits = 8;
+
+void AppendHex8(std::uint32_t value, std::string* out) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(value >> shift) & 0xfu]);
+  }
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+std::string WithLineChecksum(std::string line) {
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+    return line;
+  }
+  // CRC over the line as it reads without the crc member.
+  const std::uint32_t crc = Crc32c(line);
+  line.pop_back();  // drop '}'
+  if (line.size() > 1) line.push_back(',');  // `{}` needs no separator
+  line.append(kCrcKey);
+  AppendHex8(crc, &line);
+  line.push_back('"');
+  line.push_back('}');
+  return line;
+}
+
+LineChecksum VerifyLineChecksum(std::string_view line) {
+  // The member is always spliced last, so it sits at a fixed offset
+  // from the end: `…,"crc":"xxxxxxxx"}` (or `{"crc":"…"}` for the empty
+  // object). Anchoring at the tail also means a crc-shaped substring
+  // elsewhere in the line cannot confuse the verifier.
+  const std::size_t tail = kCrcKey.size() + kCrcHexDigits + 2;  // "crc":"…"}
+  if (line.size() < tail + 1 || line.front() != '{' || line.back() != '}') {
+    return LineChecksum::kAbsent;
+  }
+  const std::size_t key_pos = line.size() - tail;
+  if (line.compare(key_pos, kCrcKey.size(), kCrcKey) != 0 ||
+      line[line.size() - 2] != '"') {
+    return LineChecksum::kAbsent;
+  }
+  const char sep = line[key_pos - 1];
+  if (sep != ',' && sep != '{') return LineChecksum::kAbsent;
+  std::uint32_t stored = 0;
+  for (std::size_t i = 0; i < kCrcHexDigits; ++i) {
+    const char c = line[key_pos + kCrcKey.size() + i];
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      // Rot inside the hex digits themselves: the member shape is
+      // unmistakably a checksum, so report a mismatch rather than
+      // silently downgrading the line to "legacy, unchecked".
+      return LineChecksum::kMismatch;
+    }
+    stored = (stored << 4) | digit;
+  }
+  // Recompute over the line with the member (and its separator comma)
+  // removed — exactly what WithLineChecksum hashed.
+  const std::size_t cut = sep == ',' ? key_pos - 1 : key_pos;
+  std::uint32_t crc = Crc32c(line.substr(0, cut));
+  crc = Crc32c("}", 1, crc);
+  return crc == stored ? LineChecksum::kVerified : LineChecksum::kMismatch;
+}
+
+}  // namespace poisonrec::obs

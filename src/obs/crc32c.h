@@ -1,0 +1,53 @@
+// CRC32C (Castagnoli) and the JSONL line-checksum framing used by the
+// storage integrity layer (journals, leases, the unified event stream).
+//
+// Framing: a checksummed line is an ordinary JSON object whose LAST
+// member is `"crc":"xxxxxxxx"` (8 lowercase hex digits). The CRC is
+// computed over the line as it would read WITHOUT that member — i.e.
+// over `prefix + "}"` where the emitted line is `prefix + ,"crc":"…" +
+// }`. The line stays valid JSON, so every existing parser keeps
+// working; verifiers that know the framing can additionally detect
+// single-bit rot anywhere in the record (ParseJson alone accepts many
+// flipped bytes inside string values).
+//
+// Lives in obs/ (the foundation layer, like json.h) so event_log.cc can
+// splice checksums without depending on util/.
+#ifndef POISONREC_OBS_CRC32C_H_
+#define POISONREC_OBS_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace poisonrec::obs {
+
+/// CRC32C of `data`, continuing from `seed` (pass the previous return
+/// value to checksum a buffer in chunks; 0 starts a fresh stream).
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+/// Splices `,"crc":"xxxxxxxx"` before the closing brace of a JSON
+/// object line. Lines that are not `{...}` objects pass through
+/// unchanged (EventLog does not validate JSON; neither does this).
+std::string WithLineChecksum(std::string line);
+
+enum class LineChecksum : std::uint8_t {
+  /// A crc member is present and matches the line content.
+  kVerified = 0,
+  /// No crc member: a legacy (pre-integrity) line, not an error.
+  kAbsent = 1,
+  /// A crc member is present but does not match — the line rotted.
+  kMismatch = 2,
+};
+
+/// Checks the trailing crc member of `line` (no surrounding newline).
+LineChecksum VerifyLineChecksum(std::string_view line);
+
+}  // namespace poisonrec::obs
+
+#endif  // POISONREC_OBS_CRC32C_H_

@@ -3,7 +3,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+
+#include "obs/crc32c.h"
 
 namespace poisonrec::obs {
 
@@ -11,6 +14,9 @@ namespace {
 
 /// kOnClose batches up to this many bytes before spilling to the fd.
 constexpr std::size_t kBatchBytes = 256 * 1024;
+
+/// Process-wide append fault hook (nullptr = no faults armed).
+std::atomic<EventLog::AppendFaultHook> g_append_fault_hook{nullptr};
 
 /// write(2) the whole buffer, retrying EINTR and partial writes (which
 /// only occur on regular files under ENOSPC/RLIMIT_FSIZE — by then the
@@ -31,8 +37,12 @@ bool WriteAll(int fd, const char* data, std::size_t size) {
 
 }  // namespace
 
+void EventLog::SetAppendFaultHook(AppendFaultHook hook) {
+  g_append_fault_hook.store(hook, std::memory_order_release);
+}
+
 bool EventLog::Open(const std::string& path, bool truncate,
-                    FlushPolicy flush) {
+                    FlushPolicy flush, bool checksum) {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ >= 0) {
     if (!buffer_.empty()) FlushBufferLocked();
@@ -48,6 +58,7 @@ bool EventLog::Open(const std::string& path, bool truncate,
   if (fd_ < 0) return false;
   path_ = path;
   flush_ = flush;
+  checksum_ = checksum;
   buffer_.clear();
   lines_written_ = 0;
   return true;
@@ -65,15 +76,24 @@ bool EventLog::FlushBufferLocked() {
 }
 
 bool EventLog::Append(std::string_view line) {
-  // Build the full record outside the lock so the critical section is
-  // one write(2) (or one buffer append under kOnClose).
+  // Copy the line outside the lock so the critical section is the
+  // checksum splice (cheap: one CRC pass over a short line) plus one
+  // write(2) (or one buffer append under kOnClose). checksum_ and
+  // path_ are guarded by mu_, so the splice and fault-hook consult
+  // stay inside it.
   std::string record;
   record.reserve(line.size() + 1);
   record.append(line);
-  record.push_back('\n');
 
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return false;
+  if (checksum_) record = WithLineChecksum(std::move(record));
+  record.push_back('\n');
+  if (AppendFaultHook hook =
+          g_append_fault_hook.load(std::memory_order_acquire);
+      hook != nullptr && !hook(path_, &record)) {
+    return false;
+  }
   if (flush_ == FlushPolicy::kOnClose) {
     buffer_ += record;
     if (buffer_.size() >= kBatchBytes && !FlushBufferLocked()) return false;

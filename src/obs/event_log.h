@@ -45,14 +45,29 @@ class EventLog {
   /// Opens `path` for writing (truncating by default; pass
   /// truncate=false to append, as the guard incident sink and shared
   /// fleet journals do). False if the file cannot be opened; the log
-  /// stays closed.
+  /// stays closed. checksum=true splices a trailing CRC32C member into
+  /// every JSON-object line (obs/crc32c.h framing) so readers can tell
+  /// rotted records from torn ones — the fleet journal and the campaign
+  /// event stream turn this on; the default stays byte-transparent.
   bool Open(const std::string& path, bool truncate = true,
-            FlushPolicy flush = FlushPolicy::kEveryLine);
+            FlushPolicy flush = FlushPolicy::kEveryLine,
+            bool checksum = false);
 
   /// Writes `line` plus a trailing '\n' as one atomic append. `line`
   /// must be a complete JSON object without the newline. Returns false
   /// (and drops the event) if the log is closed or the write fails.
   bool Append(std::string_view line);
+
+  /// Fault-injection seam for the O_APPEND write path, consulted once
+  /// per Append with the log's path and the mutable record (checksummed
+  /// line plus '\n'). The hook may mutate the record (bit flips,
+  /// truncation — a torn append) or return false to fail the append
+  /// outright (ENOSPC/EIO). Process-wide; installed by util/fsio's
+  /// FaultyFs when a chaos schedule is armed, nullptr otherwise. A
+  /// plain function pointer so obs/ keeps its no-dependency contract.
+  using AppendFaultHook = bool (*)(const std::string& path,
+                                   std::string* record);
+  static void SetAppendFaultHook(AppendFaultHook hook);
 
   /// Flushes and closes. Safe to call repeatedly.
   void Close();
@@ -70,6 +85,7 @@ class EventLog {
   mutable std::mutex mu_;
   int fd_ = -1;
   FlushPolicy flush_ = FlushPolicy::kEveryLine;
+  bool checksum_ = false;
   /// kOnClose batching buffer (unused under kEveryLine).
   std::string buffer_;
   std::string path_;

@@ -552,7 +552,13 @@ Status FleetOrchestrator::WriteJsonReport(const FleetResult& result) const {
   journal.Int("files_merged", result.journal_files_merged)
       .Int("malformed_lines", result.journal_malformed_lines)
       .Int("torn_tail_lines", result.journal_torn_tail_lines)
-      .Int("stale_records", result.journal_stale_records);
+      .Int("stale_records", result.journal_stale_records)
+      .Int("corrupt_lines", result.journal_corrupt_lines)
+      // Interior records replay had to skip for either reason —
+      // structural damage or checksum rot.
+      .Int("skipped_records",
+           result.journal_malformed_lines + result.journal_corrupt_lines)
+      .Int("checkpoints_quarantined", result.checkpoints_quarantined);
   obs::JsonObjectBuilder summary;
   summary.Int("campaigns", result.outcomes.size())
       .Int("done", result.done)
@@ -717,6 +723,7 @@ FleetResult FleetOrchestrator::Run() {
     result.journal_malformed_lines = final_replay->malformed_lines;
     result.journal_torn_tail_lines = final_replay->torn_tail_lines;
     result.journal_stale_records = final_replay->stale_records;
+    result.journal_corrupt_lines = final_replay->corrupt_lines;
   } else {
     POISONREC_LOG(Warning) << "fleet: final journal merge failed: "
                            << final_replay.status().ToString();
@@ -769,6 +776,7 @@ FleetResult FleetOrchestrator::Run() {
 
   for (const CampaignOutcome& outcome : result.outcomes) {
     result.preemptions += outcome.preemptions;
+    result.checkpoints_quarantined += outcome.checkpoints_quarantined;
     if (outcome.fenced) ++result.fenced;
     if (outcome.sibling_owned) ++result.sibling_owned;
     if (outcome.recovered_from_journal) ++result.recovered;

@@ -127,6 +127,12 @@ struct FleetResult {
   std::uint64_t journal_malformed_lines = 0;
   std::uint64_t journal_torn_tail_lines = 0;
   std::uint64_t journal_stale_records = 0;
+  /// Interior lines whose CRC32C line checksum failed (bit rot caught
+  /// by the integrity framing; skipped like malformed lines).
+  std::uint64_t journal_corrupt_lines = 0;
+  /// Damaged checkpoints moved to `<ckpt-dir>/corrupt/` by supervisors
+  /// during resume this run (summed over outcomes).
+  std::uint64_t checkpoints_quarantined = 0;
   double wall_seconds = 0.0;
   /// Orchestrator-level status (plan validation, journal/report I/O).
   /// Individual campaign failures do NOT make this non-OK.

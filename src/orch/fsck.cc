@@ -1,0 +1,385 @@
+#include "orch/fsck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "orch/journal.h"
+#include "orch/lease.h"
+#include "util/fsio.h"
+
+namespace poisonrec::orch {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Mirrors the checkpoint header in core/ppo.cc (kept file-local there;
+// fsck only classifies, it never parses the payload).
+constexpr std::uint32_t kCheckpointMagic = 0x5052434bu;  // "PRCK"
+constexpr std::uint32_t kCheckpointVersion = 4;
+
+/// `<id>.ckpt` or `<id>.t<token>.ckpt` -> campaign id.
+std::string CampaignIdFromCheckpointName(const std::string& filename) {
+  std::string stem = filename;
+  const std::string ext = ".ckpt";
+  if (stem.size() >= ext.size() &&
+      stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0) {
+    stem.resize(stem.size() - ext.size());
+  }
+  const std::size_t dot = stem.rfind(".t");
+  if (dot != std::string::npos && dot + 2 < stem.size()) {
+    bool digits = true;
+    for (std::size_t i = dot + 2; i < stem.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(stem[i])) == 0) {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) stem.resize(dot);
+  }
+  return stem;
+}
+
+/// Classifies one checkpoint file the same way LoadCheckpoint would
+/// fail on it, without parsing the payload.
+FsckArtifact AuditCheckpoint(const std::string& path) {
+  FsckArtifact artifact;
+  artifact.kind = FsckArtifactKind::kCheckpoint;
+  artifact.path = path;
+  StatusOr<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) {
+    artifact.verdict = bytes.status().code() == StatusCode::kNotFound
+                           ? FsckVerdict::kMissing
+                           : FsckVerdict::kCorrupt;
+    artifact.detail = "unreadable";
+    return artifact;
+  }
+  std::uint32_t header[2] = {0, 0};
+  if (bytes->size() < sizeof(header)) {
+    artifact.verdict = FsckVerdict::kTorn;
+    artifact.detail = "shorter than the checkpoint header (torn publish)";
+    return artifact;
+  }
+  std::memcpy(header, bytes->data(), sizeof(header));
+  if (header[0] != kCheckpointMagic) {
+    artifact.verdict = FsckVerdict::kCorrupt;
+    artifact.detail = "not a PoisonRec attacker checkpoint";
+    return artifact;
+  }
+  if (header[1] != kCheckpointVersion) {
+    artifact.verdict = FsckVerdict::kCorrupt;
+    artifact.detail =
+        "unsupported checkpoint version " + std::to_string(header[1]);
+    return artifact;
+  }
+  std::size_t payload_size = 0;
+  FileIntegrity integrity = FileIntegrity::kOk;
+  const Status verified =
+      VerifyIntegrityFooter(*bytes, path, &payload_size, &integrity);
+  if (!verified.ok()) {
+    artifact.verdict = integrity == FileIntegrity::kTorn ? FsckVerdict::kTorn
+                                                         : FsckVerdict::kCorrupt;
+    // Strip the "<path>: " prefix VerifyIntegrityFooter bakes into its
+    // message — the table already has a path column.
+    std::string message = verified.message();
+    const std::string prefix = path + ": ";
+    if (message.compare(0, prefix.size(), prefix) == 0) {
+      message.erase(0, prefix.size());
+    }
+    artifact.detail = message;
+    return artifact;
+  }
+  artifact.verdict = FsckVerdict::kOk;
+  artifact.detail = std::to_string(payload_size) + " payload bytes";
+  return artifact;
+}
+
+FsckArtifact AuditJournalFile(const std::string& path) {
+  FsckArtifact artifact;
+  artifact.kind = FsckArtifactKind::kJournal;
+  artifact.path = path;
+  StatusOr<JournalReplayResult> replay = FleetJournal::Replay({path});
+  if (!replay.ok()) {
+    artifact.verdict = FsckVerdict::kCorrupt;
+    artifact.detail = replay.status().message();
+    return artifact;
+  }
+  const std::uint64_t interior =
+      replay->malformed_lines + replay->corrupt_lines;
+  if (interior > 0) {
+    // Interior records are unrecoverable: replay skips them, but the
+    // transitions they carried are lost for good.
+    artifact.verdict = FsckVerdict::kCorrupt;
+    std::ostringstream detail;
+    detail << interior << " interior record" << (interior == 1 ? "" : "s")
+           << " lost (" << replay->malformed_lines << " malformed, "
+           << replay->corrupt_lines << " checksum-corrupt)";
+    if (replay->torn_tail_lines > 0) detail << ", torn tail";
+    artifact.detail = detail.str();
+    return artifact;
+  }
+  if (replay->torn_tail_lines > 0) {
+    artifact.verdict = FsckVerdict::kTornTail;
+    artifact.repairable = true;  // replay tolerates the crash frontier
+    artifact.detail = "torn final line (crash frontier); replay skips it";
+    return artifact;
+  }
+  artifact.verdict = FsckVerdict::kOk;
+  artifact.detail =
+      std::to_string(replay->campaigns.size()) + " campaign(s) replayed";
+  return artifact;
+}
+
+FsckArtifact AuditLease(const LeaseManager& manager,
+                        const std::string& campaign_id,
+                        const std::string& path) {
+  FsckArtifact artifact;
+  artifact.kind = FsckArtifactKind::kLease;
+  artifact.path = path;
+  StatusOr<LeaseInfo> info = manager.Read(campaign_id);
+  if (info.ok()) {
+    artifact.verdict = FsckVerdict::kOk;
+    artifact.detail = info->owner.empty()
+                          ? "released, token " + std::to_string(info->token)
+                          : "held by " + info->owner + ", token " +
+                                std::to_string(info->token);
+    return artifact;
+  }
+  if (info.status().code() == StatusCode::kNotFound) {
+    artifact.verdict = FsckVerdict::kMissing;
+    artifact.detail = "lease file vanished mid-audit";
+    return artifact;
+  }
+  // Damaged lease files are always repairable: the next Acquire holds
+  // the flock sidecar and rewrites the lease from scratch.
+  artifact.verdict = FsckVerdict::kCorrupt;
+  artifact.repairable = true;
+  std::string message = info.status().message();
+  const std::string prefix = path + ": ";
+  if (message.compare(0, prefix.size(), prefix) == 0) {
+    message.erase(0, prefix.size());
+  }
+  artifact.detail = message;
+  return artifact;
+}
+
+bool IsDamage(const FsckArtifact& artifact) {
+  return artifact.kind != FsckArtifactKind::kQuarantined &&
+         artifact.verdict != FsckVerdict::kOk &&
+         artifact.verdict != FsckVerdict::kMissing;
+}
+
+}  // namespace
+
+const char* FsckArtifactKindName(FsckArtifactKind kind) {
+  switch (kind) {
+    case FsckArtifactKind::kJournal:
+      return "journal";
+    case FsckArtifactKind::kCheckpoint:
+      return "checkpoint";
+    case FsckArtifactKind::kLease:
+      return "lease";
+    case FsckArtifactKind::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+const char* FsckVerdictName(FsckVerdict verdict) {
+  switch (verdict) {
+    case FsckVerdict::kOk:
+      return "ok";
+    case FsckVerdict::kTornTail:
+      return "torn_tail";
+    case FsckVerdict::kTorn:
+      return "torn";
+    case FsckVerdict::kCorrupt:
+      return "corrupt";
+    case FsckVerdict::kMissing:
+      return "missing";
+  }
+  return "unknown";
+}
+
+int FsckReport::ExitCode() const {
+  if (damaged_unrepairable > 0) return 1;
+  if (damaged_repairable > 0) return 2;
+  return 0;
+}
+
+StatusOr<FsckReport> RunFsck(const FsckOptions& options) {
+  if (options.journal_path.empty() && options.checkpoint_dir.empty() &&
+      options.lease_dir.empty()) {
+    return Status::InvalidArgument(
+        "fsck needs at least one of journal_path / checkpoint_dir / "
+        "lease_dir");
+  }
+  FsckReport report;
+
+  // -- Journal family ---------------------------------------------------
+  if (!options.journal_path.empty()) {
+    const std::vector<std::string> files =
+        FleetJournal::ListJournalFiles(options.journal_path);
+    if (files.empty()) {
+      FsckArtifact artifact;
+      artifact.kind = FsckArtifactKind::kJournal;
+      artifact.path = options.journal_path;
+      artifact.verdict = FsckVerdict::kMissing;
+      artifact.detail = "no journal files (fleet never ran, or wrong path)";
+      report.artifacts.push_back(std::move(artifact));
+    }
+    for (const std::string& file : files) {
+      report.artifacts.push_back(AuditJournalFile(file));
+    }
+  }
+
+  // -- Checkpoints (and prior quarantines) ------------------------------
+  std::string checkpoint_dir = options.checkpoint_dir;
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    if (!fs::is_directory(checkpoint_dir, ec)) {
+      FsckArtifact artifact;
+      artifact.kind = FsckArtifactKind::kCheckpoint;
+      artifact.path = checkpoint_dir;
+      artifact.verdict = FsckVerdict::kMissing;
+      artifact.detail = "checkpoint directory does not exist";
+      report.artifacts.push_back(std::move(artifact));
+    } else {
+      std::vector<std::string> paths;
+      for (const fs::directory_entry& entry :
+           fs::directory_iterator(checkpoint_dir, ec)) {
+        if (!entry.is_regular_file(ec)) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+          continue;
+        }
+        paths.push_back(entry.path().string());
+      }
+      std::sort(paths.begin(), paths.end());
+      // First pass: verdicts. Second pass: a damaged checkpoint is
+      // repairable iff an intact sibling for the same campaign exists
+      // (the supervisor's quarantine-and-fall-back path).
+      std::map<std::string, bool> campaign_has_intact;
+      std::vector<FsckArtifact> checkpoints;
+      checkpoints.reserve(paths.size());
+      for (const std::string& path : paths) {
+        FsckArtifact artifact = AuditCheckpoint(path);
+        const std::string id =
+            CampaignIdFromCheckpointName(fs::path(path).filename().string());
+        if (artifact.verdict == FsckVerdict::kOk) {
+          campaign_has_intact[id] = true;
+        }
+        checkpoints.push_back(std::move(artifact));
+      }
+      for (FsckArtifact& artifact : checkpoints) {
+        if (IsDamage(artifact)) {
+          const std::string id = CampaignIdFromCheckpointName(
+              fs::path(artifact.path).filename().string());
+          auto it = campaign_has_intact.find(id);
+          artifact.repairable =
+              it != campaign_has_intact.end() && it->second;
+          if (artifact.repairable) {
+            artifact.detail += "; intact sibling checkpoint exists";
+          }
+        }
+        report.artifacts.push_back(std::move(artifact));
+      }
+      // Prior quarantines: informational only.
+      const fs::path quarantine_dir = fs::path(checkpoint_dir) / "corrupt";
+      if (fs::is_directory(quarantine_dir, ec)) {
+        std::vector<std::string> quarantined;
+        for (const fs::directory_entry& entry :
+             fs::directory_iterator(quarantine_dir, ec)) {
+          if (entry.is_regular_file(ec)) {
+            quarantined.push_back(entry.path().string());
+          }
+        }
+        std::sort(quarantined.begin(), quarantined.end());
+        for (const std::string& path : quarantined) {
+          FsckArtifact artifact = AuditCheckpoint(path);
+          artifact.kind = FsckArtifactKind::kQuarantined;
+          artifact.repairable = false;
+          report.artifacts.push_back(std::move(artifact));
+        }
+      }
+    }
+  }
+
+  // -- Leases -----------------------------------------------------------
+  std::string lease_dir = options.lease_dir;
+  if (lease_dir.empty() && !checkpoint_dir.empty()) {
+    lease_dir = (fs::path(checkpoint_dir) / "leases").string();
+  }
+  if (!lease_dir.empty()) {
+    std::error_code ec;
+    if (fs::is_directory(lease_dir, ec)) {
+      const LeaseManager manager(lease_dir, "fsck", 1.0);
+      std::vector<std::pair<std::string, std::string>> leases;  // id, path
+      for (const fs::directory_entry& entry :
+           fs::directory_iterator(lease_dir, ec)) {
+        if (!entry.is_regular_file(ec)) continue;
+        const fs::path& p = entry.path();
+        if (p.extension() != ".lease") continue;
+        leases.emplace_back(p.stem().string(), p.string());
+      }
+      std::sort(leases.begin(), leases.end());
+      for (const auto& [id, path] : leases) {
+        report.artifacts.push_back(AuditLease(manager, id, path));
+      }
+    }
+    // A missing lease dir is normal for single-process fleets: silence.
+  }
+
+  for (const FsckArtifact& artifact : report.artifacts) {
+    if (IsDamage(artifact)) {
+      if (artifact.repairable) {
+        ++report.damaged_repairable;
+      } else {
+        ++report.damaged_unrepairable;
+      }
+    } else if (artifact.verdict == FsckVerdict::kOk) {
+      ++report.intact;
+    }
+  }
+  return report;
+}
+
+std::string FormatFsckReport(const FsckReport& report) {
+  std::size_t path_width = 4;
+  for (const FsckArtifact& artifact : report.artifacts) {
+    path_width = std::max(path_width, artifact.path.size());
+  }
+  path_width = std::min<std::size_t>(path_width, 60);
+  std::ostringstream out;
+  out << "KIND         VERDICT    REPAIR  ";
+  out << "PATH";
+  for (std::size_t i = 4; i < path_width; ++i) out << ' ';
+  out << "  DETAIL\n";
+  for (const FsckArtifact& artifact : report.artifacts) {
+    std::string kind = FsckArtifactKindName(artifact.kind);
+    kind.resize(13, ' ');
+    std::string verdict = FsckVerdictName(artifact.verdict);
+    verdict.resize(11, ' ');
+    std::string repair = IsDamage(artifact)
+                             ? (artifact.repairable ? "yes" : "NO")
+                             : "-";
+    repair.resize(8, ' ');
+    std::string path = artifact.path;
+    if (path.size() < path_width) path.resize(path_width, ' ');
+    out << kind << verdict << repair << path << "  " << artifact.detail
+        << "\n";
+  }
+  out << "fsck: " << report.intact << " intact, " << report.damaged_repairable
+      << " repairable, " << report.damaged_unrepairable
+      << " unrepairable (exit " << report.ExitCode() << ")\n";
+  return out.str();
+}
+
+}  // namespace poisonrec::orch

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/crc32c.h"
 #include "obs/json.h"
 #include "orch/json_reader.h"
 
@@ -40,7 +41,10 @@ bool IsTerminal(CampaignState state) {
 }
 
 Status FleetJournal::Open(const std::string& path, bool truncate) {
-  if (!log_.Open(path, truncate)) {
+  // checksum=true: every journal line carries a CRC32C member so
+  // replay can tell rotted records from torn ones (obs/crc32c.h).
+  if (!log_.Open(path, truncate, obs::EventLog::FlushPolicy::kEveryLine,
+                 /*checksum=*/true)) {
     return Status::IoError("cannot open fleet journal " + path);
   }
   return Status::OK();
@@ -116,6 +120,19 @@ StatusOr<JournalReplayResult> FleetJournal::Replay(
           ++result.malformed_lines;
         }
       };
+      // Checksum gate first: a line whose CRC32C member disagrees is
+      // bit rot even when it still parses — structural validation
+      // alone would fold a silently-wrong record into campaign state.
+      // Legacy lines without the member pass through to the parser.
+      if (obs::VerifyLineChecksum(lines[i]) ==
+          obs::LineChecksum::kMismatch) {
+        if (is_tail) {
+          ++result.torn_tail_lines;
+        } else {
+          ++result.corrupt_lines;
+        }
+        continue;
+      }
       StatusOr<JsonValue> parsed = ParseJson(lines[i]);
       if (!parsed.ok() || !parsed->is_object()) {
         reject();

@@ -119,6 +119,11 @@ struct JournalReplayResult {
   /// kill -9 and counted separately).
   std::uint64_t malformed_lines = 0;
   std::uint64_t torn_tail_lines = 0;
+  /// Interior lines that still parse as JSON but fail their CRC32C
+  /// line checksum (obs/crc32c.h framing) — bit rot that structural
+  /// validation alone would have trusted. Skipped like malformed
+  /// lines and surfaced separately in the fleet report.
+  std::uint64_t corrupt_lines = 0;
   /// Records whose token was below the campaign's winning epoch —
   /// writes from fenced-out (seized) owners, rejected by replay.
   std::uint64_t stale_records = 0;

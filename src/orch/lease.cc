@@ -13,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/crc32c.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "orch/json_reader.h"
@@ -117,10 +118,12 @@ Status LeaseManager::WriteLease(const LeaseInfo& info) const {
       .Num("ttl_seconds", info.ttl_seconds);
   // tmp suffix embeds the owner id so two workers inside the same
   // transition window (impossible under the flock, but cheap insurance)
-  // never share a tmp file.
-  return WriteFileDurable(LeasePath(info.campaign_id),
-                          std::move(b).Finish() + "\n",
-                          ".tmp-" + owner_id_);
+  // never share a tmp file. The CRC32C line checksum lets Read reject
+  // a rotted lease even when it still parses as JSON.
+  return WriteFileDurable(
+      LeasePath(info.campaign_id),
+      obs::WithLineChecksum(std::move(b).Finish()) + "\n",
+      ".tmp-" + owner_id_);
 }
 
 StatusOr<LeaseInfo> LeaseManager::Read(const std::string& campaign_id) const {
@@ -129,7 +132,18 @@ StatusOr<LeaseInfo> LeaseManager::Read(const std::string& campaign_id) const {
   if (!in) return Status::NotFound("no lease file at " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  StatusOr<JsonValue> parsed = ParseJson(buffer.str());
+  std::string line = std::move(buffer).str();
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  // Checksum before structure: a flipped bit inside a token digit or
+  // the owner string still parses as valid JSON, and trusting it would
+  // break the fencing contract. Legacy files without the crc member
+  // pass through.
+  if (obs::VerifyLineChecksum(line) == obs::LineChecksum::kMismatch) {
+    return Status::DataLoss("lease checksum mismatch for " + path);
+  }
+  StatusOr<JsonValue> parsed = ParseJson(line);
   if (!parsed.ok() || !parsed->is_object()) {
     return Status::DataLoss("unparseable lease file " + path);
   }

@@ -93,19 +93,20 @@ std::string CampaignSupervisor::CheckpointPath() const {
   return (std::filesystem::path(options_.checkpoint_dir) / name).string();
 }
 
-std::string CampaignSupervisor::FindResumeCheckpoint() const {
+std::vector<std::string> CampaignSupervisor::FindResumeCheckpoints() const {
   if (options_.leases == nullptr) {
     const std::string path = CheckpointPath();
-    return std::filesystem::exists(path) ? path : std::string();
+    if (std::filesystem::exists(path)) return {path};
+    return {};
   }
-  // Newest epoch at or below our token: normally the previous owner's
-  // frontier (our token - 1) right after a seizure, or our own file
-  // after a restart. Files above our token would mean we are the
-  // zombie; they are ignored here and the lease validation at the next
-  // commit fences us out.
+  // Every epoch at or below our token, newest first: normally the
+  // previous owner's frontier (our token - 1) right after a seizure,
+  // or our own file after a restart, with older epochs behind it as
+  // fallbacks should the frontier turn out torn or rotted. Files above
+  // our token would mean we are the zombie; they are ignored here and
+  // the lease validation at the next commit fences us out.
   const std::filesystem::path dir(options_.checkpoint_dir);
-  std::uint64_t best_token = 0;
-  std::string best_path;
+  std::vector<std::pair<std::uint64_t, std::string>> candidates;
   std::error_code ec;
   for (std::filesystem::directory_iterator it(dir, ec), end;
        !ec && it != end; it.increment(ec)) {
@@ -116,12 +117,33 @@ std::string CampaignSupervisor::FindResumeCheckpoint() const {
       else continue;
     }
     if (*token > options_.lease_token) continue;
-    if (best_path.empty() || *token >= best_token) {
-      best_token = *token;
-      best_path = it->path().string();
-    }
+    candidates.emplace_back(*token, it->path().string());
   }
-  return best_path;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> paths;
+  paths.reserve(candidates.size());
+  for (auto& [token, path] : candidates) paths.push_back(std::move(path));
+  return paths;
+}
+
+std::string CampaignSupervisor::QuarantineCheckpoint(
+    const std::string& path) const {
+  const std::filesystem::path source(path);
+  const std::filesystem::path dir =
+      std::filesystem::path(options_.checkpoint_dir) / "corrupt";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path dest = dir / source.filename();
+  if (!ec) {
+    std::filesystem::rename(source, dest, ec);
+    if (!ec) return dest.string();
+  }
+  // A quarantine that cannot move the file must still get it out of
+  // the resume path — a damaged checkpoint that keeps being retried
+  // would wedge the campaign.
+  std::filesystem::remove(source, ec);
+  return std::string();
 }
 
 void CampaignSupervisor::Journal(CampaignState state, std::uint64_t step,
@@ -296,28 +318,37 @@ Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
       });
 
   const std::string checkpoint = CheckpointPath();
-  const std::string resume_from = FindResumeCheckpoint();
-  if (!resume_from.empty()) {
+  static obs::Counter* const checkpoints_quarantined_total =
+      FleetCounter("poisonrec_fleet_checkpoints_quarantined_total");
+  for (const std::string& resume_from : FindResumeCheckpoints()) {
     const Status loaded = attacker.LoadCheckpoint(resume_from);
     if (loaded.ok()) {
       heartbeat_ticks_.store(internal::NowTicks(),
                              std::memory_order_release);
-    } else if (loaded.code() == StatusCode::kDataLoss ||
-               loaded.code() == StatusCode::kInvalidArgument) {
-      // A torn or incompatible checkpoint is lost state, not a fatal
-      // error: discard it and replay the campaign from scratch (the
-      // deterministic streams make the replay reproduce the same steps).
-      POISONREC_LOG(Warning) << "campaign " << spec_.id
-                             << ": discarding checkpoint " << resume_from
-                             << ": " << loaded.ToString();
+      break;
+    }
+    if (loaded.code() == StatusCode::kDataLoss ||
+        loaded.code() == StatusCode::kInvalidArgument) {
+      // A torn, rotted, or incompatible checkpoint is lost state, not
+      // a fatal error: quarantine it under <ckpt-dir>/corrupt/ (so
+      // fsck can report it and it never gets retried) and fall back to
+      // the next-older candidate — one flipped bit costs a restart
+      // from the previous epoch, not the campaign. With no candidate
+      // left the loop ends and the campaign replays from scratch (the
+      // deterministic streams reproduce the same steps).
+      const std::string moved = QuarantineCheckpoint(resume_from);
+      ++outcome->checkpoints_quarantined;
+      checkpoints_quarantined_total->Increment();
+      POISONREC_LOG(Warning)
+          << "campaign " << spec_.id << ": quarantining checkpoint "
+          << resume_from << (moved.empty() ? " (removed)" : " -> " + moved)
+          << ": " << loaded.ToString();
       Journal(CampaignState::kRunning, 0, 0.0, outcome->best_reward,
               outcome->restarts,
-              "checkpoint discarded: " + loaded.ToString());
-      std::error_code ec;
-      std::filesystem::remove(resume_from, ec);
-    } else {
-      return loaded;
+              "checkpoint quarantined: " + loaded.ToString());
+      continue;
     }
+    return loaded;
   }
   if (attacker.steps_taken() >= spec_.steps) {
     outcome->steps_completed = attacker.steps_taken();
@@ -466,8 +497,18 @@ CampaignOutcome CampaignSupervisor::Run() {
       // burning restarts on a lost cause.
       reason = status.ToString();
       restartable = false;
+    } else if (status.code() == StatusCode::kIoError ||
+               status.code() == StatusCode::kUnavailable) {
+      // Transient storage and environment faults — a momentary EIO or
+      // ENOSPC from a checkpoint publish, an NFS blip, a throttled
+      // black-box — usually clear on their own. Explicitly retriable
+      // within the bounded restart budget rather than quarantined: the
+      // write path already guarantees a failed publish never replaces
+      // the previous durable checkpoint, so the retry resumes cleanly.
+      reason = status.ToString();
+      restartable = true;
     } else {
-      // I/O and unexpected errors: possibly transient, restart-worthy.
+      // Unexpected errors: possibly transient, restart-worthy.
       reason = status.ToString();
       restartable = true;
     }

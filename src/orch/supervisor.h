@@ -45,6 +45,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "orch/journal.h"
@@ -114,6 +115,11 @@ struct CampaignOutcome {
   bool interrupted = false;
   /// Times the campaign was preempted (spec.max_preemptions caps this).
   std::uint64_t preemptions = 0;
+  /// Damaged (torn/corrupt/incompatible) checkpoints moved to
+  /// `<checkpoint_dir>/corrupt/` during resume; each costs a fallback
+  /// to the next-older candidate (or a from-scratch replay), never a
+  /// silently-trusted load.
+  std::uint64_t checkpoints_quarantined = 0;
   /// True when this worker lost the campaign lease mid-run: the outcome
   /// is NOT authoritative — the seizing sibling's journal is.
   bool fenced = false;
@@ -180,10 +186,17 @@ class CampaignSupervisor {
   std::string TakeAbortReason();
   /// Restart backoff honouring the fleet stop flag and soft stops.
   void SleepForRestart(double seconds);
-  /// Newest usable checkpoint: ours, or under a lease the highest
+  /// Resume candidates, newest first: ours, or under a lease every
   /// token-suffixed file at or below our token (the seized owner's
-  /// frontier). Empty when none exists.
-  std::string FindResumeCheckpoint() const;
+  /// frontier first, then older epochs). RunAttempt walks the list so
+  /// a damaged frontier falls back to the previous epoch's checkpoint
+  /// instead of costing the whole campaign.
+  std::vector<std::string> FindResumeCheckpoints() const;
+  /// Moves a damaged checkpoint into `<checkpoint_dir>/corrupt/` so it
+  /// stops being a resume candidate but stays available for forensics
+  /// (`poisonrec fsck` reports it). Falls back to removal when the
+  /// move fails. Returns the quarantine path ("" when removed).
+  std::string QuarantineCheckpoint(const std::string& path) const;
   bool FleetStopRaised() const {
     return options_.fleet_stop != nullptr &&
            options_.fleet_stop->load(std::memory_order_acquire);

@@ -142,6 +142,47 @@ TEST(LeaseTest, ReadDistinguishesMissingFromCorrupt) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(LeaseTest, ValidSyntaxWithBadChecksumIsDataLoss) {
+  const std::string dir = TempDir("poisonrec_lease_badcrc");
+  LeaseManager leases(dir, "alpha", 5.0);
+  ASSERT_TRUE(leases.Init().ok());
+  ASSERT_TRUE(leases.Acquire("c0").ok());
+
+  // Tamper with a checksummed field while keeping the JSON valid and
+  // the crc member in place: structural validation alone would accept
+  // the file; only the CRC32C line checksum catches the edit.
+  const std::string path = leases.LeasePath("c0");
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::getline(in, contents);
+  }
+  const std::size_t pos = contents.find("\"token\":1");
+  ASSERT_NE(pos, std::string::npos) << contents;
+  contents.replace(pos, 9, "\"token\":9");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents << "\n";
+  }
+  const Status tampered = leases.Read("c0").status();
+  EXPECT_EQ(tampered.code(), StatusCode::kDataLoss);
+  EXPECT_NE(tampered.message().find("checksum"), std::string::npos)
+      << tampered;
+
+  // Legacy lease files written before line checksums (no crc member)
+  // still parse: the framing is opt-in on read.
+  {
+    std::ofstream out(leases.LeasePath("legacy"), std::ios::trunc);
+    out << R"({"type":"lease","campaign_id":"legacy","owner":"old",)"
+        << R"("pid":1,"token":3,"renewed_unix":1.0,"ttl_seconds":5.0})"
+        << "\n";
+  }
+  auto legacy = leases.Read("legacy");
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ(legacy->token, 3u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(LeaseTest, ReleasedLeaseIsSeizableByAnySibling) {
   const std::string dir = TempDir("poisonrec_lease_seizable");
   LeaseManager alpha(dir, "alpha", 5.0);

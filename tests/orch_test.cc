@@ -222,6 +222,56 @@ TEST(JournalTest, ReplayFoldsRecordsAndSkipsTornTrailingLine) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(JournalTest, CorruptedMidFileRecordIsSkippedAndCounted) {
+  const std::string dir = TempDir("poisonrec_journal_corrupt");
+  const std::string path = dir + "/journal.jsonl";
+  {
+    FleetJournal journal;
+    ASSERT_TRUE(journal.Open(path, /*truncate=*/true).ok());
+    CampaignJournalRecord r;
+    r.campaign_id = "a";
+    r.state = CampaignState::kCheckpointed;
+    for (std::uint64_t step = 1; step <= 3; ++step) {
+      r.step = step;
+      r.reward = static_cast<double>(step) * 2.0;
+      r.best_reward = r.reward;
+      ASSERT_TRUE(journal.Record(r));
+    }
+    r.state = CampaignState::kDone;
+    ASSERT_TRUE(journal.Record(r));
+    journal.Close();
+  }
+  // Rot one byte of the step-2 record. The line stays structurally
+  // valid JSON — a parser alone would happily fold the wrong reward —
+  // but its CRC32C line checksum no longer matches.
+  {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    in.close();
+    ASSERT_EQ(lines.size(), 4u);
+    const std::size_t pos = lines[1].find("\"reward\":");
+    ASSERT_NE(pos, std::string::npos) << lines[1];
+    lines[1][pos + 9] ^= 0x1;  // flip a bit of the reward digit
+    std::ofstream out(path, std::ios::trunc);
+    for (const std::string& line : lines) out << line << "\n";
+  }
+  auto merged = FleetJournal::Replay({path});
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->corrupt_lines, 1u);
+  EXPECT_EQ(merged->malformed_lines, 0u);
+  EXPECT_EQ(merged->torn_tail_lines, 0u);
+  const CampaignReplay& a = merged->campaigns.at("a");
+  // The rotted record is skipped, not trusted: step 2's reward is gone,
+  // the surrounding fold is untouched.
+  EXPECT_EQ(a.state, CampaignState::kDone);
+  ASSERT_EQ(a.step_rewards.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.step_rewards.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(a.step_rewards.at(3), 6.0);
+  EXPECT_EQ(a.step_rewards.count(2), 0u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(JournalTest, StateNamesRoundTrip) {
   for (const CampaignState state :
        {CampaignState::kPending, CampaignState::kRunning,

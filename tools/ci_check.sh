@@ -16,8 +16,11 @@
 # exit 0, report/journal validated), a shared-fleet smoke runs two
 # --shared workers over one journal dir (SIGKILL one, the survivor
 # seizes its lease and finishes; a --submit-dir drop mid-run must
-# preempt), and a separate TSan build runs the scheduler/journal/lease
-# tests race-free.
+# preempt), an fsck smoke audits the fleet's state dir and then injects
+# one storage fault per damage class offline (checkpoint bit-flip,
+# checkpoint truncation, torn journal tail) checking the verdicts and
+# exit codes `poisonrec fsck` promises, and a separate TSan build runs
+# the scheduler/journal/lease/chaos tests race-free.
 # Override the scale knobs via the usual POISONREC_* env vars.
 set -euo pipefail
 
@@ -43,6 +46,7 @@ mkdir -p "${POISONREC_OUT}"
 "${BUILD_DIR}/bench/bench_guardrail_overhead"
 "${BUILD_DIR}/bench/bench_obs_overhead"
 "${BUILD_DIR}/bench/bench_defended_attack"
+"${BUILD_DIR}/bench/bench_storage_integrity"
 
 # Perf smoke: quick-mode kernel microbench + the end-to-end TrainStep
 # timing comparison (which exits nonzero if threading changes a reward).
@@ -225,6 +229,63 @@ python3 tools/validate_telemetry.py \
   --fleet-report "${SHARED_DIR}/report.wB.json" \
   --fleet-journal "${SHARED_DIR}/journal.jsonl"
 
+# Fsck smoke: audit the fleet smoke's (healthy) state dir, then inject
+# one storage fault per damage class offline and check the verdict table
+# and exit codes the CLI contract promises (0 clean, 2 repairable-only,
+# 1 unrepairable). Complements tests/fsck_chaos_test.cc, which sweeps
+# live in-process fault schedules; this leg exercises the shipped binary
+# against byte-level damage the way an operator would hit it.
+FSCK_DIR="${SMOKE_DIR}/fsck"
+fsck_expect() {  # fsck_expect <case> <expected-exit> <verdict-grep>
+  local rc=0 out
+  out="$("${BUILD_DIR}/tools/poisonrec" fsck \
+    "--journal=${FSCK_DIR}/journal.jsonl" \
+    "--checkpoint-dir=${FSCK_DIR}/ckpts")" || rc=$?
+  if [ "${rc}" -ne "$2" ]; then
+    echo "fsck smoke ($1): expected exit $2, got ${rc}" >&2
+    printf '%s\n' "${out}" >&2
+    exit 1
+  fi
+  if ! printf '%s\n' "${out}" | grep -q "$3"; then
+    echo "fsck smoke ($1): no verdict matching '$3' in report" >&2
+    printf '%s\n' "${out}" >&2
+    exit 1
+  fi
+}
+
+# Healthy: the completed fleet state dir must come back clean.
+rm -rf "${FSCK_DIR}"; cp -r "${FLEET_DIR}" "${FSCK_DIR}"
+fsck_expect healthy 0 '0 unrepairable'
+
+# Bit rot: flip one interior checkpoint byte — the integrity footer CRC
+# must flag it corrupt, and with no token-suffixed sibling to fall back
+# on the damage is unrepairable.
+rm -rf "${FSCK_DIR}"; cp -r "${FLEET_DIR}" "${FSCK_DIR}"
+python3 - "${FSCK_DIR}/ckpts/smoke0.ckpt" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 0x10
+open(path, "wb").write(bytes(data))
+EOF
+fsck_expect checkpoint_bitflip 1 'corrupt'
+
+# Interrupted publish: truncate a checkpoint below its header — torn.
+rm -rf "${FSCK_DIR}"; cp -r "${FLEET_DIR}" "${FSCK_DIR}"
+python3 - "${FSCK_DIR}/ckpts/smoke1.ckpt" <<'EOF'
+import sys
+with open(sys.argv[1], "r+b") as f:
+    f.truncate(16)
+EOF
+fsck_expect checkpoint_truncated 1 'torn'
+
+# Crash frontier: a half-written final journal record is tolerated by
+# replay, so the damage is repairable-only (exit 2).
+rm -rf "${FSCK_DIR}"; cp -r "${FLEET_DIR}" "${FSCK_DIR}"
+printf '{"type":"campaign","id":"smoke0","sta' \
+  >> "${FSCK_DIR}/journal.jsonl"
+fsck_expect journal_torn_tail 2 'torn_tail'
+
 # TSan leg: the fleet scheduler, watchdog, journal, and lease paths are
 # the only intentionally multi-threaded control paths added by the
 # orchestrator; run their tests under ThreadSanitizer (incompatible with
@@ -234,10 +295,12 @@ cmake -B "${TSAN_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPOISONREC_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "$(nproc)" \
-  --target orch_test lease_test fleet_recovery_test fleet_shared_test
+  --target orch_test lease_test fleet_recovery_test fleet_shared_test \
+           fsck_chaos_test
 "${TSAN_DIR}/tests/orch_test"
 "${TSAN_DIR}/tests/lease_test"
 "${TSAN_DIR}/tests/fleet_recovery_test"
 "${TSAN_DIR}/tests/fleet_shared_test"
+"${TSAN_DIR}/tests/fsck_chaos_test"
 
 echo "ci_check: OK"

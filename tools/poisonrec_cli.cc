@@ -10,6 +10,8 @@
 //                      --defense-bans=2 --pool-reserve=20 --pool-min-live=4
 //   poisonrec fleet    --plan=fleet.json --journal=results/fleet.jsonl
 //                      --checkpoint-dir=results/ckpts [--resume]
+//   poisonrec fsck     --journal=results/fleet.jsonl
+//                      --checkpoint-dir=results/ckpts [--lease-dir=<dir>]
 //
 // Common flags: --dataset=<Steam|MovieLens|Phone|Clothing> --scale=<f>
 //   --data=<csv>  --seed=<n>  --attackers=<N>  --length=<T>
@@ -78,6 +80,18 @@
 //   (quarantined/failed/interrupted campaigns — resumable with --resume),
 //   1 fatal orchestrator error (bad plan, journal/report I/O).
 //
+// Fsck flags (offline storage-integrity audit, docs/robustness.md):
+//   --journal=<path>        journal family base path (default
+//                           results/fleet_journal.jsonl)
+//   --checkpoint-dir=<dir>  checkpoint directory to audit (default
+//                           results/fleet_checkpoints)
+//   --lease-dir=<dir>       lease directory (default
+//                           <checkpoint-dir>/leases)
+//   Exit codes: 0 everything intact, 2 damage found but all of it
+//   repairable (torn journal tails, damaged checkpoints with an intact
+//   sibling, corrupt leases), 1 unrepairable damage (interior journal
+//   corruption, a campaign whose every checkpoint is damaged).
+//
 // Campaign telemetry flags (see docs/observability.md):
 //   --metrics-out=<path>    write a metrics-registry JSON snapshot at the
 //                           end of the run
@@ -113,6 +127,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "orch/fleet.h"
+#include "orch/fsck.h"
 #include "orch/spec.h"
 #include "rec/metrics.h"
 
@@ -686,10 +701,27 @@ int CmdFleet(const Flags& flags) {
   return result.ExitCode();
 }
 
+int CmdFsck(const Flags& flags) {
+  orch::FsckOptions options;
+  options.journal_path =
+      flags.Get("journal", "results/fleet_journal.jsonl");
+  options.checkpoint_dir =
+      flags.Get("checkpoint-dir", "results/fleet_checkpoints");
+  options.lease_dir = flags.Get("lease-dir", "");
+  StatusOr<orch::FsckReport> report = orch::RunFsck(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fsck failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(orch::FormatFsckReport(*report).c_str(), stdout);
+  return report->ExitCode();
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: poisonrec "
-               "<datagen|quality|attack|detect|campaign|fleet> "
+               "<datagen|quality|attack|detect|campaign|fleet|fsck> "
                "[--flag=value ...]\n"
                "see tools/poisonrec_cli.cc for the flag list\n");
   return 2;
@@ -708,6 +740,7 @@ int Main(int argc, char** argv) {
   if (command == "detect") return CmdDetect(flags);
   if (command == "campaign") return CmdCampaign(flags);
   if (command == "fleet") return CmdFleet(flags);
+  if (command == "fsck") return CmdFsck(flags);
   return Usage();
 }
 

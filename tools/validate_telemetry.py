@@ -195,6 +195,7 @@ FLEET_CAMPAIGN_KEYS = [
 ]
 FLEET_JOURNAL_COUNTER_KEYS = [
     "files_merged", "malformed_lines", "torn_tail_lines", "stale_records",
+    "corrupt_lines", "skipped_records", "checkpoints_quarantined",
 ]
 
 
@@ -294,6 +295,18 @@ def check_fleet_report(path):
             fail(f"{path}: journal.malformed_lines="
                  f"{journal['malformed_lines']} — interior journal "
                  f"corruption (a torn tail would be torn_tail_lines)")
+        if isinstance(journal.get("corrupt_lines"), int) \
+                and journal["corrupt_lines"] > 0:
+            fail(f"{path}: journal.corrupt_lines="
+                 f"{journal['corrupt_lines']} — interior line-checksum "
+                 f"mismatch (bit rot in an append-only journal)")
+        malformed = journal.get("malformed_lines")
+        corrupt = journal.get("corrupt_lines")
+        skipped = journal.get("skipped_records")
+        if all(isinstance(v, int) for v in (malformed, corrupt, skipped)) \
+                and skipped != malformed + corrupt:
+            fail(f"{path}: journal.skipped_records={skipped!r}, expected "
+                 f"malformed_lines+corrupt_lines={malformed + corrupt}")
     exit_code = summary.get("exit_code")
     partial = (summary.get("quarantined", 0) + summary.get("failed", 0) +
                summary.get("interrupted", 0))
