@@ -86,10 +86,14 @@ int Main() {
 
   const std::size_t dim = config.embedding_dim;
   const std::vector<Shape> shapes = {
-      // LSTM cell: x(1×e)·W_x(e×4h) and the batched variant over the
-      // N=20 attacker rows of a policy step.
-      {"lstm_step", 1, dim, 4 * dim},
+      // LSTM cell gate products as the batched engine issues them: all N
+      // attacker rows of one episode (SampleEpisode / RecomputeLogProbs)
+      // and the full M·N-row stack of SampleEpisodesBatched. The old
+      // m=1 per-row shape is gone from the engine — every LSTM GEMM now
+      // carries at least the N attacker rows.
       {"lstm_batch", config.num_attackers, dim, 4 * dim},
+      {"lstm_batch_step",
+       config.samples_per_step * config.num_attackers, dim, 4 * dim},
       // DNN head: hidden → item logits over the candidate set.
       {"dnn_head", config.num_attackers, dim, 2 * config.candidate_originals},
       // PPO recompute: all M·T decisions of a step in one product.

@@ -1,15 +1,32 @@
-// End-to-end TrainStep wall-clock comparison: the full Algorithm 1 step
-// (episode rollouts -> black-box reward queries -> K PPO epochs) at
-// num_threads=1 versus num_threads=T, same seed. Because episode
-// sampling draws from per-episode (seed, step, m) streams and the GEMM
-// kernels are row-partition deterministic, the two runs must produce
-// identical reward sequences — the bench checks that while timing.
+// End-to-end TrainStep comparison of the batched attacker engine against
+// its two ancestors, swept over attacker counts N. For each N the bench
+// runs the full Algorithm 1 step (episode rollouts -> black-box reward
+// queries -> K PPO epochs) as:
 //
-// Emits per-phase seconds (sample/query/update) for both settings and
-// the overall speedup; JSON lands in results/train_step_timing.json.
+//   per_row   — the historical baseline: every attacker row advanced by
+//               its own 1×d matmuls (~6N tiny tape nodes per timestep),
+//               fresh tapes every epoch. Speedup denominator and
+//               identity oracle; runs a capped number of steps (it is
+//               the slow one) and is compared per-step.
+//   reference — per-episode batched rows, fresh tapes, no arena (the
+//               pre-batched-engine seed engine) at T threads.
+//   batched   — stacked rollouts, recorded-graph reuse, arena, at
+//               1, 2, and T threads.
 //
-//   POISONREC_THREADS  threaded run's thread count (default 4)
-//   POISONREC_STEPS    timed steps per setting (default 25; CI uses 2)
+// Every configuration must produce the identical reward sequence over
+// the steps it runs: the engines are bit-identical by construction
+// (per-episode RNG streams, row-partition-deterministic kernels, frozen
+// backward schedules, StackRows' ordered backward), and the bench fails
+// hard on the first mismatch. The headline metric is the per-step
+// update+sample speedup over the per_row baseline — the phases the
+// engine rework touches (query time is the black-box platform's, not
+// the attacker's).
+//
+//   POISONREC_THREADS        threaded runs' thread count (default 4)
+//   POISONREC_STEPS          timed steps per run (default 25; CI uses 2)
+//   POISONREC_BASELINE_STEPS per_row baseline step cap (default 4)
+//   POISONREC_ATTACKER_SWEEP comma list of N values (default 20,200,2000)
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +41,22 @@
 namespace poisonrec::bench {
 namespace {
 
+enum class Engine { kPerRow, kReference, kBatched };
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kPerRow:
+      return "per_row";
+    case Engine::kReference:
+      return "reference";
+    case Engine::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
 struct RunResult {
+  std::size_t steps = 0;
   double total_seconds = 0.0;
   double sample_seconds = 0.0;
   double query_seconds = 0.0;
@@ -32,20 +64,31 @@ struct RunResult {
   std::vector<double> mean_rewards;
 };
 
-RunResult RunCampaign(const BenchConfig& config, std::size_t num_threads) {
+RunResult RunCampaign(const BenchConfig& config, std::size_t num_attackers,
+                      std::size_t num_threads, Engine engine,
+                      std::size_t steps) {
   // Kernel threading and sampling/eval threading follow the same knob,
   // mirroring what `poisonrec campaign --num-threads` does.
   nn::SetNumThreads(num_threads);
-  auto env = MakeEnvironment(config, data::DatasetPreset::kSteam, "ItemPop");
+  BenchConfig sized = config;
+  sized.num_attackers = num_attackers;
+  auto env = MakeEnvironment(sized, data::DatasetPreset::kSteam, "ItemPop");
   core::PoisonRecConfig pr = MakePoisonRecConfig(
-      config, core::ActionSpaceKind::kBcbtPopular, config.seed);
+      sized, core::ActionSpaceKind::kBcbtPopular, sized.seed);
   pr.num_threads = num_threads;
   pr.parallel_sampling = true;
   pr.parallel_rewards = num_threads > 1;
+  if (engine != Engine::kBatched) {
+    pr.engine.batched_sampling = false;
+    pr.engine.reuse_update_graph = false;
+    pr.engine.tensor_arena = false;
+    pr.engine.per_row_recurrence = engine == Engine::kPerRow;
+  }
   core::PoisonRecAttacker attacker(env.get(), pr);
 
   RunResult result;
-  for (std::size_t s = 0; s < config.training_steps; ++s) {
+  result.steps = steps;
+  for (std::size_t s = 0; s < steps; ++s) {
     const core::TrainStepStats stats = attacker.TrainStep();
     result.total_seconds += stats.seconds;
     result.sample_seconds += stats.sample_seconds;
@@ -63,56 +106,126 @@ std::size_t EnvSize(const char* name, std::size_t fallback) {
                       : static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
 }
 
+std::vector<std::size_t> EnvSizeList(const char* name,
+                                     std::vector<std::size_t> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  std::vector<std::size_t> out;
+  std::string token;
+  for (const char* p = v;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        out.push_back(
+            static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10)));
+        token.clear();
+      }
+      if (*p == '\0') break;
+    } else {
+      token.push_back(*p);
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
 std::string Fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4f", v);
   return buf;
 }
 
+// Training is deterministic per step index, so the first
+// min(a.steps, b.steps) rewards of any two runs are comparable even
+// when the slower run was cut short.
+std::size_t CountMismatches(const RunResult& a, const RunResult& b) {
+  const std::size_t steps =
+      std::min(a.mean_rewards.size(), b.mean_rewards.size());
+  std::size_t mismatches = 0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    if (a.mean_rewards[s] != b.mean_rewards[s]) ++mismatches;
+  }
+  return mismatches;
+}
+
 int Main() {
   const BenchConfig config = LoadBenchConfig();
   const std::size_t threads = EnvSize("POISONREC_THREADS", 4);
+  const std::size_t steps = config.training_steps;
+  const std::size_t baseline_steps =
+      std::min(steps, EnvSize("POISONREC_BASELINE_STEPS", 4));
+  const std::vector<std::size_t> sweep =
+      EnvSizeList("POISONREC_ATTACKER_SWEEP", {20, 200, 2000});
 
-  const RunResult single = RunCampaign(config, 1);
-  const RunResult threaded = RunCampaign(config, threads);
-
-  // Determinism gate: threading must not change a single reward.
-  std::size_t mismatches = 0;
-  for (std::size_t s = 0; s < single.mean_rewards.size(); ++s) {
-    if (single.mean_rewards[s] != threaded.mean_rewards[s]) ++mismatches;
-  }
-  const double speedup = threaded.total_seconds > 0.0
-                             ? single.total_seconds / threaded.total_seconds
-                             : 0.0;
-
-  PrintTableHeader({"setting", "total_s", "sample_s", "query_s", "update_s"});
-  PrintTableRow({"threads=1", Fmt(single.total_seconds),
-                 Fmt(single.sample_seconds), Fmt(single.query_seconds),
-                 Fmt(single.update_seconds)});
-  PrintTableRow({"threads=" + std::to_string(threads),
-                 Fmt(threaded.total_seconds), Fmt(threaded.sample_seconds),
-                 Fmt(threaded.query_seconds), Fmt(threaded.update_seconds)});
-  std::printf("speedup %.2fx over %zu steps, reward mismatches %zu\n", speedup,
-              config.training_steps, mismatches);
-
+  PrintTableHeader({"attackers", "engine", "threads", "steps", "total_s",
+                    "sample_s", "query_s", "update_s", "upd+smp_speedup",
+                    "mismatches"});
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"threads", "steps", "total_s", "sample_s", "query_s",
-                  "update_s", "speedup", "reward_mismatches"});
-  rows.push_back({"1", std::to_string(config.training_steps),
-                  Fmt(single.total_seconds), Fmt(single.sample_seconds),
-                  Fmt(single.query_seconds), Fmt(single.update_seconds), "1.0",
-                  "0"});
-  rows.push_back({std::to_string(threads),
-                  std::to_string(config.training_steps),
-                  Fmt(threaded.total_seconds), Fmt(threaded.sample_seconds),
-                  Fmt(threaded.query_seconds), Fmt(threaded.update_seconds),
-                  Fmt(speedup), std::to_string(mismatches)});
+  rows.push_back({"attackers", "engine", "threads", "steps", "total_s",
+                  "sample_s", "query_s", "update_s", "update_sample_speedup",
+                  "reward_mismatches"});
+
+  std::size_t total_mismatches = 0;
+  for (const std::size_t n : sweep) {
+    const RunResult baseline =
+        RunCampaign(config, n, threads, Engine::kPerRow, baseline_steps);
+    const RunResult reference =
+        RunCampaign(config, n, threads, Engine::kReference, steps);
+    struct BatchedRun {
+      std::size_t threads;
+      RunResult result;
+    };
+    std::vector<BatchedRun> batched;
+    for (const std::size_t t : std::vector<std::size_t>{1, 2, threads}) {
+      batched.push_back(
+          {t, RunCampaign(config, n, t, Engine::kBatched, steps)});
+    }
+
+    const double baseline_per_step =
+        (baseline.sample_seconds + baseline.update_seconds) /
+        static_cast<double>(baseline.steps);
+    const auto emit = [&](Engine engine, std::size_t t, const RunResult& r,
+                          std::size_t mismatches) {
+      // The speedup the engine rework is accountable for: per-step
+      // sample+update against the per-row baseline at the bench's
+      // threaded setting.
+      const double per_step = (r.sample_seconds + r.update_seconds) /
+                              static_cast<double>(r.steps);
+      const double speedup = per_step > 0.0 ? baseline_per_step / per_step
+                                            : 0.0;
+      PrintTableRow({std::to_string(n), EngineName(engine),
+                     std::to_string(t), std::to_string(r.steps),
+                     Fmt(r.total_seconds), Fmt(r.sample_seconds),
+                     Fmt(r.query_seconds), Fmt(r.update_seconds),
+                     Fmt(speedup), std::to_string(mismatches)});
+      rows.push_back({std::to_string(n), EngineName(engine),
+                      std::to_string(t), std::to_string(r.steps),
+                      Fmt(r.total_seconds), Fmt(r.sample_seconds),
+                      Fmt(r.query_seconds), Fmt(r.update_seconds),
+                      Fmt(speedup), std::to_string(mismatches)});
+    };
+    emit(Engine::kPerRow, threads, baseline, 0);
+    {
+      const std::size_t mismatches = CountMismatches(baseline, reference);
+      total_mismatches += mismatches;
+      emit(Engine::kReference, threads, reference, mismatches);
+    }
+    for (const BatchedRun& run : batched) {
+      const std::size_t mismatches = CountMismatches(baseline, run.result) +
+                                     CountMismatches(reference, run.result);
+      total_mismatches += mismatches;
+      emit(Engine::kBatched, run.threads, run.result, mismatches);
+    }
+  }
+
+  if (total_mismatches > 0) {
+    std::printf("FAIL: %zu reward mismatches between engines/thread counts\n",
+                total_mismatches);
+  }
   WriteCsvOutput(config, "train_step_timing.csv", rows);
   WriteJsonOutput(config, "train_step_timing.json", rows);
 
-  // A thread-count-dependent reward sequence is a correctness bug, not a
-  // perf regression — fail loudly.
-  return mismatches == 0 ? 0 : 1;
+  // An engine- or thread-count-dependent reward sequence is a
+  // correctness bug, not a perf regression — fail loudly.
+  return total_mismatches == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 
+#include "nn/graph.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -87,6 +89,35 @@ bool ReadFloats(std::istream& in, std::vector<float>* v) {
 }
 
 }  // namespace
+
+// One TrainStep's recorded update graph (config().engine
+// .reuse_update_graph). The K epochs of a step recompute the exact same
+// ops over the exact same trajectories: between epochs only the
+// parameters change (advanced by Adam) plus the host-recomputed clip
+// masks that depend on them. So epoch 0 records the two differentiable
+// forwards on tapes — the log-prob recompute and the surrogate loss,
+// with the host-side mask pass sitting between them — and captures the
+// backward schedule; epochs 1..K-1 replay all three instead of
+// re-flattening, re-taping, and re-walking the graph. Valid only while
+// the batch is the full episode set (a resampled batch changes the
+// graph), which TrainStep checks before constructing one.
+struct PpoUpdateGraph {
+  bool built = false;
+  // Flattened batch, fixed for the step.
+  std::vector<const SampledTrajectory*> trajs;
+  std::vector<double> traj_advantage;
+  // Forward tapes: policy log-prob recompute, then the clipped
+  // surrogate. Replay order matters — masks are derived from the
+  // recomputed log-probs before the loss tape runs.
+  nn::GraphTape recompute_tape;
+  nn::GraphTape loss_tape;
+  nn::RecordedBackward backward;
+  std::vector<DecisionBatch> decisions;
+  // The clip masks are the only loss-graph leaves that change between
+  // epochs; their data is overwritten in place before replaying.
+  std::vector<nn::Tensor> adv_masks;
+  nn::Tensor loss;
+};
 
 PoisonRecAttacker::PoisonRecAttacker(const env::AttackEnvironment* environment,
                                      const PoisonRecConfig& config)
@@ -371,49 +402,72 @@ bool PoisonRecAttacker::SweepPostStep(TrainStepStats* stats) {
 
 nn::Tensor PoisonRecAttacker::PpoLoss(
     const std::vector<const Episode*>& batch, double* loss_value,
-    PpoDiagnostics* diagnostics) {
-  // Eq. 8: normalize rewards within the batch. Imputed (unobserved)
-  // rewards are excluded from the statistics and get zero advantage.
-  std::vector<double> advantages(batch.size());
-  std::vector<char> observed(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    advantages[i] = batch[i]->reward;
-    observed[i] = batch[i]->reward_observed ? 1 : 0;
-  }
-  NormalizeRewards(&advantages, observed);
+    PpoDiagnostics* diagnostics, PpoUpdateGraph* graph) {
+  const bool replay = graph != nullptr && graph->built;
 
-  // Flatten trajectories; every decision inherits its episode's advantage.
-  // Dead slots (drained account pool) are excluded: their trajectories
-  // were never injected, so Eq. 7/9 renormalizes over the surviving
-  // fleet's decisions.
-  std::vector<const SampledTrajectory*> trajs;
-  std::vector<double> traj_advantage;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    for (const SampledTrajectory& t : batch[i]->trajectories) {
-      if (pool_ != nullptr && !pool_->IsLive(t.attacker_index)) continue;
-      trajs.push_back(&t);
-      traj_advantage.push_back(advantages[i]);
+  std::vector<const SampledTrajectory*> local_trajs;
+  std::vector<double> local_adv;
+  std::vector<DecisionBatch> local_decisions;
+  if (!replay) {
+    // Eq. 8: normalize rewards within the batch. Imputed (unobserved)
+    // rewards are excluded from the statistics and get zero advantage.
+    std::vector<double> advantages(batch.size());
+    std::vector<char> observed(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      advantages[i] = batch[i]->reward;
+      observed[i] = batch[i]->reward_observed ? 1 : 0;
     }
-  }
+    NormalizeRewards(&advantages, observed);
 
-  std::vector<DecisionBatch> decisions = policy_->RecomputeLogProbs(trajs);
+    // Flatten trajectories; every decision inherits its episode's
+    // advantage. Dead slots (drained account pool) are excluded: their
+    // trajectories were never injected, so Eq. 7/9 renormalizes over the
+    // surviving fleet's decisions.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (const SampledTrajectory& t : batch[i]->trajectories) {
+        if (pool_ != nullptr && !pool_->IsLive(t.attacker_index)) continue;
+        local_trajs.push_back(&t);
+        local_adv.push_back(advantages[i]);
+      }
+    }
+
+    if (graph != nullptr) {
+      // Record the recompute forward so later epochs replay it against
+      // the parameters Adam advanced, instead of re-taping it.
+      nn::GraphTape::RecordScope record(&graph->recompute_tape);
+      local_decisions = policy_->RecomputeLogProbs(local_trajs);
+    } else {
+      local_decisions = policy_->RecomputeLogProbs(
+          local_trajs, config_.engine.per_row_recurrence);
+    }
+  } else {
+    // Same trajectories, new parameters: recompute every decision's
+    // log-prob by replaying the recorded nodes in creation order —
+    // numerically identical to RecomputeLogProbs from scratch.
+    graph->recompute_tape.ReplayForward();
+  }
+  const std::vector<DecisionBatch>& decisions =
+      replay ? graph->decisions : local_decisions;
+  const std::vector<double>& traj_advantage =
+      replay ? graph->traj_advantage : local_adv;
 
   // Clipped surrogate (Eq. 7/9): obj = min(r*A, clip(r,1±ε)*A). The min
   // either selects the ratio term (gradient flows) or a clipped constant
-  // (gradient zero); we encode that with a forward-computed mask.
+  // (gradient zero); we encode that with a forward-computed mask. The
+  // mask pass is host-side and runs every epoch (it depends on the fresh
+  // log-probs); only the graph around it is reused.
   const float eps = config_.clip_epsilon;
-  nn::Tensor total;  // scalar accumulator of sum(obj)
   std::size_t n_decisions = 0;
   double const_part = 0.0;  // sum of clipped (constant) objective terms
   double neg_logp_sum = 0.0;  // -log pi(a|s): sampled-entropy estimate
   double kl_sum = 0.0;        // log pi_old - log pi_new: approx KL
-  for (const DecisionBatch& batch_k : decisions) {
+  std::vector<std::vector<float>> masks(decisions.size());
+  for (std::size_t b = 0; b < decisions.size(); ++b) {
+    const DecisionBatch& batch_k = decisions[b];
     const std::size_t k = batch_k.new_log_probs.rows();
     n_decisions += k;
-    std::vector<float> old_vals(k);
-    std::vector<float> adv_mask(k);
+    masks[b].resize(k);
     for (std::size_t i = 0; i < k; ++i) {
-      old_vals[i] = static_cast<float>(batch_k.old_log_probs[i]);
       const double adv = traj_advantage[batch_k.traj_index[i]];
       const double new_lp =
           static_cast<double>(batch_k.new_log_probs.at(i, 0));
@@ -430,20 +484,15 @@ nn::Tensor PoisonRecAttacker::PpoLoss(
         unclipped = r >= 1.0 - eps;
       }
       if (unclipped) {
-        adv_mask[i] = static_cast<float>(adv);
+        masks[b][i] = static_cast<float>(adv);
       } else {
-        adv_mask[i] = 0.0f;
+        masks[b][i] = 0.0f;
         const double clipped_r =
             std::clamp(r, 1.0 - static_cast<double>(eps),
                        1.0 + static_cast<double>(eps));
         const_part += clipped_r * adv;
       }
     }
-    nn::Tensor old_t = nn::Tensor::FromData(k, 1, std::move(old_vals));
-    nn::Tensor am_t = nn::Tensor::FromData(k, 1, std::move(adv_mask));
-    nn::Tensor ratio = nn::Exp(nn::Sub(batch_k.new_log_probs, old_t));
-    nn::Tensor obj = nn::Sum(nn::Mul(ratio, am_t));
-    total = total.defined() ? nn::Add(total, obj) : obj;
   }
   POISONREC_CHECK_GT(n_decisions, 0u);
   if (diagnostics != nullptr) {
@@ -451,9 +500,45 @@ nn::Tensor PoisonRecAttacker::PpoLoss(
         neg_logp_sum / static_cast<double>(n_decisions);
     diagnostics->approx_kl = kl_sum / static_cast<double>(n_decisions);
   }
-  // loss = -(1/D) * (sum_masked + const_part)
-  nn::Tensor loss =
-      nn::Scale(total, -1.0f / static_cast<float>(n_decisions));
+
+  nn::Tensor loss;
+  if (!replay) {
+    std::optional<nn::GraphTape::RecordScope> record;
+    if (graph != nullptr) record.emplace(&graph->loss_tape);
+    nn::Tensor total;  // scalar accumulator of sum(obj)
+    for (std::size_t b = 0; b < decisions.size(); ++b) {
+      const DecisionBatch& batch_k = decisions[b];
+      const std::size_t k = batch_k.new_log_probs.rows();
+      std::vector<float> old_vals(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        old_vals[i] = static_cast<float>(batch_k.old_log_probs[i]);
+      }
+      nn::Tensor old_t = nn::Tensor::FromData(k, 1, std::move(old_vals));
+      nn::Tensor am_t = nn::Tensor::FromData(k, 1, std::move(masks[b]));
+      if (graph != nullptr) graph->adv_masks.push_back(am_t);
+      nn::Tensor ratio = nn::Exp(nn::Sub(batch_k.new_log_probs, old_t));
+      nn::Tensor obj = nn::Sum(nn::Mul(ratio, am_t));
+      total = total.defined() ? nn::Add(total, obj) : obj;
+    }
+    // loss = -(1/D) * (sum_masked + const_part)
+    loss = nn::Scale(total, -1.0f / static_cast<float>(n_decisions));
+    if (graph != nullptr) {
+      graph->trajs = std::move(local_trajs);
+      graph->traj_advantage = std::move(local_adv);
+      graph->decisions = std::move(local_decisions);
+      graph->loss = loss;
+      graph->built = true;
+    }
+  } else {
+    // Feed this epoch's masks into the recorded loss graph (the masks
+    // are its only changing leaves — the Mul closures read the leaf's
+    // data through the impl at call time) and replay it.
+    for (std::size_t b = 0; b < graph->adv_masks.size(); ++b) {
+      graph->adv_masks[b].mutable_data() = std::move(masks[b]);
+    }
+    graph->loss_tape.ReplayForward();
+    loss = graph->loss;
+  }
   if (loss_value != nullptr) {
     *loss_value = loss.item() -
                   const_part / static_cast<double>(n_decisions);
@@ -504,17 +589,49 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   // the policy) and the sampled trajectories are bit-identical for any
   // thread count and across checkpoint/resume.
   obs::TraceSpan sample_span("ppo/sample");
+  // Node-recycling arena for the step's tensor churn (sampling
+  // activations, recompute/loss graphs). Activated before any tensor of
+  // the step is created and reset when the step returns — declared here
+  // so every local graph handle below destructs first and the reset can
+  // recycle the whole step's nodes. The free list is a member, so step
+  // s+1 reuses step s's buffers.
+  std::optional<nn::TensorArena::Scope> arena_scope;
+  if (config_.engine.tensor_arena) arena_scope.emplace(&step_arena_);
   std::vector<Episode> episodes(config_.samples_per_step);
   const std::size_t sample_threads =
       config_.parallel_sampling ? config_.num_threads : 1;
   const std::uint64_t step_index = stats.step;
-  ParallelFor(episodes.size(), sample_threads,
-              [this, &episodes, step_index](std::size_t m) {
-                Rng episode_rng(
-                    DeriveStreamSeed(config_.seed, step_index, m));
-                episodes[m].trajectories = policy_->SampleEpisode(
-                    env_->trajectory_length(), &episode_rng);
-              });
+  if (config_.engine.batched_sampling) {
+    // One stacked (M·N x dim) recurrence for all M episodes: each
+    // episode still consumes its own derived Rng stream in SampleEpisode
+    // order, so the trajectories are bit-identical to the per-episode
+    // path below (and to any earlier checkpoint's future).
+    std::vector<Rng> rngs;
+    rngs.reserve(episodes.size());
+    for (std::size_t m = 0; m < episodes.size(); ++m) {
+      rngs.emplace_back(DeriveStreamSeed(config_.seed, step_index, m));
+    }
+    std::vector<std::vector<SampledTrajectory>> sampled =
+        policy_->SampleEpisodesBatched(episodes.size(),
+                                       env_->trajectory_length(), &rngs);
+    for (std::size_t m = 0; m < episodes.size(); ++m) {
+      episodes[m].trajectories = std::move(sampled[m]);
+    }
+  } else {
+    // The per-row baseline advances each attacker with its own 1×d
+    // matmuls (the historical engine); same Rng streams, same bits.
+    const bool per_row = config_.engine.per_row_recurrence;
+    ParallelFor(episodes.size(), sample_threads,
+                [this, &episodes, step_index, per_row](std::size_t m) {
+                  Rng episode_rng(
+                      DeriveStreamSeed(config_.seed, step_index, m));
+                  episodes[m].trajectories =
+                      per_row ? policy_->SampleEpisodePerRow(
+                                    env_->trajectory_length(), &episode_rng)
+                              : policy_->SampleEpisode(
+                                    env_->trajectory_length(), &episode_rng);
+                });
+  }
   stats.sample_seconds = sample_span.Stop();
   if (heartbeat_) heartbeat_();
 
@@ -652,6 +769,18 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
   double kl_sum = 0.0;
   std::size_t diag_epochs = 0;
   std::size_t completed_epochs = 0;
+  // Graph reuse applies when every epoch trains on the full episode set
+  // (B >= M — the paper's configuration): the K epochs then share one
+  // recorded graph, built on epoch 0 and replayed afterwards. With a
+  // resampled batch each epoch sees a different graph, so each builds
+  // fresh. Declared after arena_scope: the graph (and the tapes' node
+  // handles) must destruct before the arena reset sweeps the step.
+  const bool reuse_graph = config_.engine.reuse_update_graph &&
+                           !config_.engine.per_row_recurrence &&
+                           config_.batch_size >= episodes.size() &&
+                           config_.update_epochs > 1;
+  std::optional<PpoUpdateGraph> update_graph;
+  if (reuse_graph) update_graph.emplace();
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
     std::vector<const Episode*> batch;
     if (config_.batch_size >= episodes.size()) {
@@ -663,7 +792,8 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
     }
     double loss_value = 0.0;
     PpoDiagnostics diag;
-    nn::Tensor loss = PpoLoss(batch, &loss_value, &diag);
+    nn::Tensor loss = PpoLoss(batch, &loss_value, &diag,
+                              update_graph ? &*update_graph : nullptr);
     entropy_sum += diag.entropy;
     kl_sum += diag.approx_kl;
     ++diag_epochs;
@@ -698,7 +828,21 @@ TrainStepStats PoisonRecAttacker::TrainStep() {
     }
 
     optimizer_->ZeroGrad();
-    loss.Backward();
+    if (update_graph) {
+      // First epoch: freeze the backward schedule (the exact closure
+      // order Tensor::Backward would run). Every epoch: zero the
+      // recorded nodes' grads — fresh tapes get that for free from node
+      // construction — then run the frozen schedule. Same closures, same
+      // order, same float accumulation as loss.Backward().
+      if (!update_graph->backward.captured()) {
+        update_graph->backward.Capture(loss);
+      }
+      update_graph->recompute_tape.ZeroGrads();
+      update_graph->loss_tape.ZeroGrads();
+      update_graph->backward.Run(loss);
+    } else {
+      loss.Backward();
+    }
     const double pre_clip =
         static_cast<double>(nn::GradNorm(optimizer_->parameters()));
     stats.pre_clip_grad_norm = std::max(stats.pre_clip_grad_norm, pre_clip);

@@ -1,0 +1,72 @@
+#include "nn/arena.h"
+
+#include <utility>
+
+namespace poisonrec::nn {
+
+namespace {
+
+thread_local TensorArena* t_current_arena = nullptr;
+
+}  // namespace
+
+std::shared_ptr<internal::TensorImpl> TensorArena::Acquire(std::size_t rows,
+                                                           std::size_t cols) {
+  ++total_acquired_;
+  std::shared_ptr<internal::TensorImpl> node;
+  if (!free_.empty()) {
+    node = std::move(free_.back());
+    free_.pop_back();
+    ++total_recycled_;
+    node->rows = rows;
+    node->cols = cols;
+    // assign() reuses the vector's capacity when it fits; grad must be
+    // cleared (not just left stale) so EnsureGrad re-zeroes it for the
+    // new shape instead of keeping a prior node's gradients.
+    node->data.assign(rows * cols, 0.0f);
+    node->grad.clear();
+    node->requires_grad = false;
+    node->parents.clear();
+    node->backward_fn = nullptr;
+    node->forward_fn = nullptr;
+  } else {
+    node = std::make_shared<internal::TensorImpl>();
+    node->rows = rows;
+    node->cols = cols;
+    node->data.assign(rows * cols, 0.0f);
+  }
+  live_.push_back(node);
+  return node;
+}
+
+void TensorArena::Reset() {
+  // Reverse creation order: the last-created node is the deepest child;
+  // releasing its parent edges drops refcounts on earlier nodes, so by
+  // the time the sweep reaches them they too are arena-only and recycle.
+  for (std::size_t i = live_.size(); i-- > 0;) {
+    std::shared_ptr<internal::TensorImpl>& node = live_[i];
+    if (node.use_count() == 1) {
+      node->parents.clear();
+      node->backward_fn = nullptr;
+      node->forward_fn = nullptr;
+      free_.push_back(std::move(node));
+    }
+    // Nodes still referenced elsewhere escape to the normal shared_ptr
+    // lifetime: dropping our reference here is all that's needed.
+  }
+  live_.clear();
+}
+
+TensorArena* TensorArena::Current() { return t_current_arena; }
+
+TensorArena::Scope::Scope(TensorArena* arena)
+    : arena_(arena), previous_(t_current_arena) {
+  t_current_arena = arena;
+}
+
+TensorArena::Scope::~Scope() {
+  t_current_arena = previous_;
+  if (arena_ != nullptr) arena_->Reset();
+}
+
+}  // namespace poisonrec::nn

@@ -1,0 +1,80 @@
+// Per-step recycling arena for autograd nodes (the impl/handle split's
+// payoff): a PPO TrainStep allocates thousands of small TensorImpl
+// buffers with identical shapes every step, and the general-purpose
+// allocator pays for each one. TensorArena intercepts node creation
+// (tensor.cc's NewNode asks the active arena first) and hands back
+// recycled impls whose data/grad vectors keep their heap capacity, so
+// steady-state steps run with near-zero allocator traffic.
+//
+// Safety contract: Reset() only recycles nodes whose handle count has
+// dropped to the arena's own reference (use_count() == 1). Any node
+// still reachable from outside — model parameters never come from the
+// arena, but e.g. a Tensor the caller kept — simply escapes to the
+// normal shared_ptr lifetime. That makes the arena an optimization, not
+// a new ownership rule: forgetting to reset leaks capacity, never
+// correctness.
+#ifndef POISONREC_NN_ARENA_H_
+#define POISONREC_NN_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace poisonrec::nn {
+
+class TensorArena {
+ public:
+  TensorArena() = default;
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Returns a zero-filled (rows x cols) impl, reusing a recycled one
+  /// when available. Called by tensor.cc's NewNode when this arena is
+  /// active on the current thread.
+  std::shared_ptr<internal::TensorImpl> Acquire(std::size_t rows,
+                                                std::size_t cols);
+
+  /// Sweeps everything handed out since the last Reset: nodes whose only
+  /// remaining reference is the arena's go back on the free list (data
+  /// capacity retained, parents/closures dropped); nodes still held
+  /// elsewhere escape. Sweeps in reverse creation order so a child's
+  /// release drops its parents' refcounts before the parents are
+  /// examined — a whole dead graph recycles in one pass.
+  void Reset();
+
+  /// The arena active on this thread (nullptr when none).
+  static TensorArena* Current();
+
+  /// RAII activation: makes `arena` the thread's current arena for the
+  /// scope's lifetime and calls Reset() on exit. Nesting restores the
+  /// previous arena.
+  class Scope {
+   public:
+    explicit Scope(TensorArena* arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TensorArena* arena_;
+    TensorArena* previous_;
+  };
+
+  // Telemetry for tests/benches.
+  std::size_t live_count() const { return live_.size(); }
+  std::size_t free_count() const { return free_.size(); }
+  std::size_t total_acquired() const { return total_acquired_; }
+  std::size_t total_recycled() const { return total_recycled_; }
+
+ private:
+  std::vector<std::shared_ptr<internal::TensorImpl>> live_;
+  std::vector<std::shared_ptr<internal::TensorImpl>> free_;
+  std::size_t total_acquired_ = 0;
+  std::size_t total_recycled_ = 0;
+};
+
+}  // namespace poisonrec::nn
+
+#endif  // POISONREC_NN_ARENA_H_

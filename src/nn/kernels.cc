@@ -25,6 +25,18 @@ constexpr std::size_t kBlockK = 64;
 // (e.g. the 1×d policy step).
 constexpr std::size_t kParallelMinWork = std::size_t{1} << 15;
 
+// Below this many multiply-accumulates a GEMM takes the lean unblocked
+// path: no row partitioner, no lambda indirection, no k-blocking. At
+// these sizes every operand fits in L1 anyway, and the fixed overhead
+// of the blocked dispatch is a measurable fraction of the whole call
+// (the 1×16×64 policy step runs in ~200ns). The k loop still visits kk
+// in ascending order for every output element — the same accumulation
+// order the blocked path produces — so the dispatch never changes a
+// bit. Threshold measured with bench_kernels on the small policy
+// shapes; anything under the threading cutoff gains nothing from
+// blocking (k ≤ 64 is a single block there regardless).
+constexpr std::size_t kSmallGemmWork = kParallelMinWork;
+
 // axpy: crow += av * brow. Elementwise — each c[j] receives exactly one
 // add per call, with no cross-element reduction — so the compiler is
 // free to vectorize at any width without changing a single bit. The
@@ -33,6 +45,40 @@ constexpr std::size_t kParallelMinWork = std::size_t{1} << 15;
 inline void AxpyRow(float av, const float* __restrict brow,
                     float* __restrict crow, std::size_t n) {
   for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+}
+
+// Four consecutive shared-dimension steps fused over one pass of crow:
+// each element receives the same four in-order adds the four single
+// AxpyRow calls would issue, but crow streams through registers once
+// instead of four times. The per-element operation sequence is
+// unchanged, so this is bit-identical to the unfused loop — it only
+// cuts the dominant cost of skinny GEMMs (k ~ 16–64), the repeated
+// load/store of the output row.
+inline void Axpy4Row(float a0, float a1, float a2, float a3,
+                     const float* __restrict b0, const float* __restrict b1,
+                     const float* __restrict b2, const float* __restrict b3,
+                     float* __restrict crow, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    float t = crow[j] + a0 * b0[j];
+    t = t + a1 * b1[j];
+    t = t + a2 * b2[j];
+    crow[j] = t + a3 * b3[j];
+  }
+}
+
+// Runs steps [k0, k1) of the shared dimension for one output row, in
+// ascending order, four at a time where possible. `a_at(kk)` supplies
+// the A operand for step kk (contiguous for NN, strided for TN).
+template <typename AFn>
+inline void AxpyRange(std::size_t k0, std::size_t k1, const AFn& a_at,
+                      const float* b, std::size_t n, float* crow) {
+  std::size_t kk = k0;
+  for (; kk + 4 <= k1; kk += 4) {
+    Axpy4Row(a_at(kk), a_at(kk + 1), a_at(kk + 2), a_at(kk + 3),
+             b + kk * n, b + (kk + 1) * n, b + (kk + 2) * n,
+             b + (kk + 3) * n, crow, n);
+  }
+  for (; kk < k1; ++kk) AxpyRow(a_at(kk), b + kk * n, crow, n);
 }
 
 // The *Rows workers compute rows [i0, i1) of C. Each kernel's
@@ -47,9 +93,8 @@ void GemmNNRows(std::size_t i0, std::size_t i1, std::size_t k, std::size_t n,
     for (std::size_t i = i0; i < i1; ++i) {
       const float* arow = a + i * k;
       float* crow = c + i * n;
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        AxpyRow(arow[kk], b + kk * n, crow, n);
-      }
+      AxpyRange(k0, k1, [arow](std::size_t kk) { return arow[kk]; }, b, n,
+                crow);
     }
   }
 }
@@ -61,9 +106,8 @@ void GemmTNRows(std::size_t i0, std::size_t i1, std::size_t m, std::size_t k,
     const std::size_t p1 = std::min(k, p0 + kBlockK);
     for (std::size_t i = i0; i < i1; ++i) {
       float* crow = c + i * n;
-      for (std::size_t p = p0; p < p1; ++p) {
-        AxpyRow(a[p * m + i], b + p * n, crow, n);
-      }
+      AxpyRange(p0, p1, [a, m, i](std::size_t p) { return a[p * m + i]; }, b,
+                n, crow);
     }
   }
 }
@@ -98,9 +142,7 @@ void GemmNTRows(std::size_t i0, std::size_t i1, std::size_t k, std::size_t n,
 // roughly m / (threads * 4) so the atomic index counter stays cold
 // while load still balances when rows have uneven cost.
 template <typename RowsFn>
-void ForEachRowBlock(std::size_t m, std::size_t k, std::size_t n,
-                     const RowsFn& rows) {
-  const std::size_t work = m * k * n;
+void ForEachRowBlock(std::size_t m, std::size_t work, const RowsFn& rows) {
   if (work < kParallelMinWork) {  // skip even the thread-budget lookup
     rows(0, m);
     return;
@@ -156,7 +198,18 @@ void GemmNN(std::size_t m, std::size_t k, std::size_t n, const float* a,
       obs::MetricsRegistry::Global().GetCounter(
           "poisonrec_gemm_nn_calls_total");
   CountGemm(calls, m, k, n);
-  ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
+  if (m * k * n < kSmallGemmWork) {
+    // Lean path: straight i-kk loops, same per-element accumulation
+    // order as the blocked kernel (kk ascending), zero dispatch cost.
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      AxpyRange(0, k, [arow](std::size_t kk) { return arow[kk]; }, b, n,
+                crow);
+    }
+    return;
+  }
+  ForEachRowBlock(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
     GemmNNRows(i0, i1, k, n, a, b, c);
   });
 }
@@ -167,7 +220,15 @@ void GemmTN(std::size_t m, std::size_t k, std::size_t n, const float* a,
       obs::MetricsRegistry::Global().GetCounter(
           "poisonrec_gemm_tn_calls_total");
   CountGemm(calls, m, k, n);
-  ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
+  if (m * k * n < kSmallGemmWork) {
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      AxpyRange(0, k, [a, m, i](std::size_t p) { return a[p * m + i]; }, b, n,
+                crow);
+    }
+    return;
+  }
+  ForEachRowBlock(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
     GemmTNRows(i0, i1, m, k, n, a, b, c);
   });
 }
@@ -178,9 +239,18 @@ void GemmNT(std::size_t m, std::size_t k, std::size_t n, const float* a,
       obs::MetricsRegistry::Global().GetCounter(
           "poisonrec_gemm_nt_calls_total");
   CountGemm(calls, m, k, n);
-  ForEachRowBlock(m, k, n, [&](std::size_t i0, std::size_t i1) {
+  if (m * k * n < kSmallGemmWork) {
+    GemmNTRows(0, m, k, n, a, b, c);  // already unblocked per-row dots
+    return;
+  }
+  ForEachRowBlock(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
     GemmNTRows(i0, i1, k, n, a, b, c);
   });
+}
+
+void ParallelRows(std::size_t m, std::size_t work,
+                  const std::function<void(std::size_t, std::size_t)>& rows) {
+  ForEachRowBlock(m, work, rows);
 }
 
 }  // namespace kernels

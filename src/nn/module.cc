@@ -111,14 +111,12 @@ LstmCell::State LstmCell::InitialState(std::size_t batch) const {
 
 LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
   POISONREC_CHECK_EQ(x.cols(), input_size_);
+  // Pre-activations stay composed (two GEMMs + bias feed the threaded
+  // kernels and the weight gradients); the eight elementwise gate ops
+  // that used to follow are fused into one pass over the (B x 4h) block.
   Tensor gates = Add(Add(MatMul(x, w_x_), MatMul(state.h, w_h_)), bias_);
-  Tensor i = Sigmoid(Cols(gates, 0, hidden_size_));
-  Tensor f = Sigmoid(Cols(gates, hidden_size_, hidden_size_));
-  Tensor g = Tanh(Cols(gates, 2 * hidden_size_, hidden_size_));
-  Tensor o = Sigmoid(Cols(gates, 3 * hidden_size_, hidden_size_));
-  Tensor c = Add(Mul(f, state.c), Mul(i, g));
-  Tensor h = Mul(o, Tanh(c));
-  return {h, c};
+  LstmGatesResult next = LstmGates(gates, state.c);
+  return {next.h, next.c};
 }
 
 std::vector<Tensor> LstmCell::Parameters() const {

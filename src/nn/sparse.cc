@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "nn/graph.h"
+#include "nn/kernels.h"
+
 namespace poisonrec::nn {
 
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
@@ -26,25 +29,60 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
   for (std::size_t r = 0; r < rows; ++r) {
     row_offsets_[r + 1] += row_offsets_[r];
   }
+
+  // Transpose by counting sort. Walking the forward CSR in storage
+  // order and appending to each column's bucket keeps every column's
+  // entries in ascending original-row order (see t_row_offsets() docs).
+  t_row_offsets_.assign(cols + 1, 0);
+  for (std::size_t c : col_indices_) ++t_row_offsets_[c + 1];
+  for (std::size_t c = 0; c < cols; ++c) {
+    t_row_offsets_[c + 1] += t_row_offsets_[c];
+  }
+  t_col_indices_.resize(values_.size());
+  t_values_.resize(values_.size());
+  std::vector<std::size_t> cursor(t_row_offsets_.begin(),
+                                  t_row_offsets_.end() - 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t p = row_offsets_[r]; p < row_offsets_[r + 1]; ++p) {
+      const std::size_t dst = cursor[col_indices_[p]]++;
+      t_col_indices_[dst] = r;
+      t_values_[dst] = values_[p];
+    }
+  }
 }
+
+namespace {
+
+// Forward rows are partitioned like the dense kernels: each output row
+// is owned by one thread and its entry order (p ascending) never
+// depends on the partition, so results are bit-identical at any thread
+// count. Zero-fills first so the same helper serves graph replay.
+void SpmmForward(const CsrMatrix* am, const internal::TensorImpl* xi,
+                 internal::TensorImpl* oi, std::size_t n) {
+  std::fill(oi->data.begin(), oi->data.end(), 0.0f);
+  float* od = oi->data.data();
+  const float* xd = xi->data.data();
+  kernels::ParallelRows(
+      am->rows(), am->nnz() * n, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          float* orow = od + r * n;
+          for (std::size_t p = am->row_offsets()[r];
+               p < am->row_offsets()[r + 1]; ++p) {
+            const float v = am->values()[p];
+            const float* xrow = xd + am->col_indices()[p] * n;
+            for (std::size_t c = 0; c < n; ++c) orow[c] += v * xrow[c];
+          }
+        }
+      });
+}
+
+}  // namespace
 
 Tensor SparseMatMul(const CsrMatrix& a, const Tensor& x) {
   POISONREC_CHECK_EQ(a.cols(), x.rows());
   const std::size_t n = x.cols();
   Tensor out = Tensor::Zeros(a.rows(), n);
-  {
-    float* od = out.mutable_data().data();
-    const float* xd = x.data().data();
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-      float* orow = od + r * n;
-      for (std::size_t p = a.row_offsets()[r]; p < a.row_offsets()[r + 1];
-           ++p) {
-        const float v = a.values()[p];
-        const float* xrow = xd + a.col_indices()[p] * n;
-        for (std::size_t c = 0; c < n; ++c) orow[c] += v * xrow[c];
-      }
-    }
-  }
+  SpmmForward(&a, x.impl().get(), out.impl().get(), n);
   if (GradEnabled() && x.requires_grad()) {
     auto oi = out.impl();
     oi->requires_grad = true;
@@ -55,17 +93,28 @@ Tensor SparseMatMul(const CsrMatrix& a, const Tensor& x) {
     internal::TensorImpl* oraw = oi.get();
     const CsrMatrix* am = &a;  // caller must keep the matrix alive
     oi->backward_fn = [am, xi, oraw, n]() {
-      // dx = A^T * dout: scatter each sparse entry.
-      for (std::size_t r = 0; r < am->rows(); ++r) {
-        const float* grow = oraw->grad.data() + r * n;
-        for (std::size_t p = am->row_offsets()[r];
-             p < am->row_offsets()[r + 1]; ++p) {
-          const float v = am->values()[p];
-          float* xgrow = xi->grad.data() + am->col_indices()[p] * n;
-          for (std::size_t c = 0; c < n; ++c) xgrow[c] += v * grow[c];
-        }
-      }
+      // dx = Aᵀ · dout over the transposed CSR: dx row c accumulates
+      // its column's entries in ascending original-row order — the
+      // exact order the old serial (r, p) scatter used — and each dx
+      // row is owned by one thread.
+      kernels::ParallelRows(
+          am->cols(), am->nnz() * n, [&](std::size_t c0, std::size_t c1) {
+            for (std::size_t c = c0; c < c1; ++c) {
+              float* xgrow = xi->grad.data() + c * n;
+              for (std::size_t p = am->t_row_offsets()[c];
+                   p < am->t_row_offsets()[c + 1]; ++p) {
+                const float v = am->t_values()[p];
+                const float* grow =
+                    oraw->grad.data() + am->t_col_indices()[p] * n;
+                for (std::size_t j = 0; j < n; ++j) xgrow[j] += v * grow[j];
+              }
+            }
+          });
     };
+    if (GraphTape* tape = GraphTape::Current()) {
+      oi->forward_fn = [am, xi, oraw, n]() { SpmmForward(am, xi, oraw, n); };
+      tape->Register(oi);
+    }
   }
   return out;
 }

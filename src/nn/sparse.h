@@ -32,12 +32,29 @@ class CsrMatrix {
   const std::vector<std::size_t>& col_indices() const { return col_indices_; }
   const std::vector<float>& values() const { return values_; }
 
+  /// Transposed view (Aᵀ in CSR over the original columns), built at
+  /// construction for the backward pass: entries of column c appear in
+  /// ascending original-row order — exactly the order the serial
+  /// scatter dx += Aᵀ·dout accumulates them — so the backward can
+  /// partition by column with the kernels' row-ownership contract and
+  /// stay bit-identical at any thread count.
+  const std::vector<std::size_t>& t_row_offsets() const {
+    return t_row_offsets_;
+  }
+  const std::vector<std::size_t>& t_col_indices() const {
+    return t_col_indices_;
+  }
+  const std::vector<float>& t_values() const { return t_values_; }
+
  private:
   std::size_t rows_;
   std::size_t cols_;
   std::vector<std::size_t> row_offsets_;  // size rows_+1
   std::vector<std::size_t> col_indices_;
   std::vector<float> values_;
+  std::vector<std::size_t> t_row_offsets_;  // size cols_+1
+  std::vector<std::size_t> t_col_indices_;  // original row per entry
+  std::vector<float> t_values_;
 };
 
 /// Dense product A (sparse, m x k) * x (dense, k x n) -> (m x n).

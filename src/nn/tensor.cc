@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/arena.h"
+#include "nn/graph.h"
 #include "nn/kernels.h"
 
 namespace poisonrec::nn {
@@ -15,6 +17,9 @@ namespace {
 thread_local bool g_grad_enabled = true;
 
 std::shared_ptr<TensorImpl> NewNode(std::size_t rows, std::size_t cols) {
+  if (TensorArena* arena = TensorArena::Current()) {
+    return arena->Acquire(rows, cols);
+  }
   auto node = std::make_shared<TensorImpl>();
   node->rows = rows;
   node->cols = cols;
@@ -31,9 +36,14 @@ bool TrackGrad(std::initializer_list<const Tensor*> inputs) {
 }
 
 // Registers parents + backward closure on `out` when tracking is on.
+// `forward_fn` recomputes out's data from its parents' current data; it
+// is only materialized (and the node only registered for replay) while
+// a GraphTape is recording on this thread, so the normal path pays one
+// thread-local read and nothing else.
+template <typename FwdFn>
 void Attach(const std::shared_ptr<TensorImpl>& out,
             std::initializer_list<const Tensor*> inputs,
-            std::function<void()> backward_fn) {
+            std::function<void()> backward_fn, FwdFn&& forward_fn) {
   out->requires_grad = true;
   out->EnsureGrad();
   for (const Tensor* t : inputs) {
@@ -41,6 +51,10 @@ void Attach(const std::shared_ptr<TensorImpl>& out,
     if (t->requires_grad()) t->impl()->EnsureGrad();
   }
   out->backward_fn = std::move(backward_fn);
+  if (GraphTape* tape = GraphTape::Current()) {
+    out->forward_fn = std::forward<FwdFn>(forward_fn);
+    tape->Register(out);
+  }
 }
 
 }  // namespace
@@ -158,6 +172,8 @@ void Tensor::Backward() {
       << "Backward() on a tensor that does not require grad";
 
   // Iterative post-order DFS to build reverse topological order.
+  // RecordedBackward::Capture (nn/graph.cc) replicates this traversal
+  // to freeze the closure order for graph reuse — keep them in sync.
   std::vector<TensorImpl*> topo;
   std::unordered_set<TensorImpl*> visited;
   struct Frame {
@@ -189,7 +205,26 @@ void Tensor::Backward() {
 
 // ---------------------------------------------------------------------------
 // Ops
+//
+// Each op's forward loop lives in one *Forward helper taking raw impls:
+// the op calls it once at build time, and the same helper (captured in
+// a replay closure) recomputes the node when the PPO update replays its
+// recorded graph. One source of truth per loop keeps replay trivially
+// bit-identical to the original forward.
 // ---------------------------------------------------------------------------
+
+namespace {
+
+void MatMulForward(const TensorImpl* ai, const TensorImpl* bi, TensorImpl* oi,
+                   std::size_t m, std::size_t k, std::size_t n) {
+  // GemmNN accumulates, so replay must clear the previous epoch's
+  // values first (a no-op on the freshly zeroed first call).
+  std::fill(oi->data.begin(), oi->data.end(), 0.0f);
+  kernels::GemmNN(m, k, n, ai->data.data(), bi->data.data(),
+                  oi->data.data());
+}
+
+}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   POISONREC_CHECK_EQ(a.cols(), b.rows())
@@ -197,25 +232,28 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << b.ShapeString();
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   auto out = NewNode(m, n);
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* bi = b.impl().get();
+  TensorImpl* oi = out.get();
   kernels::GemmNN(m, k, n, a.data().data(), b.data().data(),
                   out->data.data());
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* bi = b.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a, &b}, [ai, bi, oi, m, k, n]() {
-      if (ai->requires_grad) {
-        // dA(m×k) += dC(m×n) · Bᵀ (B stored k×n).
-        kernels::GemmNT(m, n, k, oi->grad.data(), bi->data.data(),
-                        ai->grad.data());
-      }
-      if (bi->requires_grad) {
-        // dB(k×n) += Aᵀ · dC (A stored m×k).
-        kernels::GemmTN(k, m, n, ai->data.data(), oi->grad.data(),
-                        bi->grad.data());
-      }
-    });
+    Attach(
+        out, {&a, &b},
+        [ai, bi, oi, m, k, n]() {
+          if (ai->requires_grad) {
+            // dA(m×k) += dC(m×n) · Bᵀ (B stored k×n).
+            kernels::GemmNT(m, n, k, oi->grad.data(), bi->data.data(),
+                            ai->grad.data());
+          }
+          if (bi->requires_grad) {
+            // dB(k×n) += Aᵀ · dC (A stored m×k).
+            kernels::GemmTN(k, m, n, ai->data.data(), oi->grad.data(),
+                            bi->grad.data());
+          }
+        },
+        [ai, bi, oi, m, k, n]() { MatMulForward(ai, bi, oi, m, k, n); });
   }
   return result;
 }
@@ -232,11 +270,25 @@ AddKind CheckAddShapes(const Tensor& a, const Tensor& b) {
   return AddKind::kBroadcastRow;
 }
 
+void AddForward(const TensorImpl* ai, const TensorImpl* bi, TensorImpl* oi,
+                AddKind kind, float sign) {
+  const std::size_t n = ai->cols;
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const float bv = kind == AddKind::kSame ? bi->at(r, c) : bi->at(0, c);
+      oi->at(r, c) = ai->at(r, c) + sign * bv;
+    }
+  }
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   const AddKind kind = CheckAddShapes(a, b);
   auto out = NewNode(a.rows(), a.cols());
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* bi = b.impl().get();
+  TensorImpl* oi = out.get();
   const std::size_t n = a.cols();
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t c = 0; c < n; ++c) {
@@ -247,29 +299,29 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   }
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* bi = b.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a, &b}, [ai, bi, oi, kind]() {
-      if (ai->requires_grad) {
-        for (std::size_t i = 0; i < ai->grad.size(); ++i) {
-          ai->grad[i] += oi->grad[i];
-        }
-      }
-      if (bi->requires_grad) {
-        if (kind == AddKind::kSame) {
-          for (std::size_t i = 0; i < bi->grad.size(); ++i) {
-            bi->grad[i] += oi->grad[i];
-          }
-        } else {
-          for (std::size_t r = 0; r < oi->rows; ++r) {
-            for (std::size_t c = 0; c < oi->cols; ++c) {
-              bi->grad[c] += oi->gat(r, c);
+    Attach(
+        out, {&a, &b},
+        [ai, bi, oi, kind]() {
+          if (ai->requires_grad) {
+            for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+              ai->grad[i] += oi->grad[i];
             }
           }
-        }
-      }
-    });
+          if (bi->requires_grad) {
+            if (kind == AddKind::kSame) {
+              for (std::size_t i = 0; i < bi->grad.size(); ++i) {
+                bi->grad[i] += oi->grad[i];
+              }
+            } else {
+              for (std::size_t r = 0; r < oi->rows; ++r) {
+                for (std::size_t c = 0; c < oi->cols; ++c) {
+                  bi->grad[c] += oi->gat(r, c);
+                }
+              }
+            }
+          }
+        },
+        [ai, bi, oi, kind]() { AddForward(ai, bi, oi, kind, 1.0f); });
   }
   return result;
 }
@@ -277,6 +329,9 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   const AddKind kind = CheckAddShapes(a, b);
   auto out = NewNode(a.rows(), a.cols());
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* bi = b.impl().get();
+  TensorImpl* oi = out.get();
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t c = 0; c < a.cols(); ++c) {
       const float bv =
@@ -286,32 +341,46 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   }
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* bi = b.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a, &b}, [ai, bi, oi, kind]() {
-      if (ai->requires_grad) {
-        for (std::size_t i = 0; i < ai->grad.size(); ++i) {
-          ai->grad[i] += oi->grad[i];
-        }
-      }
-      if (bi->requires_grad) {
-        if (kind == AddKind::kSame) {
-          for (std::size_t i = 0; i < bi->grad.size(); ++i) {
-            bi->grad[i] -= oi->grad[i];
-          }
-        } else {
-          for (std::size_t r = 0; r < oi->rows; ++r) {
-            for (std::size_t c = 0; c < oi->cols; ++c) {
-              bi->grad[c] -= oi->gat(r, c);
+    Attach(
+        out, {&a, &b},
+        [ai, bi, oi, kind]() {
+          if (ai->requires_grad) {
+            for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+              ai->grad[i] += oi->grad[i];
             }
           }
-        }
-      }
-    });
+          if (bi->requires_grad) {
+            if (kind == AddKind::kSame) {
+              for (std::size_t i = 0; i < bi->grad.size(); ++i) {
+                bi->grad[i] -= oi->grad[i];
+              }
+            } else {
+              for (std::size_t r = 0; r < oi->rows; ++r) {
+                for (std::size_t c = 0; c < oi->cols; ++c) {
+                  bi->grad[c] -= oi->gat(r, c);
+                }
+              }
+            }
+          }
+        },
+        [ai, bi, oi, kind]() { AddForward(ai, bi, oi, kind, -1.0f); });
   }
   return result;
 }
+
+namespace {
+
+void MulForward(const TensorImpl* ai, const TensorImpl* bi, TensorImpl* oi,
+                bool broadcast_col) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    for (std::size_t c = 0; c < ai->cols; ++c) {
+      const float bv = broadcast_col ? bi->at(r, 0) : bi->at(r, c);
+      oi->at(r, c) = ai->at(r, c) * bv;
+    }
+  }
+}
+
+}  // namespace
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   const bool broadcast_col = (b.cols() == 1 && b.rows() == a.rows() &&
@@ -322,34 +391,34 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
         << b.ShapeString();
   }
   auto out = NewNode(a.rows(), a.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < a.cols(); ++c) {
-      const float bv = broadcast_col ? b.at(r, 0) : b.at(r, c);
-      out->at(r, c) = a.at(r, c) * bv;
-    }
-  }
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* bi = b.impl().get();
+  TensorImpl* oi = out.get();
+  MulForward(ai, bi, oi, broadcast_col);
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* bi = b.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a, &b}, [ai, bi, oi, broadcast_col]() {
-      for (std::size_t r = 0; r < oi->rows; ++r) {
-        for (std::size_t c = 0; c < oi->cols; ++c) {
-          const float g = oi->gat(r, c);
-          const float bv =
-              broadcast_col ? bi->data[r] : bi->at(r, c);
-          if (ai->requires_grad) ai->gat(r, c) += g * bv;
-          if (bi->requires_grad) {
-            if (broadcast_col) {
-              bi->grad[r] += g * ai->at(r, c);
-            } else {
-              bi->gat(r, c) += g * ai->at(r, c);
+    Attach(
+        out, {&a, &b},
+        [ai, bi, oi, broadcast_col]() {
+          for (std::size_t r = 0; r < oi->rows; ++r) {
+            for (std::size_t c = 0; c < oi->cols; ++c) {
+              const float g = oi->gat(r, c);
+              const float bv =
+                  broadcast_col ? bi->data[r] : bi->at(r, c);
+              if (ai->requires_grad) ai->gat(r, c) += g * bv;
+              if (bi->requires_grad) {
+                if (broadcast_col) {
+                  bi->grad[r] += g * ai->at(r, c);
+                } else {
+                  bi->gat(r, c) += g * ai->at(r, c);
+                }
+              }
             }
           }
-        }
-      }
-    });
+        },
+        [ai, bi, oi, broadcast_col]() {
+          MulForward(ai, bi, oi, broadcast_col);
+        });
   }
   return result;
 }
@@ -361,19 +430,26 @@ namespace {
 template <typename Fwd, typename Dfn>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn) {
   auto out = NewNode(a.rows(), a.cols());
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
   for (std::size_t i = 0; i < a.size(); ++i) {
     out->data[i] = fwd(a.data()[i]);
   }
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a}, [ai, oi, dfn]() {
-      if (!ai->requires_grad) return;
-      for (std::size_t i = 0; i < ai->grad.size(); ++i) {
-        ai->grad[i] += oi->grad[i] * dfn(ai->data[i], oi->data[i]);
-      }
-    });
+    Attach(
+        out, {&a},
+        [ai, oi, dfn]() {
+          if (!ai->requires_grad) return;
+          for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+            ai->grad[i] += oi->grad[i] * dfn(ai->data[i], oi->data[i]);
+          }
+        },
+        [ai, oi, fwd]() {
+          for (std::size_t i = 0; i < ai->data.size(); ++i) {
+            oi->data[i] = fwd(ai->data[i]);
+          }
+        });
   }
   return result;
 }
@@ -456,90 +532,115 @@ Tensor Square(const Tensor& a) {
       [](float x, float) { return 2.0f * x; });
 }
 
-Tensor Softmax(const Tensor& a) {
-  auto out = NewNode(a.rows(), a.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    float maxv = a.at(r, 0);
-    for (std::size_t c = 1; c < a.cols(); ++c) {
-      maxv = std::max(maxv, a.at(r, c));
+namespace {
+
+void SoftmaxForward(const TensorImpl* ai, TensorImpl* oi) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    float maxv = ai->at(r, 0);
+    for (std::size_t c = 1; c < ai->cols; ++c) {
+      maxv = std::max(maxv, ai->at(r, c));
     }
     float denom = 0.0f;
-    for (std::size_t c = 0; c < a.cols(); ++c) {
-      const float e = std::exp(a.at(r, c) - maxv);
-      out->at(r, c) = e;
+    for (std::size_t c = 0; c < ai->cols; ++c) {
+      const float e = std::exp(ai->at(r, c) - maxv);
+      oi->at(r, c) = e;
       denom += e;
     }
-    for (std::size_t c = 0; c < a.cols(); ++c) out->at(r, c) /= denom;
+    for (std::size_t c = 0; c < ai->cols; ++c) oi->at(r, c) /= denom;
   }
+}
+
+void LogSoftmaxForward(const TensorImpl* ai, TensorImpl* oi) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    float maxv = ai->at(r, 0);
+    for (std::size_t c = 1; c < ai->cols; ++c) {
+      maxv = std::max(maxv, ai->at(r, c));
+    }
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < ai->cols; ++c) {
+      denom += std::exp(ai->at(r, c) - maxv);
+    }
+    const float lse = maxv + std::log(denom);
+    for (std::size_t c = 0; c < ai->cols; ++c) {
+      oi->at(r, c) = ai->at(r, c) - lse;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& a) {
+  auto out = NewNode(a.rows(), a.cols());
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
+  SoftmaxForward(ai, oi);
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a}, [ai, oi]() {
-      if (!ai->requires_grad) return;
-      for (std::size_t r = 0; r < oi->rows; ++r) {
-        float dot = 0.0f;
-        for (std::size_t c = 0; c < oi->cols; ++c) {
-          dot += oi->gat(r, c) * oi->at(r, c);
-        }
-        for (std::size_t c = 0; c < oi->cols; ++c) {
-          ai->gat(r, c) += oi->at(r, c) * (oi->gat(r, c) - dot);
-        }
-      }
-    });
+    Attach(
+        out, {&a},
+        [ai, oi]() {
+          if (!ai->requires_grad) return;
+          for (std::size_t r = 0; r < oi->rows; ++r) {
+            float dot = 0.0f;
+            for (std::size_t c = 0; c < oi->cols; ++c) {
+              dot += oi->gat(r, c) * oi->at(r, c);
+            }
+            for (std::size_t c = 0; c < oi->cols; ++c) {
+              ai->gat(r, c) += oi->at(r, c) * (oi->gat(r, c) - dot);
+            }
+          }
+        },
+        [ai, oi]() { SoftmaxForward(ai, oi); });
   }
   return result;
 }
 
 Tensor LogSoftmax(const Tensor& a) {
   auto out = NewNode(a.rows(), a.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    float maxv = a.at(r, 0);
-    for (std::size_t c = 1; c < a.cols(); ++c) {
-      maxv = std::max(maxv, a.at(r, c));
-    }
-    float denom = 0.0f;
-    for (std::size_t c = 0; c < a.cols(); ++c) {
-      denom += std::exp(a.at(r, c) - maxv);
-    }
-    const float lse = maxv + std::log(denom);
-    for (std::size_t c = 0; c < a.cols(); ++c) {
-      out->at(r, c) = a.at(r, c) - lse;
-    }
-  }
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
+  LogSoftmaxForward(ai, oi);
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a}, [ai, oi]() {
-      if (!ai->requires_grad) return;
-      for (std::size_t r = 0; r < oi->rows; ++r) {
-        float gsum = 0.0f;
-        for (std::size_t c = 0; c < oi->cols; ++c) gsum += oi->gat(r, c);
-        for (std::size_t c = 0; c < oi->cols; ++c) {
-          ai->gat(r, c) +=
-              oi->gat(r, c) - std::exp(oi->at(r, c)) * gsum;
-        }
-      }
-    });
+    Attach(
+        out, {&a},
+        [ai, oi]() {
+          if (!ai->requires_grad) return;
+          for (std::size_t r = 0; r < oi->rows; ++r) {
+            float gsum = 0.0f;
+            for (std::size_t c = 0; c < oi->cols; ++c) gsum += oi->gat(r, c);
+            for (std::size_t c = 0; c < oi->cols; ++c) {
+              ai->gat(r, c) +=
+                  oi->gat(r, c) - std::exp(oi->at(r, c)) * gsum;
+            }
+          }
+        },
+        [ai, oi]() { LogSoftmaxForward(ai, oi); });
   }
   return result;
 }
 
 Tensor Sum(const Tensor& a) {
   auto out = NewNode(1, 1);
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
   float acc = 0.0f;
   for (float v : a.data()) acc += v;
   out->data[0] = acc;
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a}, [ai, oi]() {
-      if (!ai->requires_grad) return;
-      const float g = oi->grad[0];
-      for (float& gv : ai->grad) gv += g;
-    });
+    Attach(
+        out, {&a},
+        [ai, oi]() {
+          if (!ai->requires_grad) return;
+          const float g = oi->grad[0];
+          for (float& gv : ai->grad) gv += g;
+        },
+        [ai, oi]() {
+          float sum = 0.0f;
+          for (float v : ai->data) sum += v;
+          oi->data[0] = sum;
+        });
   }
   return result;
 }
@@ -547,96 +648,144 @@ Tensor Sum(const Tensor& a) {
 Tensor Mean(const Tensor& a) {
   POISONREC_CHECK_GT(a.size(), 0u);
   auto out = NewNode(1, 1);
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
   float acc = 0.0f;
   for (float v : a.data()) acc += v;
   out->data[0] = acc / static_cast<float>(a.size());
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
     const float inv = 1.0f / static_cast<float>(a.size());
-    Attach(out, {&a}, [ai, oi, inv]() {
-      if (!ai->requires_grad) return;
-      const float g = oi->grad[0] * inv;
-      for (float& gv : ai->grad) gv += g;
-    });
+    Attach(
+        out, {&a},
+        [ai, oi, inv]() {
+          if (!ai->requires_grad) return;
+          const float g = oi->grad[0] * inv;
+          for (float& gv : ai->grad) gv += g;
+        },
+        [ai, oi]() {
+          float sum = 0.0f;
+          for (float v : ai->data) sum += v;
+          oi->data[0] = sum / static_cast<float>(ai->data.size());
+        });
   }
   return result;
 }
+
+namespace {
+
+void RowSumForward(const TensorImpl* ai, TensorImpl* oi) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < ai->cols; ++c) acc += ai->at(r, c);
+    oi->data[r] = acc;
+  }
+}
+
+}  // namespace
 
 Tensor RowSum(const Tensor& a) {
   auto out = NewNode(a.rows(), 1);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < a.cols(); ++c) acc += a.at(r, c);
-    out->data[r] = acc;
-  }
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
+  RowSumForward(ai, oi);
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a}, [ai, oi]() {
-      if (!ai->requires_grad) return;
-      for (std::size_t r = 0; r < ai->rows; ++r) {
-        const float g = oi->grad[r];
-        for (std::size_t c = 0; c < ai->cols; ++c) ai->gat(r, c) += g;
-      }
-    });
+    Attach(
+        out, {&a},
+        [ai, oi]() {
+          if (!ai->requires_grad) return;
+          for (std::size_t r = 0; r < ai->rows; ++r) {
+            const float g = oi->grad[r];
+            for (std::size_t c = 0; c < ai->cols; ++c) ai->gat(r, c) += g;
+          }
+        },
+        [ai, oi]() { RowSumForward(ai, oi); });
   }
   return result;
 }
 
-Tensor Transpose(const Tensor& a) {
-  auto out = NewNode(a.cols(), a.rows());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < a.cols(); ++c) {
-      out->at(c, r) = a.at(r, c);
+namespace {
+
+void TransposeForward(const TensorImpl* ai, TensorImpl* oi) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    for (std::size_t c = 0; c < ai->cols; ++c) {
+      oi->at(c, r) = ai->at(r, c);
     }
   }
+}
+
+}  // namespace
+
+Tensor Transpose(const Tensor& a) {
+  auto out = NewNode(a.cols(), a.rows());
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
+  TransposeForward(ai, oi);
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a}, [ai, oi]() {
-      if (!ai->requires_grad) return;
-      for (std::size_t r = 0; r < ai->rows; ++r) {
-        for (std::size_t c = 0; c < ai->cols; ++c) {
-          ai->gat(r, c) += oi->gat(c, r);
-        }
-      }
-    });
+    Attach(
+        out, {&a},
+        [ai, oi]() {
+          if (!ai->requires_grad) return;
+          for (std::size_t r = 0; r < ai->rows; ++r) {
+            for (std::size_t c = 0; c < ai->cols; ++c) {
+              ai->gat(r, c) += oi->gat(c, r);
+            }
+          }
+        },
+        [ai, oi]() { TransposeForward(ai, oi); });
   }
   return result;
 }
+
+namespace {
+
+void ConcatColsForward(const TensorImpl* ai, const TensorImpl* bi,
+                       TensorImpl* oi) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    for (std::size_t c = 0; c < ai->cols; ++c) oi->at(r, c) = ai->at(r, c);
+    for (std::size_t c = 0; c < bi->cols; ++c) {
+      oi->at(r, ai->cols + c) = bi->at(r, c);
+    }
+  }
+}
+
+void ConcatRowsForward(const TensorImpl* ai, const TensorImpl* bi,
+                       TensorImpl* oi) {
+  std::copy(ai->data.begin(), ai->data.end(), oi->data.begin());
+  std::copy(bi->data.begin(), bi->data.end(),
+            oi->data.begin() + static_cast<std::ptrdiff_t>(ai->data.size()));
+}
+
+}  // namespace
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   POISONREC_CHECK_EQ(a.rows(), b.rows());
   auto out = NewNode(a.rows(), a.cols() + b.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < a.cols(); ++c) out->at(r, c) = a.at(r, c);
-    for (std::size_t c = 0; c < b.cols(); ++c) {
-      out->at(r, a.cols() + c) = b.at(r, c);
-    }
-  }
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* bi = b.impl().get();
+  TensorImpl* oi = out.get();
+  ConcatColsForward(ai, bi, oi);
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* bi = b.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a, &b}, [ai, bi, oi]() {
-      for (std::size_t r = 0; r < oi->rows; ++r) {
-        if (ai->requires_grad) {
-          for (std::size_t c = 0; c < ai->cols; ++c) {
-            ai->gat(r, c) += oi->gat(r, c);
+    Attach(
+        out, {&a, &b},
+        [ai, bi, oi]() {
+          for (std::size_t r = 0; r < oi->rows; ++r) {
+            if (ai->requires_grad) {
+              for (std::size_t c = 0; c < ai->cols; ++c) {
+                ai->gat(r, c) += oi->gat(r, c);
+              }
+            }
+            if (bi->requires_grad) {
+              for (std::size_t c = 0; c < bi->cols; ++c) {
+                bi->gat(r, c) += oi->gat(r, ai->cols + c);
+              }
+            }
           }
-        }
-        if (bi->requires_grad) {
-          for (std::size_t c = 0; c < bi->cols; ++c) {
-            bi->gat(r, c) += oi->gat(r, ai->cols + c);
-          }
-        }
-      }
-    });
+        },
+        [ai, bi, oi]() { ConcatColsForward(ai, bi, oi); });
   }
   return result;
 }
@@ -644,51 +793,127 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
 Tensor ConcatRows(const Tensor& a, const Tensor& b) {
   POISONREC_CHECK_EQ(a.cols(), b.cols());
   auto out = NewNode(a.rows() + b.rows(), a.cols());
-  std::copy(a.data().begin(), a.data().end(), out->data.begin());
-  std::copy(b.data().begin(), b.data().end(),
-            out->data.begin() + static_cast<std::ptrdiff_t>(a.size()));
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* bi = b.impl().get();
+  TensorImpl* oi = out.get();
+  ConcatRowsForward(ai, bi, oi);
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* bi = b.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a, &b}, [ai, bi, oi]() {
-      if (ai->requires_grad) {
-        for (std::size_t i = 0; i < ai->grad.size(); ++i) {
-          ai->grad[i] += oi->grad[i];
-        }
-      }
-      if (bi->requires_grad) {
-        const std::size_t offset = ai->data.size();
-        for (std::size_t i = 0; i < bi->grad.size(); ++i) {
-          bi->grad[i] += oi->grad[offset + i];
-        }
-      }
-    });
+    Attach(
+        out, {&a, &b},
+        [ai, bi, oi]() {
+          if (ai->requires_grad) {
+            for (std::size_t i = 0; i < ai->grad.size(); ++i) {
+              ai->grad[i] += oi->grad[i];
+            }
+          }
+          if (bi->requires_grad) {
+            const std::size_t offset = ai->data.size();
+            for (std::size_t i = 0; i < bi->grad.size(); ++i) {
+              bi->grad[i] += oi->grad[offset + i];
+            }
+          }
+        },
+        [ai, bi, oi]() { ConcatRowsForward(ai, bi, oi); });
   }
   return result;
 }
 
+namespace {
+
+void StackRowsForward(const std::vector<TensorImpl*>& parts, TensorImpl* oi) {
+  std::size_t offset = 0;
+  for (const TensorImpl* p : parts) {
+    std::copy(p->data.begin(), p->data.end(),
+              oi->data.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += p->data.size();
+  }
+}
+
+}  // namespace
+
+Tensor StackRows(const std::vector<Tensor>& parts) {
+  POISONREC_CHECK(!parts.empty());
+  const std::size_t cols = parts[0].cols();
+  std::size_t rows = 0;
+  for (const Tensor& p : parts) {
+    POISONREC_CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  auto out = NewNode(rows, cols);
+  std::vector<TensorImpl*> impls;
+  impls.reserve(parts.size());
+  bool track = false;
+  for (const Tensor& p : parts) {
+    impls.push_back(p.impl().get());
+    if (p.requires_grad()) track = true;
+  }
+  TensorImpl* oi = out.get();
+  StackRowsForward(impls, oi);
+  Tensor result(out);
+  if (GradMode::Enabled() && track) {
+    out->requires_grad = true;
+    out->EnsureGrad();
+    // Parents in descending part order — Backward()'s post-order DFS
+    // then appends part N-1's subtree first, so the reversed closure
+    // order visits part 0's chain first. See the header comment: this
+    // is what makes the per-row recurrence accumulate into shared
+    // weights in the same ascending-row order as one batched GemmTN.
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      out->parents.push_back(it->impl());
+      if (it->requires_grad()) it->impl()->EnsureGrad();
+    }
+    out->backward_fn = [impls, oi]() {
+      std::size_t offset = 0;
+      for (TensorImpl* p : impls) {
+        if (p->requires_grad) {
+          for (std::size_t i = 0; i < p->grad.size(); ++i) {
+            p->grad[i] += oi->grad[offset + i];
+          }
+        }
+        offset += p->data.size();
+      }
+    };
+    if (GraphTape* tape = GraphTape::Current()) {
+      out->forward_fn = [impls, oi]() { StackRowsForward(impls, oi); };
+      tape->Register(out);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+void ColsForward(const TensorImpl* ai, TensorImpl* oi, std::size_t start,
+                 std::size_t len) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    for (std::size_t c = 0; c < len; ++c) {
+      oi->at(r, c) = ai->at(r, start + c);
+    }
+  }
+}
+
+}  // namespace
+
 Tensor Cols(const Tensor& a, std::size_t start, std::size_t len) {
   POISONREC_CHECK_LE(start + len, a.cols());
   auto out = NewNode(a.rows(), len);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < len; ++c) {
-      out->at(r, c) = a.at(r, start + c);
-    }
-  }
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* oi = out.get();
+  ColsForward(ai, oi, start, len);
   Tensor result(out);
   if (TrackGrad({&a})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a}, [ai, oi, start, len]() {
-      if (!ai->requires_grad) return;
-      for (std::size_t r = 0; r < ai->rows; ++r) {
-        for (std::size_t c = 0; c < len; ++c) {
-          ai->gat(r, start + c) += oi->gat(r, c);
-        }
-      }
-    });
+    Attach(
+        out, {&a},
+        [ai, oi, start, len]() {
+          if (!ai->requires_grad) return;
+          for (std::size_t r = 0; r < ai->rows; ++r) {
+            for (std::size_t c = 0; c < len; ++c) {
+              ai->gat(r, start + c) += oi->gat(r, c);
+            }
+          }
+        },
+        [ai, oi, start, len]() { ColsForward(ai, oi, start, len); });
   }
   return result;
 }
@@ -708,45 +933,225 @@ Tensor Rows(const Tensor& table, const std::vector<std::size_t>& indices) {
   if (TrackGrad({&table})) {
     TensorImpl* ti = table.impl().get();
     TensorImpl* oi = out.get();
-    std::vector<std::size_t> idx = indices;
-    Attach(out, {&table}, [ti, oi, idx = std::move(idx), dim]() {
-      if (!ti->requires_grad) return;
-      for (std::size_t i = 0; i < idx.size(); ++i) {
-        float* dst = ti->grad.data() + idx[i] * dim;
-        const float* src = oi->grad.data() + i * dim;
-        for (std::size_t c = 0; c < dim; ++c) dst[c] += src[c];
-      }
-    });
+    // One shared index copy serves both closures.
+    auto idx = std::make_shared<const std::vector<std::size_t>>(indices);
+    Attach(
+        out, {&table},
+        [ti, oi, idx, dim]() {
+          if (!ti->requires_grad) return;
+          for (std::size_t i = 0; i < idx->size(); ++i) {
+            float* dst = ti->grad.data() + (*idx)[i] * dim;
+            const float* src = oi->grad.data() + i * dim;
+            for (std::size_t c = 0; c < dim; ++c) dst[c] += src[c];
+          }
+        },
+        [ti, oi, idx, dim]() {
+          for (std::size_t i = 0; i < idx->size(); ++i) {
+            std::copy(ti->data.begin() +
+                          static_cast<std::ptrdiff_t>((*idx)[i] * dim),
+                      ti->data.begin() +
+                          static_cast<std::ptrdiff_t>(((*idx)[i] + 1) * dim),
+                      oi->data.begin() + static_cast<std::ptrdiff_t>(i * dim));
+          }
+        });
   }
   return result;
 }
+
+namespace {
+
+void RowDotForward(const TensorImpl* ai, const TensorImpl* bi,
+                   TensorImpl* oi) {
+  for (std::size_t r = 0; r < ai->rows; ++r) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < ai->cols; ++c) {
+      acc += ai->at(r, c) * bi->at(r, c);
+    }
+    oi->data[r] = acc;
+  }
+}
+
+}  // namespace
 
 Tensor RowDot(const Tensor& a, const Tensor& b) {
   POISONREC_CHECK_EQ(a.rows(), b.rows());
   POISONREC_CHECK_EQ(a.cols(), b.cols());
   auto out = NewNode(a.rows(), 1);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < a.cols(); ++c) {
-      acc += a.at(r, c) * b.at(r, c);
-    }
-    out->data[r] = acc;
-  }
+  TensorImpl* ai = a.impl().get();
+  TensorImpl* bi = b.impl().get();
+  TensorImpl* oi = out.get();
+  RowDotForward(ai, bi, oi);
   Tensor result(out);
   if (TrackGrad({&a, &b})) {
-    TensorImpl* ai = a.impl().get();
-    TensorImpl* bi = b.impl().get();
-    TensorImpl* oi = out.get();
-    Attach(out, {&a, &b}, [ai, bi, oi]() {
-      for (std::size_t r = 0; r < ai->rows; ++r) {
-        const float g = oi->grad[r];
-        for (std::size_t c = 0; c < ai->cols; ++c) {
-          if (ai->requires_grad) ai->gat(r, c) += g * bi->at(r, c);
-          if (bi->requires_grad) bi->gat(r, c) += g * ai->at(r, c);
-        }
-      }
-    });
+    Attach(
+        out, {&a, &b},
+        [ai, bi, oi]() {
+          for (std::size_t r = 0; r < ai->rows; ++r) {
+            const float g = oi->grad[r];
+            for (std::size_t c = 0; c < ai->cols; ++c) {
+              if (ai->requires_grad) ai->gat(r, c) += g * bi->at(r, c);
+              if (bi->requires_grad) bi->gat(r, c) += g * ai->at(r, c);
+            }
+          }
+        },
+        [ai, bi, oi]() { RowDotForward(ai, bi, oi); });
   }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Fused LSTM gate tail
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Exactly the stable logistic UnaryOp's Sigmoid uses — bit-for-bit.
+inline float StableSigmoid(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+
+// Forward for rows [r0, r1): activates the four gate blocks of `pre`
+// into `act`, then produces c = f·c_prev + i·g and h = o·tanh(c) in the
+// same per-element order the composed Sigmoid/Tanh/Mul/Add chain used.
+void LstmGatesRows(std::size_t r0, std::size_t r1, std::size_t h,
+                   const TensorImpl* pre, const TensorImpl* cprev,
+                   TensorImpl* act, TensorImpl* cnew, TensorImpl* hnew) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    const float* p = pre->data.data() + r * 4 * h;
+    float* a = act->data.data() + r * 4 * h;
+    const float* cp = cprev->data.data() + r * h;
+    float* cn = cnew->data.data() + r * h;
+    float* hn = hnew->data.data() + r * h;
+    for (std::size_t j = 0; j < h; ++j) {
+      const float ig = StableSigmoid(p[j]);
+      const float fg = StableSigmoid(p[h + j]);
+      const float gg = std::tanh(p[2 * h + j]);
+      const float og = StableSigmoid(p[3 * h + j]);
+      a[j] = ig;
+      a[h + j] = fg;
+      a[2 * h + j] = gg;
+      a[3 * h + j] = og;
+      const float c = fg * cp[j] + ig * gg;
+      cn[j] = c;
+      hn[j] = og * std::tanh(c);
+    }
+  }
+}
+
+}  // namespace
+
+LstmGatesResult LstmGates(const Tensor& preact, const Tensor& c_prev) {
+  POISONREC_CHECK_EQ(preact.rows(), c_prev.rows());
+  POISONREC_CHECK_EQ(preact.cols(), 4 * c_prev.cols());
+  const std::size_t rows = preact.rows();
+  const std::size_t h = c_prev.cols();
+
+  auto act = NewNode(rows, 4 * h);
+  auto cnew = NewNode(rows, h);
+  auto hnew = NewNode(rows, h);
+  TensorImpl* pi = preact.impl().get();
+  TensorImpl* ci = c_prev.impl().get();
+  TensorImpl* acti = act.get();
+  TensorImpl* cni = cnew.get();
+  TensorImpl* hni = hnew.get();
+
+  const auto forward = [pi, ci, acti, cni, hni, rows, h]() {
+    kernels::ParallelRows(rows, rows * 4 * h,
+                          [&](std::size_t r0, std::size_t r1) {
+                            LstmGatesRows(r0, r1, h, pi, ci, acti, cni, hni);
+                          });
+  };
+  forward();
+
+  Tensor act_t(act);
+  Tensor cnew_t(cnew);
+  Tensor hnew_t(hnew);
+  LstmGatesResult result{hnew_t, cnew_t};
+  if (!TrackGrad({&preact, &c_prev})) return result;
+
+  // Three tape nodes so reverse topological order visits h -> c -> act
+  // and every cross-term (h's grad into c, c's grad into the gates)
+  // lands exactly once. Each backward partitions by row with the same
+  // ownership contract as the forward: a row's gradients are written
+  // only by the thread that owns the row, so results are bit-identical
+  // at every thread count.
+  //
+  // act = [σ(i) | σ(f) | tanh(g) | σ(o)] with parent `preact`. Its
+  // replay closure reruns the whole fused forward (act, c, h); the
+  // other two nodes' closures are no-ops, so a tape replay still
+  // computes every value exactly once and in topological order (act is
+  // registered first).
+  Attach(
+      act, {&preact},
+      [pi, acti, rows, h]() {
+        if (!pi->requires_grad) return;
+        kernels::ParallelRows(
+            rows, rows * 4 * h, [&](std::size_t r0, std::size_t r1) {
+              for (std::size_t r = r0; r < r1; ++r) {
+                const float* a = acti->data.data() + r * 4 * h;
+                const float* ga = acti->grad.data() + r * 4 * h;
+                float* gp = pi->grad.data() + r * 4 * h;
+                for (std::size_t j = 0; j < h; ++j) {
+                  gp[j] += ga[j] * a[j] * (1.0f - a[j]);
+                  gp[h + j] += ga[h + j] * a[h + j] * (1.0f - a[h + j]);
+                  gp[2 * h + j] +=
+                      ga[2 * h + j] * (1.0f - a[2 * h + j] * a[2 * h + j]);
+                  gp[3 * h + j] +=
+                      ga[3 * h + j] * a[3 * h + j] * (1.0f - a[3 * h + j]);
+                }
+              }
+            });
+      },
+      forward);
+
+  // c = f·c_prev + i·g with parents {act, c_prev}.
+  Attach(
+      cnew, {&act_t, &c_prev},
+      [ci, acti, cni, rows, h]() {
+        kernels::ParallelRows(
+            rows, rows * h, [&](std::size_t r0, std::size_t r1) {
+              for (std::size_t r = r0; r < r1; ++r) {
+                const float* a = acti->data.data() + r * 4 * h;
+                const float* gc = cni->grad.data() + r * h;
+                const float* cp = ci->data.data() + r * h;
+                float* ga = acti->grad.data() + r * 4 * h;
+                float* gcp =
+                    ci->requires_grad ? ci->grad.data() + r * h : nullptr;
+                for (std::size_t j = 0; j < h; ++j) {
+                  const float g = gc[j];
+                  ga[j] += g * a[2 * h + j];   // d i  = dc · g
+                  ga[h + j] += g * cp[j];      // d f  = dc · c_prev
+                  ga[2 * h + j] += g * a[j];   // d g  = dc · i
+                  if (gcp != nullptr) gcp[j] += g * a[h + j];  // dc_prev
+                }
+              }
+            });
+      },
+      []() {});
+
+  // h = o·tanh(c) with parents {act, c}.
+  Attach(
+      hnew, {&act_t, &cnew_t},
+      [acti, cni, hni, rows, h]() {
+        kernels::ParallelRows(
+            rows, rows * h, [&](std::size_t r0, std::size_t r1) {
+              for (std::size_t r = r0; r < r1; ++r) {
+                const float* a = acti->data.data() + r * 4 * h;
+                const float* cn = cni->data.data() + r * h;
+                const float* gh = hni->grad.data() + r * h;
+                float* ga = acti->grad.data() + r * 4 * h;
+                float* gc = cni->grad.data() + r * h;
+                for (std::size_t j = 0; j < h; ++j) {
+                  const float t = std::tanh(cn[j]);
+                  ga[3 * h + j] += gh[j] * t;               // d o
+                  gc[j] += gh[j] * a[3 * h + j] * (1.0f - t * t);
+                }
+              }
+            });
+      },
+      []() {});
+
   return result;
 }
 

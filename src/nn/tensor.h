@@ -37,6 +37,12 @@ struct TensorImpl {
   // (no ownership cycles).
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void()> backward_fn;
+  // Recorded only while a GraphTape scope is active (see nn/graph.h):
+  // recomputes this node's data from its parents' current data, letting
+  // the PPO update replay an identical graph across epochs instead of
+  // re-taping it. Null outside recording scopes — zero cost on the
+  // normal path.
+  std::function<void()> forward_fn;
 
   float& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
   float at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
@@ -195,6 +201,16 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b);
 /// Vertical concatenation: (a x n) ++ (b x n) -> ((a+b) x n).
 Tensor ConcatRows(const Tensor& a, const Tensor& b);
 
+/// Variadic vertical stack: parts[0] on top, parts.back() at the bottom.
+/// Parents are registered in *descending* part order so Backward()'s
+/// reverse-post-order traversal runs part 0's producing chain first.
+/// The per-row PPO baseline relies on that: N per-row recurrence chains
+/// stacked per timestep accumulate into the shared LSTM weights in
+/// ascending row order — the same in-place add sequence one batched
+/// GemmTN issues — keeping the per-row and batched engines bit-identical
+/// through the update. See Policy::RecomputeLogProbs(per_row).
+Tensor StackRows(const std::vector<Tensor>& parts);
+
 /// Contiguous column slice: columns [start, start+len) -> (m x len).
 Tensor Cols(const Tensor& a, std::size_t start, std::size_t len);
 
@@ -204,6 +220,20 @@ Tensor Rows(const Tensor& table, const std::vector<std::size_t>& indices);
 
 /// Row-wise dot product of equal-shaped matrices -> (m x 1).
 Tensor RowDot(const Tensor& a, const Tensor& b);
+
+/// Fused LSTM cell tail: consumes the (B x 4h) pre-activation block
+/// `preact` (layout [i | f | g | o], the order module.cc produces) and
+/// the previous cell state `c_prev` (B x h), and returns the new hidden
+/// and cell states in one pass per row instead of eight elementwise
+/// temporaries. Forward math uses the same per-element formulas as the
+/// composed Sigmoid/Tanh/Mul/Add chain it replaces; rows are
+/// partitioned with the kernels' row-ownership contract, so results do
+/// not depend on the thread count.
+struct LstmGatesResult {
+  Tensor h;
+  Tensor c;
+};
+LstmGatesResult LstmGates(const Tensor& preact, const Tensor& c_prev);
 
 // -- Utilities ----------------------------------------------------------
 
