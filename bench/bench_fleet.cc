@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/metrics.h"
 #include "orch/fleet.h"
 #include "orch/journal.h"
 #include "orch/lease.h"
 #include "orch/spec.h"
+#include "orch/status.h"
 
 namespace poisonrec::bench {
 namespace {
@@ -268,6 +270,97 @@ int Run() {
                                seconds(latency)});
     robustness_rows.push_back(
         {"preemptions", std::to_string(result.preemptions)});
+  }
+
+  // -- Status publication overhead: the same plan with the telemetry
+  // plane off versus on at an aggressive publish period, gated on
+  // bit-identical rewards (publication must never perturb the run) and
+  // a lenient wall-clock bound. Also times the read side: one
+  // CollectFleetStatus pass over the finished fleet's artefacts.
+  {
+    const auto run_once = [&](bool publish) -> double {
+      std::filesystem::remove_all(work_dir);
+      orch::FleetOptions options;
+      options.journal_path = work_dir + "/journal.jsonl";
+      options.checkpoint_dir = work_dir + "/ckpts";
+      options.report_json_path.clear();
+      options.report_csv_path.clear();
+      options.max_concurrent = 1;
+      options.publish_status = publish;
+      options.status_publish_seconds = 0.05;
+      orch::FleetOrchestrator orchestrator(plan, &log, options);
+      const orch::FleetResult result = orchestrator.Run();
+      if (result.ExitCode() != 0) return -1.0;
+      for (const orch::CampaignOutcome& outcome : result.outcomes) {
+        if (reference[outcome.id] != outcome.step_rewards) return -1.0;
+      }
+      return result.wall_seconds;
+    };
+    obs::Counter* published = obs::MetricsRegistry::Global().GetCounter(
+        "poisonrec_fleet_status_snapshots_total");
+    const std::uint64_t published_before = published->Value();
+    const double off_wall = run_once(/*publish=*/false);
+    const std::uint64_t published_off = published->Value();
+    if (published_off != published_before) {
+      std::fprintf(stderr, "status publication ran while disabled\n");
+      return 1;
+    }
+    const double on_wall = run_once(/*publish=*/true);
+    const std::uint64_t snapshots = published->Value() - published_off;
+    if (off_wall < 0.0 || on_wall < 0.0) {
+      std::fprintf(stderr,
+                   "status-overhead run failed or perturbed rewards "
+                   "(off=%.2f on=%.2f)\n",
+                   off_wall, on_wall);
+      return 1;
+    }
+    const double ratio = off_wall > 0.0 ? on_wall / off_wall : 0.0;
+    std::printf("status publication: %.2fs off vs %.2fs on (%.3fx, %llu "
+                "snapshot(s))\n",
+                off_wall, on_wall, ratio,
+                static_cast<unsigned long long>(snapshots));
+    // Publication is a watchdog-thread durable write every 50ms here —
+    // it must stay in the noise next to campaign compute.
+    if (ratio > 1.5) {
+      std::fprintf(stderr,
+                   "status publication overhead ratio %.3f exceeds 1.5\n",
+                   ratio);
+      return 1;
+    }
+
+    orch::FleetStatusOptions query;
+    query.journal_path = work_dir + "/journal.jsonl";
+    query.checkpoint_dir = work_dir + "/ckpts";
+    constexpr int kCollects = 50;
+    const auto start = std::chrono::steady_clock::now();
+    orch::FleetStatus collected;
+    for (int i = 0; i < kCollects; ++i) {
+      collected = orch::CollectFleetStatus(query);
+    }
+    const double collect_ms =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() *
+        1e3 / kCollects;
+    if (collected.ExitCode() != 0) {
+      std::fprintf(stderr, "post-run fleet status degraded: %s\n",
+                   collected.degraded_reasons.empty()
+                       ? "?"
+                       : collected.degraded_reasons.front().c_str());
+      return 1;
+    }
+    std::printf("fleet status collection: %.2f ms/query (%zu campaigns)\n",
+                collect_ms, collected.campaigns.size());
+    robustness_rows.push_back(
+        {"status_publish_off_wall_seconds", seconds(off_wall)});
+    robustness_rows.push_back(
+        {"status_publish_on_wall_seconds", seconds(on_wall)});
+    robustness_rows.push_back(
+        {"status_publish_overhead_ratio", seconds(ratio)});
+    robustness_rows.push_back(
+        {"status_snapshots_published", std::to_string(snapshots)});
+    robustness_rows.push_back(
+        {"status_collect_ms_per_query", seconds(collect_ms)});
   }
 
   std::filesystem::remove_all(work_dir);

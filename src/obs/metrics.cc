@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -8,6 +10,30 @@
 #include "obs/json.h"
 
 namespace poisonrec::obs {
+
+namespace {
+
+// Uptime reference: the steady clock when the registry (or any metric)
+// was first touched in this process. Captured eagerly from Global().
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+double UptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
+}
+
+double WallUnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -113,6 +139,31 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
   return s;
 }
 
+double Histogram::SnapshotQuantile(const Snapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  if (q <= 0.0) return snapshot.min;
+  if (q >= 1.0) return snapshot.max;
+  const double target = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (snapshot.buckets[i] == 0) continue;
+    const double in_bucket = static_cast<double>(snapshot.buckets[i]);
+    if (cumulative + in_bucket >= target) {
+      // Clamping to [min, max] only bites in the first and last occupied
+      // buckets (min/max land inside their own buckets), where it turns
+      // "somewhere in [2^k, 2^k+1)" into an exact endpoint for
+      // concentrated mass and keeps the +inf top bucket bounded.
+      const double lo = std::max(BucketLowerBound(i), snapshot.min);
+      const double hi =
+          std::max(lo, std::min(BucketUpperBound(i), snapshot.max));
+      const double fraction = (target - cumulative) / in_bucket;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.max;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -122,7 +173,10 @@ void Histogram::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  static MetricsRegistry* registry = [] {
+    ProcessStart();  // anchor the uptime clock at first registry use
+    return new MetricsRegistry();  // never freed
+  }();
   return *registry;
 }
 
@@ -149,7 +203,11 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::string MetricsRegistry::SnapshotJson() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\"counters\":{";
+  std::string out = "{\"wall_unix\":";
+  AppendJsonNumber(&out, WallUnixSeconds());
+  out += ",\"uptime_seconds\":";
+  AppendJsonNumber(&out, UptimeSeconds());
+  out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     if (!first) out += ",";
@@ -182,6 +240,12 @@ std::string MetricsRegistry::SnapshotJson() const {
     AppendJsonNumber(&out, s.min);
     out += ",\"max\":";
     AppendJsonNumber(&out, s.max);
+    out += ",\"p50\":";
+    AppendJsonNumber(&out, Histogram::SnapshotQuantile(s, 0.50));
+    out += ",\"p95\":";
+    AppendJsonNumber(&out, Histogram::SnapshotQuantile(s, 0.95));
+    out += ",\"p99\":";
+    AppendJsonNumber(&out, Histogram::SnapshotQuantile(s, 0.99));
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -206,6 +270,12 @@ std::string MetricsRegistry::SnapshotText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char buf[64];
+  std::snprintf(buf, sizeof(buf), "poisonrec_export_wall_unix %.17g\n",
+                WallUnixSeconds());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "poisonrec_export_uptime_seconds %.17g\n",
+                UptimeSeconds());
+  out += buf;
   for (const auto& [name, counter] : counters_) {
     std::snprintf(buf, sizeof(buf), " %llu\n",
                   static_cast<unsigned long long>(counter->Value()));
@@ -224,6 +294,18 @@ std::string MetricsRegistry::SnapshotText() const {
     out += name;
     out += buf;
     std::snprintf(buf, sizeof(buf), "_sum %.17g\n", s.sum);
+    out += name;
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "_p50 %.17g\n",
+                  Histogram::SnapshotQuantile(s, 0.50));
+    out += name;
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "_p95 %.17g\n",
+                  Histogram::SnapshotQuantile(s, 0.95));
+    out += name;
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "_p99 %.17g\n",
+                  Histogram::SnapshotQuantile(s, 0.99));
     out += name;
     out += buf;
     for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {

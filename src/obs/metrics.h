@@ -115,6 +115,16 @@ class Histogram {
     std::array<std::uint64_t, kNumBuckets> buckets{};
   };
   Snapshot TakeSnapshot() const;
+
+  /// Quantile estimate from the bucketed snapshot: linear interpolation
+  /// of rank q*count within the covering log2 bucket, with the bucket's
+  /// bounds clamped to the observed [min, max] (so a single-valued
+  /// histogram reports the exact value and the open-ended top bucket
+  /// never extrapolates past max). 0 when the snapshot is empty; exact
+  /// only when mass is concentrated at bucket edges, otherwise an
+  /// estimate with at most one-bucket (2x) resolution.
+  static double SnapshotQuantile(const Snapshot& snapshot, double q);
+
   const std::string& name() const { return name_; }
 
  private:
@@ -141,13 +151,26 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
-  /// One JSON object: {"counters":{name:value,...},"gauges":{...},
+  /// One JSON object: {"wall_unix":..,"uptime_seconds":..,
+  /// "counters":{name:value,...},"gauges":{...},
   /// "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
+  /// "p50":..,"p95":..,"p99":..,
   /// "buckets":[{"ge":..,"lt":..,"count":..},...]}}}. Zero-count
-  /// histogram buckets are omitted.
+  /// histogram buckets are omitted; p50/p95/p99 are
+  /// Histogram::SnapshotQuantile estimates.
+  ///
+  /// Timestamp contract: `wall_unix` (system clock, unix-epoch seconds
+  /// at snapshot time) is comparable across processes and machines —
+  /// it is the field fleet aggregation (orch/status.h) trusts for
+  /// staleness math. `uptime_seconds` (steady clock since this process
+  /// first touched the registry) is monotonic but only meaningful
+  /// within one process.
   std::string SnapshotJson() const;
   /// Prometheus-like lines: "<name> <value>" (histograms expand into
-  /// _count/_sum plus per-bucket lines).
+  /// _count/_sum/_p50/_p95/_p99 plus per-bucket lines), preceded by
+  /// poisonrec_export_wall_unix / poisonrec_export_uptime_seconds
+  /// pseudo-metrics carrying the same timestamp contract as
+  /// SnapshotJson.
   std::string SnapshotText() const;
   /// Writes SnapshotJson()/SnapshotText() to `path`. False on I/O error.
   bool WriteJson(const std::string& path) const;

@@ -15,6 +15,8 @@ namespace internal {
 
 struct TraceEvent {
   const char* name;
+  /// Copied (truncated) argument string; empty when the span had none.
+  char arg[kTraceArgCapacity];
   std::chrono::steady_clock::time_point begin;
   std::chrono::steady_clock::time_point end;
 };
@@ -67,7 +69,7 @@ ThreadTraceRing* ThisThreadRing() {
   return ring;
 }
 
-void RecordSpan(ThreadTraceRing* ring, const char* name,
+void RecordSpan(ThreadTraceRing* ring, const char* name, const char* arg,
                 std::chrono::steady_clock::time_point begin,
                 std::chrono::steady_clock::time_point end) {
   // Single-writer per ring (the owning thread); the registry mutex is
@@ -77,6 +79,15 @@ void RecordSpan(ThreadTraceRing* ring, const char* name,
   // but ClearTrace() is documented as quiescent-only.
   TraceEvent& slot = ring->events[ring->next];
   slot.name = name;
+  if (arg == nullptr) {
+    slot.arg[0] = '\0';
+  } else {
+    std::size_t n = 0;
+    for (; n + 1 < kTraceArgCapacity && arg[n] != '\0'; ++n) {
+      slot.arg[n] = arg[n];
+    }
+    slot.arg[n] = '\0';
+  }
   slot.begin = begin;
   slot.end = end;
   ring->next = (ring->next + 1) % ring->events.size();
@@ -131,6 +142,7 @@ std::size_t TraceDroppedCount() {
 std::string ChromeTraceJson() {
   struct FlatEvent {
     const char* name;
+    std::string arg;
     std::uint64_t tid;
     std::int64_t ts_us;   // relative to the earliest span in the export
     std::int64_t dur_us;
@@ -150,7 +162,7 @@ std::string ChromeTraceJson() {
       for (std::size_t i = 0; i < ring->size; ++i) {
         const internal::TraceEvent& e =
             ring->events[(start + i) % capacity];
-        flat.push_back(FlatEvent{e.name, ring->tid, 0, 0});
+        flat.push_back(FlatEvent{e.name, e.arg, ring->tid, 0, 0});
         epoch = std::min(epoch, e.begin);
         auto& back = flat.back();
         back.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -192,6 +204,11 @@ std::string ChromeTraceJson() {
     AppendJsonNumber(&out, static_cast<std::uint64_t>(e.dur_us));
     out += ",\"pid\":1,\"tid\":";
     AppendJsonNumber(&out, e.tid);
+    if (!e.arg.empty()) {
+      out += ",\"args\":{\"campaign\":";
+      AppendJsonString(&out, e.arg);
+      out += "}";
+    }
     out += "}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";

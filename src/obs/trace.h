@@ -69,20 +69,32 @@ std::string ChromeTraceJson();
 /// Writes ChromeTraceJson() to `path`. False on I/O error.
 bool WriteChromeTrace(const std::string& path);
 
+/// Max bytes (including the terminator) of a span's argument string
+/// retained in the ring. Longer arguments are truncated.
+inline constexpr std::size_t kTraceArgCapacity = 48;
+
 namespace internal {
 struct ThreadTraceRing;
 /// Ring for the calling thread, registering it on first use.
 ThreadTraceRing* ThisThreadRing();
-void RecordSpan(ThreadTraceRing* ring, const char* name,
+void RecordSpan(ThreadTraceRing* ring, const char* name, const char* arg,
                 std::chrono::steady_clock::time_point begin,
                 std::chrono::steady_clock::time_point end);
 }  // namespace internal
 
 /// RAII span. See the file comment for the timing/recording contract.
+///
+/// The optional `arg` labels the span with dynamic context — the fleet
+/// supervisor passes the campaign id so merged fleet traces
+/// (`poisonrec trace-merge`) can attribute worker time to campaigns.
+/// Unlike `name`, `arg` is copied into the ring (truncated to
+/// kTraceArgCapacity-1 bytes) when the span closes, so it only has to
+/// stay alive until Stop(); it is exported as `"args":{"campaign":...}`.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name)
+  explicit TraceSpan(const char* name, const char* arg = nullptr)
       : name_(name),
+        arg_(arg),
         ring_(TracingEnabled() ? internal::ThisThreadRing() : nullptr),
         begin_(std::chrono::steady_clock::now()) {}
 
@@ -98,7 +110,7 @@ class TraceSpan {
       stopped_ = true;
       end_ = std::chrono::steady_clock::now();
       if (ring_ != nullptr) {
-        internal::RecordSpan(ring_, name_, begin_, end_);
+        internal::RecordSpan(ring_, name_, arg_, begin_, end_);
       }
     }
     return std::chrono::duration<double>(end_ - begin_).count();
@@ -106,6 +118,7 @@ class TraceSpan {
 
  private:
   const char* name_;
+  const char* arg_;
   internal::ThreadTraceRing* ring_;
   std::chrono::steady_clock::time_point begin_;
   std::chrono::steady_clock::time_point end_;

@@ -1,5 +1,7 @@
 #include "orch/fleet.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <exception>
@@ -12,6 +14,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "util/csv.h"
+#include "util/fsio.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -87,6 +90,19 @@ CampaignOutcome OutcomeFromReplay(const std::string& id,
   return outcome;
 }
 
+double WallUnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string HostName() {
+  char buffer[256];
+  if (::gethostname(buffer, sizeof(buffer)) != 0) return "unknown";
+  buffer[sizeof(buffer) - 1] = '\0';
+  return buffer;
+}
+
 /// Journal state a preempted campaign carries into its next run.
 CampaignReplay ReplayFromOutcome(const CampaignOutcome& outcome) {
   CampaignReplay replay;
@@ -139,6 +155,133 @@ std::string FleetOrchestrator::WorkerJournalPath() const {
       base.stem().string() + "." + options_.worker_id +
       base.extension().string();
   return dir.empty() ? name : (dir / name).string();
+}
+
+std::string FleetOrchestrator::TelemetryDir() const {
+  if (!options_.telemetry_dir.empty()) return options_.telemetry_dir;
+  return (std::filesystem::path(options_.checkpoint_dir) / "telemetry")
+      .string();
+}
+
+std::string FleetOrchestrator::WorkerStatusJson(bool shutdown) {
+  std::string campaigns = "[";
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    bool first = true;
+    for (const auto& entry : entries_) {
+      const char* slot_name = "ready";
+      switch (entry->slot) {
+        case Slot::kReady:
+          slot_name = "ready";
+          break;
+        case Slot::kRunning:
+          slot_name = "running";
+          break;
+        case Slot::kDone:
+          slot_name = "done";
+          break;
+        case Slot::kSibling:
+          slot_name = "sibling";
+          break;
+      }
+      // Best available view, most authoritative last: journal replay,
+      // then a final local outcome, then the live supervisor.
+      std::string state = CampaignStateName(CampaignState::kPending);
+      std::uint64_t step = 0;
+      std::uint64_t restarts = 0;
+      std::uint64_t token = 0;
+      double last_reward = 0.0;
+      double best_reward = 0.0;
+      double step_rate = 0.0;
+      double running_seconds = 0.0;
+      if (entry->replay.has_value()) {
+        state = CampaignStateName(entry->replay->state);
+        step = entry->replay->steps_completed;
+        restarts = entry->replay->restarts;
+        best_reward = entry->replay->best_reward;
+        token = entry->replay->token;
+        if (!entry->replay->step_rewards.empty()) {
+          last_reward = entry->replay->step_rewards.rbegin()->second;
+        }
+      }
+      if (entry->has_outcome) {
+        state = CampaignStateName(entry->outcome.state);
+        step = entry->outcome.steps_completed;
+        restarts = entry->outcome.restarts;
+        best_reward = entry->outcome.best_reward;
+        token = entry->outcome.lease_token;
+        if (!entry->outcome.step_rewards.empty()) {
+          last_reward = entry->outcome.step_rewards.rbegin()->second;
+        }
+      }
+      if (entry->slot == Slot::kRunning && entry->supervisor != nullptr) {
+        state = CampaignStateName(CampaignState::kRunning);
+        step = entry->supervisor->committed_steps();
+        last_reward = entry->supervisor->last_committed_reward();
+        best_reward = entry->supervisor->best_reward_so_far();
+        step_rate = entry->supervisor->CommittedStepRate();
+        token = entry->supervisor->lease_token();
+        running_seconds = entry->supervisor->SecondsSinceStart();
+      }
+      obs::JsonObjectBuilder row;
+      row.Str("id", entry->spec.id)
+          .Str("slot", slot_name)
+          .Str("state", state)
+          .Int("step", step)
+          .Int("total", entry->spec.steps)
+          .Num("last_reward", last_reward)
+          .Num("best_reward", best_reward)
+          .Int("restarts", restarts)
+          .Int("preemptions", entry->preemptions)
+          .Int("token", token)
+          .Num("step_rate", step_rate)
+          .Num("running_seconds", running_seconds);
+      if (!first) campaigns += ",";
+      first = false;
+      campaigns += std::move(row).Finish();
+    }
+  }
+  campaigns += "]";
+
+  obs::JsonObjectBuilder b;
+  b.Str("type", "worker_status")
+      .Str("worker", status_worker_id_)
+      .Int("pid", static_cast<std::uint64_t>(::getpid()))
+      .Str("host", HostName())
+      .Int("seq", ++status_seq_)
+      // The aggregator (orch/status.h) trusts wall_unix for staleness:
+      // it is cross-process comparable, unlike the steady-clock uptime.
+      .Num("wall_unix", WallUnixSeconds())
+      .Num("uptime_seconds",
+           run_start_ticks_ == 0
+               ? 0.0
+               : internal::ElapsedSecondsSince(run_start_ticks_))
+      .Num("publish_period_seconds", options_.status_publish_seconds)
+      .Num("lease_ttl_seconds", options_.lease_ttl_seconds)
+      .Bool("shared", options_.shared)
+      .Bool("shutdown", shutdown)
+      .Raw("campaigns", campaigns)
+      .Raw("metrics", obs::MetricsRegistry::Global().SnapshotJson());
+  return std::move(b).Finish();
+}
+
+void FleetOrchestrator::PublishWorkerStatus(bool shutdown) {
+  if (!options_.publish_status) return;
+  const std::string json = WorkerStatusJson(shutdown);
+  const std::string path =
+      (std::filesystem::path(TelemetryDir()) /
+       (status_worker_id_ + ".status.json"))
+          .string();
+  const Status wrote = WriteFileDurableChecksummed(path, json);
+  if (wrote.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("poisonrec_fleet_status_snapshots_total")
+        ->Increment();
+  } else {
+    POISONREC_LOG(Warning) << "fleet: status snapshot publish failed: "
+                           << wrote.ToString();
+  }
+  last_status_ticks_ = internal::NowTicks();
 }
 
 StatusOr<JournalReplayResult> FleetOrchestrator::MergedReplay() const {
@@ -531,6 +674,14 @@ void FleetOrchestrator::WatchdogLoop() {
       }
     }
 
+    // Status snapshots ride the watchdog: it keeps ticking even while
+    // every worker blocks inside a campaign step.
+    if (options_.publish_status &&
+        internal::ElapsedSecondsSince(last_status_ticks_) >=
+            std::max(options_.status_publish_seconds, 0.01)) {
+      PublishWorkerStatus(/*shutdown=*/false);
+    }
+
     wlock.lock();
   }
 }
@@ -624,6 +775,9 @@ FleetResult FleetOrchestrator::Run() {
   if (options_.shared && options_.worker_id.empty()) {
     options_.worker_id = DefaultWorkerId();
   }
+  status_worker_id_ =
+      options_.worker_id.empty() ? DefaultWorkerId() : options_.worker_id;
+  run_start_ticks_ = start_ticks;
 
   std::error_code ec;
   std::filesystem::create_directories(options_.checkpoint_dir, ec);
@@ -632,6 +786,12 @@ FleetResult FleetOrchestrator::Run() {
                                     options_.checkpoint_dir + ": " +
                                     ec.message());
     return result;
+  }
+  if (options_.publish_status) {
+    // Best effort: a failed mkdir surfaces as a publish warning, not a
+    // fleet failure.
+    std::error_code telemetry_ec;
+    std::filesystem::create_directories(TelemetryDir(), telemetry_ec);
   }
   const std::filesystem::path journal_dir =
       std::filesystem::path(options_.journal_path).parent_path();
@@ -701,6 +861,10 @@ FleetResult FleetOrchestrator::Run() {
         1, std::min(options_.max_concurrent, entries_.size()));
   }
 
+  // Initial snapshot: `fleet --status` sees this worker (and every
+  // campaign's pending/replayed state) before the first step commits.
+  PublishWorkerStatus(/*shutdown=*/false);
+
   std::thread watchdog([this] { WatchdogLoop(); });
   // Workers are the global pool's one job; each campaign's internals are
   // single-threaded (MakeAttackerConfig), so no nested-parallelism
@@ -728,6 +892,11 @@ FleetResult FleetOrchestrator::Run() {
     POISONREC_LOG(Warning) << "fleet: final journal merge failed: "
                            << final_replay.status().ToString();
   }
+
+  // Final snapshot before folding the report: marks this worker cleanly
+  // exited (`"shutdown":true`) so the aggregator never calls a finished
+  // worker stale, and freezes every campaign's last known state.
+  PublishWorkerStatus(/*shutdown=*/true);
 
   std::lock_guard<std::mutex> lock(sched_mu_);
   for (const auto& entry : entries_) {

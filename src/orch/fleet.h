@@ -96,6 +96,18 @@ struct FleetOptions {
   /// is ingested once; a high-priority submission preempts a running
   /// lower-priority campaign when all workers are busy.
   std::string submit_dir;
+  /// Periodically publish a durable worker status snapshot
+  /// (`<telemetry dir>/<worker>.status.json`, integrity-framed via
+  /// util/fsio) that `poisonrec fleet --status` aggregates. Snapshots
+  /// carry worker identity, a wall-clock heartbeat, per-campaign
+  /// progress (state/step/reward/rate) and the obs::Metrics registry.
+  bool publish_status = true;
+  /// Snapshot directory; empty derives `<checkpoint_dir>/telemetry` so
+  /// shared workers land in one place without extra flags.
+  std::string telemetry_dir;
+  /// Publication cadence (rides the watchdog thread; a final snapshot
+  /// with `"shutdown":true` is written when Run finishes either way).
+  double status_publish_seconds = 0.25;
   /// Test seams forwarded to every supervisor ({} = really sleep).
   SleepFn retry_sleep;
   SleepFn restart_sleep;
@@ -218,6 +230,15 @@ class FleetOrchestrator {
   StatusOr<JournalReplayResult> MergedReplay() const;
   /// The path this worker's journal records go to.
   std::string WorkerJournalPath() const;
+  /// Resolved snapshot directory (options_.telemetry_dir or
+  /// `<checkpoint_dir>/telemetry`).
+  std::string TelemetryDir() const;
+  /// Serializes this worker's status snapshot (takes sched_mu_).
+  std::string WorkerStatusJson(bool shutdown);
+  /// Durably publishes the snapshot to
+  /// `<telemetry dir>/<status worker id>.status.json`. Failures are
+  /// logged, never fatal — observability must not take the fleet down.
+  void PublishWorkerStatus(bool shutdown);
 
   FleetPlan plan_;
   const data::Dataset* dataset_;
@@ -239,6 +260,12 @@ class FleetOrchestrator {
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
   std::set<std::string> ingested_submissions_;
+
+  /// Status publication state (watchdog thread + Run tail only).
+  std::string status_worker_id_;
+  std::uint64_t status_seq_ = 0;
+  std::uint64_t last_status_ticks_ = 0;
+  std::uint64_t run_start_ticks_ = 0;
 };
 
 }  // namespace poisonrec::orch

@@ -10,6 +10,7 @@
 
 #include "defense/detector.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rec/registry.h"
 #include "util/logging.h"
 
@@ -227,6 +228,16 @@ double CampaignSupervisor::SecondsSinceStart() const {
   return internal::ElapsedSecondsSince(ticks);
 }
 
+double CampaignSupervisor::CommittedStepRate() const {
+  const std::uint64_t committed =
+      committed_steps_.load(std::memory_order_acquire);
+  const std::uint64_t base = run_start_steps_.load(std::memory_order_acquire);
+  if (committed <= base) return 0.0;
+  const double elapsed = SecondsSinceStart();
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(committed - base) / elapsed;
+}
+
 void CampaignSupervisor::SleepForRestart(double seconds) {
   if (options_.restart_sleep) {
     options_.restart_sleep(seconds);
@@ -250,6 +261,7 @@ Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
   // attempt corrupted is discarded wholesale. Determinism across
   // attempts comes from the checkpoint (policy, RNG, pool, defender
   // state) plus the derived per-episode and per-query streams.
+  obs::TraceSpan attempt_span("campaign/attempt", spec_.id.c_str());
   heartbeat_ticks_.store(internal::NowTicks(), std::memory_order_release);
   rec::FitConfig fit;
   fit.embedding_dim = spec_.embedding_dim;
@@ -312,6 +324,10 @@ Status CampaignSupervisor::RunAttempt(CampaignOutcome* outcome) {
         outcome->steps_completed = stats.step;
         outcome->best_reward =
             std::max(outcome->best_reward, stats.best_reward_so_far);
+        committed_steps_.store(stats.step, std::memory_order_release);
+        last_reward_.store(stats.mean_reward, std::memory_order_release);
+        best_reward_live_.store(outcome->best_reward,
+                                std::memory_order_release);
         steps_committed->Increment();
         Journal(CampaignState::kCheckpointed, stats.step, stats.mean_reward,
                 stats.best_reward_so_far, outcome->restarts, "");
@@ -382,6 +398,15 @@ CampaignOutcome CampaignSupervisor::Run() {
     outcome.restarts = replay.restarts;
     outcome.best_reward = replay.best_reward;
     outcome.step_rewards = replay.step_rewards;
+    committed_steps_.store(replay.steps_completed,
+                           std::memory_order_release);
+    run_start_steps_.store(replay.steps_completed,
+                           std::memory_order_release);
+    best_reward_live_.store(replay.best_reward, std::memory_order_release);
+    if (!replay.step_rewards.empty()) {
+      last_reward_.store(replay.step_rewards.rbegin()->second,
+                         std::memory_order_release);
+    }
     if (IsTerminal(replay.state)) {
       outcome.state = replay.state;
       outcome.detail = replay.detail.empty()

@@ -173,6 +173,28 @@ class CampaignSupervisor {
   const CampaignSpec& spec() const { return spec_; }
   std::uint64_t lease_token() const { return options_.lease_token; }
 
+  // -- Status-snapshot interface (thread-safe; the orch/fleet.h worker
+  //    status publisher reads these while the campaign runs) ----------------
+
+  /// Committed (checkpoint-durable) step count — seeded from the
+  /// replayed journal, advanced by the step-commit callback strictly
+  /// after each step's checkpoint and journal record land.
+  std::uint64_t committed_steps() const {
+    return committed_steps_.load(std::memory_order_acquire);
+  }
+  /// Mean reward of the most recently committed step (0 before any).
+  double last_committed_reward() const {
+    return last_reward_.load(std::memory_order_acquire);
+  }
+  double best_reward_so_far() const {
+    return best_reward_live_.load(std::memory_order_acquire);
+  }
+  /// Committed steps per wall-clock second since Run started, counting
+  /// only this run's commits (resumed steps are excluded). 0 until the
+  /// first commit of this run — the status ETA stays "unknown" rather
+  /// than extrapolating from another epoch's rate.
+  double CommittedStepRate() const;
+
   /// Path checkpoints are published to: `<id>.ckpt`, or the token-
   /// suffixed `<id>.t<token>.ckpt` under a lease.
   std::string CheckpointPath() const;
@@ -212,6 +234,11 @@ class CampaignSupervisor {
   std::atomic<int> soft_stop_kind_{static_cast<int>(SoftStopKind::kNone)};
   std::atomic<std::uint64_t> start_ticks_{0};
   std::atomic<std::uint64_t> heartbeat_ticks_{0};
+  /// Live progress mirrors for the status-snapshot interface.
+  std::atomic<std::uint64_t> committed_steps_{0};
+  std::atomic<std::uint64_t> run_start_steps_{0};
+  std::atomic<double> last_reward_{0.0};
+  std::atomic<double> best_reward_live_{0.0};
   std::atomic<bool> abort_allow_restart_{true};
   mutable std::mutex mu_;
   std::string abort_reason_;

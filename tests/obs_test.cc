@@ -160,6 +160,72 @@ TEST(MetricsTest, HistogramSnapshot) {
   EXPECT_EQ(snap.buckets[obs::Histogram::BucketIndex(0.25)], 1u);
 }
 
+TEST(MetricsTest, SnapshotQuantilesAreExactOnKnownDistributions) {
+  using H = obs::Histogram;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+
+  // Two point masses in adjacent buckets: every quantile at or past the
+  // first mass's cumulative weight lands exactly on the second value,
+  // because interpolation bounds clamp to the observed [min, max].
+  H* two = reg.GetHistogram("obs_test_quantile_two_masses");
+  for (int i = 0; i < 10; ++i) two->Observe(1.0);
+  for (int i = 0; i < 10; ++i) two->Observe(2.0);
+  const H::Snapshot two_snap = two->TakeSnapshot();
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(two_snap, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(two_snap, 0.95), 2.0);
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(two_snap, 0.99), 2.0);
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(two_snap, 0.25), 1.5);
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(two_snap, 0.0), 1.0);   // min
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(two_snap, 1.0), 2.0);   // max
+
+  // A single repeated value is exact at every quantile: its bucket
+  // collapses to [4, 4] after the min/max clamp.
+  H* single = reg.GetHistogram("obs_test_quantile_single_value");
+  for (int i = 0; i < 100; ++i) single->Observe(4.0);
+  const H::Snapshot single_snap = single->TakeSnapshot();
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(single_snap, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(single_snap, 0.95), 4.0);
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(single_snap, 0.99), 4.0);
+
+  // Two values sharing one log2 bucket ([8, 16)): interpolation runs
+  // over the clamped range [8, 12], so p50 is its midpoint.
+  H* shared = reg.GetHistogram("obs_test_quantile_shared_bucket");
+  shared->Observe(8.0);
+  shared->Observe(12.0);
+  const H::Snapshot shared_snap = shared->TakeSnapshot();
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(shared_snap, 0.5), 10.0);
+
+  // Empty histograms report 0 rather than an arbitrary bound.
+  const H::Snapshot empty_snap =
+      reg.GetHistogram("obs_test_quantile_empty")->TakeSnapshot();
+  EXPECT_DOUBLE_EQ(H::SnapshotQuantile(empty_snap, 0.5), 0.0);
+}
+
+TEST(MetricsTest, SnapshotsCarryDerivedQuantilesAndTimestamps) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* h = reg.GetHistogram("obs_test_quantile_export");
+  for (int i = 0; i < 100; ++i) h->Observe(4.0);
+
+  const std::string json = reg.SnapshotJson();
+  // Both clocks are exported: wall_unix (cross-process comparable; the
+  // field fleet status aggregation trusts) and steady-clock uptime.
+  EXPECT_EQ(json.rfind("{\"wall_unix\":", 0), 0u);
+  EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+  const double wall = std::atof(json.c_str() + json.find(':') + 1);
+  EXPECT_GT(wall, 1.5e9);  // a plausible unix epoch, not an uptime
+  EXPECT_NE(json.find("\"obs_test_quantile_export\":{\"count\":100,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":4,\"p95\":4,\"p99\":4"), std::string::npos);
+
+  const std::string text = reg.SnapshotText();
+  EXPECT_EQ(text.rfind("poisonrec_export_wall_unix ", 0), 0u);
+  EXPECT_NE(text.find("poisonrec_export_uptime_seconds "),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_quantile_export_p50 4"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_quantile_export_p95 4"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_quantile_export_p99 4"), std::string::npos);
+}
+
 TEST(MetricsTest, SnapshotJsonContainsRegisteredMetrics) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("obs_test_snap_counter")->Increment(5);
@@ -192,7 +258,14 @@ TEST(MetricsTest, WriteJsonRoundTripsToFile) {
   std::ifstream in(path);
   std::string contents((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
-  EXPECT_EQ(contents, reg.SnapshotJson() + "\n");
+  // The snapshot header timestamps (wall_unix / uptime_seconds) differ
+  // between two captures; the metric payload after them must not.
+  const auto payload = [](const std::string& json) {
+    const std::size_t at = json.find("\"counters\":");
+    return at == std::string::npos ? json : json.substr(at);
+  };
+  EXPECT_NE(contents.find("{\"wall_unix\":"), std::string::npos);
+  EXPECT_EQ(payload(contents), payload(reg.SnapshotJson() + "\n"));
   std::remove(path.c_str());
   EXPECT_FALSE(reg.WriteJson("/nonexistent-dir/metrics.json"));
 }
@@ -252,6 +325,41 @@ TEST(TraceTest, SpansRecordWhenEnabledAndNestInExport) {
   EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
   EXPECT_NE(json.find("\"ts\":"), std::string::npos);
   EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(TraceTest, SpanArgsExportAsCampaignArgsAndTruncate) {
+  obs::SetTracingEnabled(true);
+  obs::ClearTrace();
+  {
+    // Dynamic storage: arg only has to outlive Stop() — the ring keeps
+    // a copy, unlike the name pointer.
+    const std::string campaign = "camp-42";
+    obs::TraceSpan span("obs_test/with_arg", campaign.c_str());
+  }
+  { obs::TraceSpan span("obs_test/without_arg"); }
+  {
+    const std::string oversized(obs::kTraceArgCapacity + 20, 'x');
+    obs::TraceSpan span("obs_test/truncated_arg", oversized.c_str());
+  }
+  obs::SetTracingEnabled(false);
+
+  const std::string json = obs::ChromeTraceJson();
+  EXPECT_NE(json.find("\"args\":{\"campaign\":\"camp-42\"}"),
+            std::string::npos);
+  // The arg-less span's event object (no nested braces) carries no args.
+  const std::size_t without = json.find("\"obs_test/without_arg\"");
+  ASSERT_NE(without, std::string::npos);
+  const std::string event =
+      json.substr(without, json.find('}', without) - without);
+  EXPECT_EQ(event.find("args"), std::string::npos);
+  // Oversized args are truncated to kTraceArgCapacity - 1 bytes.
+  EXPECT_NE(
+      json.find("\"campaign\":\"" +
+                std::string(obs::kTraceArgCapacity - 1, 'x') + "\""),
+      std::string::npos);
+  EXPECT_EQ(json.find(std::string(obs::kTraceArgCapacity, 'x')),
+            std::string::npos);
+  obs::ClearTrace();
 }
 
 // Extracts the integer value of `"key":` immediately following the event

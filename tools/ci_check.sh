@@ -16,7 +16,10 @@
 # exit 0, report/journal validated), a shared-fleet smoke runs two
 # --shared workers over one journal dir (SIGKILL one, the survivor
 # seizes its lease and finishes; a --submit-dir drop mid-run must
-# preempt), an fsck smoke audits the fleet's state dir and then injects
+# preempt; `fleet --status` is queried mid-run (healthy, exit 0) and
+# after the SIGKILL (worker stale, exit 2), with both JSON exports
+# validated by validate_telemetry.py --fleet-status against the
+# journal's campaign set), an fsck smoke audits the fleet's state dir and then injects
 # one storage fault per damage class offline (checkpoint bit-flip,
 # checkpoint truncation, torn journal tail) checking the verdicts and
 # exit codes `poisonrec fsck` promises, and a separate TSan build runs
@@ -168,6 +171,24 @@ python3 tools/validate_telemetry.py \
   --fleet-report "${FLEET_DIR}/report.json" \
   --fleet-journal "${FLEET_DIR}/journal.jsonl"
 
+# Post-run status: every campaign done, every worker snapshot carries a
+# clean-shutdown marker, so the read-only status surface must exit 0 and
+# its JSON export must validate (cross-checked against the journal's
+# campaign set).
+STATUS_RC=0
+"${BUILD_DIR}/tools/poisonrec" fleet --status \
+  "--journal=${FLEET_DIR}/journal.jsonl" \
+  "--checkpoint-dir=${FLEET_DIR}/ckpts" \
+  "--status-json=${FLEET_DIR}/status.json" || STATUS_RC=$?
+if [ "${STATUS_RC}" -ne 0 ]; then
+  echo "fleet smoke: post-run --status expected exit 0, got" \
+       "${STATUS_RC}" >&2
+  exit 1
+fi
+python3 tools/validate_telemetry.py \
+  --fleet-journal "${FLEET_DIR}/journal.jsonl" \
+  --fleet-status "${FLEET_DIR}/status.json"
+
 # Shared-fleet smoke: two --shared workers over one journal/checkpoint
 # dir. Worker A is SIGKILLed mid-campaign; worker B seizes the stale
 # lease (fencing token bump) and must finish the whole plan, exit 0.
@@ -212,8 +233,55 @@ for _ in $(seq 1 600); do
   fi
   sleep 0.1
 done
+# Mid-run status: worker A is alive and heartbeating, so the cluster
+# must read healthy (exit 0) while naming the worker and every campaign.
+shared_status_args=(fleet --status
+  "--journal=${SHARED_DIR}/journal.jsonl"
+  "--checkpoint-dir=${SHARED_DIR}/ckpts")
+STATUS_RC=0
+"${BUILD_DIR}/tools/poisonrec" "${shared_status_args[@]}" \
+  "--status-json=${SHARED_DIR}/status.mid.json" || STATUS_RC=$?
+if [ "${STATUS_RC}" -ne 0 ]; then
+  echo "shared smoke: mid-run --status expected exit 0, got" \
+       "${STATUS_RC}" >&2
+  exit 1
+fi
+if ! grep -q '"worker":"wA"' "${SHARED_DIR}/status.mid.json"; then
+  echo "shared smoke: mid-run status does not name worker wA" >&2
+  exit 1
+fi
+python3 tools/validate_telemetry.py \
+  --fleet-journal "${SHARED_DIR}/journal.jsonl" \
+  --fleet-status "${SHARED_DIR}/status.mid.json"
 kill -9 "${WA_PID}" 2>/dev/null || true
-wait "${WA_PID}" 2>/dev/null || true
+WA_RC=0
+wait "${WA_PID}" 2>/dev/null || WA_RC=$?
+# Worker A died without ceremony: the status surface must classify its
+# non-shutdown snapshot over a dead pid as stale and exit 2 (degraded).
+# Guard on the wait status: if A outran the kill (exit < 128 = no
+# signal), it published a clean-shutdown snapshot and healthy/exit-0 is
+# the correct answer — the deterministic stale assertion lives in
+# tests/fleet_status_test.cc.
+STATUS_RC=0
+"${BUILD_DIR}/tools/poisonrec" "${shared_status_args[@]}" \
+  "--status-json=${SHARED_DIR}/status.dead.json" || STATUS_RC=$?
+if [ "${WA_RC}" -ge 128 ]; then
+  if [ "${STATUS_RC}" -ne 2 ]; then
+    echo "shared smoke: post-SIGKILL --status expected exit 2, got" \
+         "${STATUS_RC}" >&2
+    exit 1
+  fi
+  if ! grep -q '"health":"stale"' "${SHARED_DIR}/status.dead.json"; then
+    echo "shared smoke: SIGKILLed worker wA not classified stale" >&2
+    exit 1
+  fi
+else
+  echo "shared smoke: worker A finished before SIGKILL" \
+       "(exit ${WA_RC}); skipping the stale-classification check"
+fi
+python3 tools/validate_telemetry.py \
+  --fleet-journal "${SHARED_DIR}/journal.jsonl" \
+  --fleet-status "${SHARED_DIR}/status.dead.json"
 "${BUILD_DIR}/tools/poisonrec" "${shared_args[@]}" --worker-id=wB \
   "--submit-dir=${SHARED_DIR}/inbox" \
   "--report-json=${SHARED_DIR}/report.wB.json" &
@@ -324,12 +392,15 @@ cmake -B "${TSAN_DIR}" -S . \
   -DPOISONREC_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "$(nproc)" \
   --target orch_test lease_test fleet_recovery_test fleet_shared_test \
-           fsck_chaos_test batched_engine_test
+           fsck_chaos_test fleet_status_test status_test \
+           batched_engine_test
 "${TSAN_DIR}/tests/orch_test"
 "${TSAN_DIR}/tests/lease_test"
 "${TSAN_DIR}/tests/fleet_recovery_test"
 "${TSAN_DIR}/tests/fleet_shared_test"
 "${TSAN_DIR}/tests/fsck_chaos_test"
+"${TSAN_DIR}/tests/status_test"
+"${TSAN_DIR}/tests/fleet_status_test"
 "${TSAN_DIR}/tests/batched_engine_test"
 
 echo "ci_check: OK"

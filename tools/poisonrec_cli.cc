@@ -10,6 +10,10 @@
 //                      --defense-bans=2 --pool-reserve=20 --pool-min-live=4
 //   poisonrec fleet    --plan=fleet.json --journal=results/fleet.jsonl
 //                      --checkpoint-dir=results/ckpts [--resume]
+//   poisonrec fleet    --status [--status-json=out.json] [--watch=N]
+//                      --journal=... --checkpoint-dir=...
+//   poisonrec trace-merge wA.trace.json wB.trace.json
+//                      --out=results/fleet_trace.json
 //   poisonrec fsck     --journal=results/fleet.jsonl
 //                      --checkpoint-dir=results/ckpts [--lease-dir=<dir>]
 //
@@ -75,10 +79,35 @@
 //   --max-concurrent=<n>    campaigns running at once (default 2)
 //   --data=<csv>            use a real log instead of the plan's
 //                           synthetic dataset
+//   --telemetry-dir=<dir>   worker status snapshot directory (default
+//                           <checkpoint-dir>/telemetry)
+//   --status-every=<sec>    snapshot publication cadence (default 0.25)
+//   --publish-status=false  disable snapshot publication
 //   SIGINT/SIGTERM checkpoint every running campaign at the next step
 //   boundary and exit. Exit codes: 0 all campaigns done, 2 partial fleet
 //   (quarantined/failed/interrupted campaigns — resumable with --resume),
 //   1 fatal orchestrator error (bad plan, journal/report I/O).
+//
+// Fleet status flags (read-only; see docs/observability.md "Fleet
+// status" — works mid-run from any process):
+//   --status                aggregate journal + leases + worker status
+//                           snapshots into a cluster table; exit 0
+//                           healthy, 2 degraded (stale workers,
+//                           quarantined/failed/stalled campaigns)
+//   --status-json=<path>    also write the machine-readable fleet_status
+//                           JSON (validated by
+//                           tools/validate_telemetry.py --fleet-status)
+//   --watch=<sec>           re-render every <sec> seconds until ^C
+//   --stale-after=<sec>     heartbeat age that marks a live-pid worker
+//                           stale (default: 3x its publish period)
+//   --journal/--checkpoint-dir/--telemetry-dir/--lease-dir as above
+//
+// trace-merge: fuse per-worker Chrome traces (`fleet --trace-out` from
+// each worker) into one timeline; each input file becomes its own
+// process lane (pid = input index, process_name = file stem) and span
+// args (campaign ids) are preserved. Timestamps stay relative to each
+// file's own export epoch. Flags: --out=<path> (default
+// results/fleet_trace.json).
 //
 // Fsck flags (offline storage-integrity audit, docs/robustness.md):
 //   --journal=<path>        journal family base path (default
@@ -101,12 +130,14 @@
 //   --events-out=<path>     stream the unified JSONL event log (step,
 //                           guard, ban, rollback, checkpoint events)
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <filesystem>
@@ -128,8 +159,11 @@
 #include "obs/trace.h"
 #include "orch/fleet.h"
 #include "orch/fsck.h"
+#include "orch/json_reader.h"
 #include "orch/spec.h"
+#include "orch/status.h"
 #include "rec/metrics.h"
+#include "util/fsio.h"
 
 namespace poisonrec::cli {
 namespace {
@@ -587,7 +621,159 @@ void HandleFleetSignal(int /*signum*/) {
   if (fleet != nullptr) fleet->RequestShutdownFromSignal();
 }
 
+/// `fleet --status`: read-only aggregation of the journal family, live
+/// leases, and worker status snapshots — no plan or dataset needed, so
+/// it works mid-run from a different process than the workers.
+int CmdFleetStatus(const Flags& flags) {
+  orch::FleetStatusOptions options;
+  options.journal_path =
+      flags.Get("journal", "results/fleet_journal.jsonl");
+  options.checkpoint_dir =
+      flags.Get("checkpoint-dir", "results/fleet_checkpoints");
+  options.telemetry_dir = flags.Get("telemetry-dir", "");
+  options.lease_dir = flags.Get("lease-dir", "");
+  options.stale_after_seconds = flags.GetDouble("stale-after", 0.0);
+  const std::string status_json = flags.Get("status-json", "");
+  const double watch_seconds = flags.GetDouble("watch", 0.0);
+  for (;;) {
+    const orch::FleetStatus status = orch::CollectFleetStatus(options);
+    std::fputs(orch::FormatFleetStatusTable(status).c_str(), stdout);
+    std::fflush(stdout);
+    if (!status_json.empty()) {
+      const Status wrote = WriteFileDurable(
+          status_json, orch::FleetStatusJson(status) + "\n");
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", status_json.c_str(),
+                     wrote.ToString().c_str());
+        return 1;
+      }
+    }
+    if (watch_seconds <= 0.0) return status.ExitCode();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(watch_seconds));
+    std::printf("\n");
+  }
+}
+
+/// Serializes a parsed JsonValue back to text (trace-merge re-emits
+/// each span with a rewritten pid).
+void SerializeJsonValue(const orch::JsonValue& value, std::string* out) {
+  using Kind = orch::JsonValue::Kind;
+  switch (value.kind) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += value.bool_value ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      obs::AppendJsonNumber(out, value.number_value);
+      break;
+    case Kind::kString:
+      obs::AppendJsonString(out, value.string_value);
+      break;
+    case Kind::kArray: {
+      *out += "[";
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) *out += ",";
+        SerializeJsonValue(value.array[i], out);
+      }
+      *out += "]";
+      break;
+    }
+    case Kind::kObject: {
+      *out += "{";
+      bool first = true;
+      for (const auto& [key, member] : value.members) {
+        if (!first) *out += ",";
+        first = false;
+        obs::AppendJsonString(out, key);
+        *out += ":";
+        SerializeJsonValue(member, out);
+      }
+      *out += "}";
+      break;
+    }
+  }
+}
+
+/// `trace-merge`: fuses per-worker Chrome trace files into one timeline
+/// with a process lane per input (pid = input index + 1, named after
+/// the file), preserving tids and span args. Timestamps stay relative
+/// to each file's own export epoch.
+int CmdTraceMerge(int argc, char** argv, const Flags& flags) {
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) continue;
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: poisonrec trace-merge <trace.json> [more ...] "
+                 "[--out=results/fleet_trace.json]\n");
+    return 2;
+  }
+  const std::string out_path =
+      flags.Get("out", "results/fleet_trace.json");
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::size_t merged_spans = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    StatusOr<orch::JsonValue> parsed = orch::ParseJsonFile(inputs[i]);
+    if (!parsed.ok() || !parsed->is_object()) {
+      std::fprintf(stderr, "cannot parse trace %s%s%s\n", inputs[i].c_str(),
+                   parsed.ok() ? "" : ": ",
+                   parsed.ok() ? "" : parsed.status().ToString().c_str());
+      return 1;
+    }
+    const std::uint64_t pid = i + 1;
+    // A metadata event names the lane after the input file, so Perfetto
+    // shows one titled process row per worker.
+    std::string label = std::filesystem::path(inputs[i]).stem().string();
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+    obs::AppendJsonString(&out, label);
+    out += "}}";
+    const orch::JsonValue* events = parsed->Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      std::fprintf(stderr, "%s has no traceEvents array\n",
+                   inputs[i].c_str());
+      return 1;
+    }
+    for (const orch::JsonValue& event : events->array) {
+      if (!event.is_object()) continue;
+      out += ",{";
+      bool first_member = true;
+      for (const auto& [key, member] : event.members) {
+        if (key == "pid") continue;
+        if (!first_member) out += ",";
+        first_member = false;
+        obs::AppendJsonString(&out, key);
+        out += ":";
+        SerializeJsonValue(member, &out);
+      }
+      if (!first_member) out += ",";
+      out += "\"pid\":" + std::to_string(pid) + "}";
+      ++merged_spans;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  const Status wrote = WriteFileDurable(out_path, out);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 wrote.ToString().c_str());
+    return 1;
+  }
+  std::printf("merged %zu span(s) from %zu trace(s) -> %s\n", merged_spans,
+              inputs.size(), out_path.c_str());
+  return 0;
+}
+
 int CmdFleet(const Flags& flags) {
+  if (flags.Get("status", "false") == "true") return CmdFleetStatus(flags);
   const std::string plan_path = flags.Get("plan", "");
   if (plan_path.empty()) {
     std::fprintf(stderr, "fleet requires --plan=<json>\n");
@@ -639,6 +825,9 @@ int CmdFleet(const Flags& flags) {
     options.lease_ttl_seconds = std::atof(ttl.c_str());
   }
   options.submit_dir = flags.Get("submit-dir", "");
+  options.publish_status = flags.Get("publish-status", "true") != "false";
+  options.telemetry_dir = flags.Get("telemetry-dir", "");
+  options.status_publish_seconds = flags.GetDouble("status-every", 0.25);
 
   std::printf("fleet %s: %zu campaign(s), dataset %s (%zu users, %zu "
               "items), %zu worker(s)%s%s%s%s\n",
@@ -721,8 +910,8 @@ int CmdFsck(const Flags& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: poisonrec "
-               "<datagen|quality|attack|detect|campaign|fleet|fsck> "
-               "[--flag=value ...]\n"
+               "<datagen|quality|attack|detect|campaign|fleet|trace-merge|"
+               "fsck> [--flag=value ...]\n"
                "see tools/poisonrec_cli.cc for the flag list\n");
   return 2;
 }
@@ -740,6 +929,7 @@ int Main(int argc, char** argv) {
   if (command == "detect") return CmdDetect(flags);
   if (command == "campaign") return CmdCampaign(flags);
   if (command == "fleet") return CmdFleet(flags);
+  if (command == "trace-merge") return CmdTraceMerge(argc, argv, flags);
   if (command == "fsck") return CmdFsck(flags);
   return Usage();
 }

@@ -5,7 +5,8 @@ Usage:
   tools/validate_telemetry.py --metrics m.json --trace t.json --events e.jsonl \
       [--require-event-types step,guard,ban] [--require-spans ppo/sample,...] \
       [--fleet-report results/fleet_report.json] \
-      [--fleet-journal results/fleet_journal.jsonl]
+      [--fleet-journal results/fleet_journal.jsonl] \
+      [--fleet-status results/fleet_status.json]
 
 Checks (any failure exits 1 with a message naming the file and reason):
   * metrics JSON: top-level {"counters","gauges","histograms"}; counters are
@@ -25,6 +26,11 @@ Checks (any failure exits 1 with a message naming the file and reason):
     (the base file plus per-worker `stem.<worker>.jsonl` siblings) is a
     campaign record with a valid state and well-formed lease token/owner
     fields (a torn final line per file — crash frontier — is tolerated).
+  * fleet status JSON: {"type":"fleet_status"} whose summary rollups match
+    the workers/campaigns arrays, whose hygiene counters are non-negative
+    ints, and whose degraded/exit_code fields agree with degraded_reasons;
+    when --fleet-journal is also given, every campaign the journal names
+    must appear in the status.
 
 Used by tools/ci_check.sh after the instrumented campaign smoke run; also
 handy interactively after any --metrics-out/--trace-out/--events-out run.
@@ -339,8 +345,11 @@ def list_journal_files(base):
 
 
 def check_fleet_journal(path):
+    """Validates the journal family; returns the set of campaign ids it
+    names (for the --fleet-status cross-check)."""
     files = list_journal_files(path)
     states = collections.Counter()
+    campaign_ids = set()
     total_lines = 0
     for journal_path in files:
         try:
@@ -385,11 +394,145 @@ def check_fleet_journal(path):
                 fail(f"{journal_path}:{lineno}: owner is not a non-empty "
                      f"string: {owner!r}")
             states[record["state"]] += 1
+            if isinstance(record.get("id"), str):
+                campaign_ids.add(record["id"])
     if total_lines == 0:
         fail(f"{path}: empty journal family ({len(files)} file(s))")
-        return
+        return campaign_ids
     print(f"{path}: {total_lines} records across {len(files)} file(s): "
           f"{dict(sorted(states.items()))}")
+    return campaign_ids
+
+
+# Health classes a fleet status worker row may carry (orch/status.h).
+STATUS_WORKER_HEALTH = {"live", "stale", "exited"}
+STATUS_WORKER_KEYS = [
+    "worker", "health", "pid", "host", "seq", "wall_unix", "uptime_seconds",
+    "age_seconds", "publish_period_seconds", "shared", "shutdown", "snapshot",
+]
+STATUS_CAMPAIGN_KEYS = [
+    "id", "state", "owner", "token", "step", "total", "last_reward",
+    "best_reward", "restarts", "preemptions", "step_rate", "eta_seconds",
+    "running", "lease_held", "lease_expired", "stalled",
+]
+STATUS_HYGIENE_KEYS = [
+    "snapshots_ok", "snapshots_torn", "snapshots_corrupt",
+    "snapshots_invalid", "leases_ok", "leases_damaged",
+    "journal_files_merged", "journal_malformed_lines",
+    "journal_torn_tail_lines", "journal_corrupt_lines",
+    "journal_stale_records",
+]
+STATUS_SUMMARY_KEYS = [
+    "workers", "workers_live", "workers_stale", "workers_exited",
+    "campaigns", "campaigns_by_state", "aggregate_step_rate",
+]
+
+
+def check_fleet_status(path, journal_campaign_ids=None):
+    """Validates a `poisonrec fleet --status --status-json` export; when
+    the journal family was also validated, cross-checks that the status
+    names every campaign the journal knows about."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+        return
+    if doc.get("type") != "fleet_status":
+        fail(f"{path}: type is {doc.get('type')!r}, expected 'fleet_status'")
+        return
+    summary = doc.get("summary")
+    hygiene = doc.get("hygiene")
+    workers = doc.get("workers")
+    campaigns = doc.get("campaigns")
+    reasons = doc.get("degraded_reasons")
+    if not isinstance(summary, dict) or not isinstance(hygiene, dict) \
+            or not isinstance(workers, list) \
+            or not isinstance(campaigns, list) \
+            or not isinstance(reasons, list):
+        fail(f"{path}: missing summary/hygiene objects or "
+             f"workers/campaigns/degraded_reasons arrays")
+        return
+    for key in STATUS_SUMMARY_KEYS:
+        if key not in summary:
+            fail(f"{path}: summary missing {key!r}")
+    for key in STATUS_HYGIENE_KEYS:
+        value = hygiene.get(key)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: hygiene.{key} is not a non-negative int: "
+                 f"{value!r}")
+
+    health = collections.Counter()
+    for i, w in enumerate(workers):
+        missing = [k for k in STATUS_WORKER_KEYS if k not in w]
+        if missing:
+            fail(f"{path}: worker #{i} missing keys {missing}")
+            continue
+        if w["health"] not in STATUS_WORKER_HEALTH:
+            fail(f"{path}: worker {w['worker']!r} has unknown health "
+                 f"{w['health']!r}")
+            continue
+        health[w["health"]] += 1
+        if w["health"] != "exited" and w["shutdown"]:
+            fail(f"{path}: worker {w['worker']!r} says shutdown but is "
+                 f"classified {w['health']!r}")
+    for key, cls in (("workers_live", "live"), ("workers_stale", "stale"),
+                     ("workers_exited", "exited")):
+        if summary.get(key) != health[cls]:
+            fail(f"{path}: summary.{key}={summary.get(key)!r}, expected "
+                 f"{health[cls]} from the workers array")
+    if summary.get("workers") != len(workers):
+        fail(f"{path}: summary.workers={summary.get('workers')!r} but "
+             f"workers array has {len(workers)} entries")
+
+    by_state = collections.Counter()
+    status_ids = set()
+    for i, c in enumerate(campaigns):
+        missing = [k for k in STATUS_CAMPAIGN_KEYS if k not in c]
+        if missing:
+            fail(f"{path}: campaign #{i} missing keys {missing}")
+            continue
+        if c["state"] not in FLEET_STATES:
+            fail(f"{path}: campaign {c['id']!r} has unknown state "
+                 f"{c['state']!r}")
+            continue
+        by_state[c["state"]] += 1
+        status_ids.add(c["id"])
+        if c["running"] and not c["owner"]:
+            fail(f"{path}: campaign {c['id']!r} is running but has no owner")
+        if c["lease_expired"] and not c["lease_held"]:
+            fail(f"{path}: campaign {c['id']!r} lease_expired without "
+                 f"lease_held")
+        if isinstance(c.get("total"), int) and isinstance(c.get("step"), int) \
+                and 0 < c["total"] < c["step"]:
+            fail(f"{path}: campaign {c['id']!r} step={c['step']} exceeds "
+                 f"total={c['total']}")
+    if summary.get("campaigns") != len(campaigns):
+        fail(f"{path}: summary.campaigns={summary.get('campaigns')!r} but "
+             f"campaigns array has {len(campaigns)} entries")
+    if isinstance(summary.get("campaigns_by_state"), dict) \
+            and summary["campaigns_by_state"] != dict(by_state):
+        fail(f"{path}: summary.campaigns_by_state="
+             f"{summary['campaigns_by_state']!r}, expected "
+             f"{dict(by_state)} from the campaigns array")
+
+    degraded = doc.get("degraded")
+    exit_code = doc.get("exit_code")
+    if degraded != bool(reasons):
+        fail(f"{path}: degraded={degraded!r} but degraded_reasons has "
+             f"{len(reasons)} entries")
+    if exit_code != (2 if reasons else 0):
+        fail(f"{path}: exit_code={exit_code!r} inconsistent with "
+             f"{len(reasons)} degraded reason(s)")
+
+    if journal_campaign_ids is not None:
+        missing = sorted(journal_campaign_ids - status_ids)
+        if missing:
+            fail(f"{path}: journal names campaigns absent from the status: "
+                 f"{missing}")
+    print(f"{path}: {len(workers)} worker(s) ({dict(sorted(health.items()))}),"
+          f" {len(campaigns)} campaign(s) ({dict(sorted(by_state.items()))}),"
+          f" exit_code={exit_code}")
 
 
 def main():
@@ -406,11 +549,13 @@ def main():
                         help="fleet orchestrator report JSON")
     parser.add_argument("--fleet-journal",
                         help="fleet orchestrator journal JSONL")
+    parser.add_argument("--fleet-status",
+                        help="fleet --status --status-json export")
     args = parser.parse_args()
     if not (args.metrics or args.trace or args.events or args.fleet_report
-            or args.fleet_journal):
+            or args.fleet_journal or args.fleet_status):
         parser.error("nothing to validate: pass --metrics/--trace/--events/"
-                     "--fleet-report/--fleet-journal")
+                     "--fleet-report/--fleet-journal/--fleet-status")
 
     if args.metrics:
         check_metrics(args.metrics)
@@ -422,8 +567,11 @@ def main():
         check_events(args.events, types)
     if args.fleet_report:
         check_fleet_report(args.fleet_report)
+    journal_ids = None
     if args.fleet_journal:
-        check_fleet_journal(args.fleet_journal)
+        journal_ids = check_fleet_journal(args.fleet_journal)
+    if args.fleet_status:
+        check_fleet_status(args.fleet_status, journal_ids)
 
     if FAILURES:
         print(f"validate_telemetry: {len(FAILURES)} failure(s)",
